@@ -1,0 +1,44 @@
+//! Per-event cost of the detector configurations on a recorded event
+//! stream (isolates detector overhead from interpretation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spinrace_detector::{DetectorConfig, MsmMode, RaceDetector};
+use spinrace_suites::all_programs;
+use spinrace_vm::{run_module, Event, EventSink, RecordingSink, VmConfig};
+
+fn recorded_stream() -> Vec<Event> {
+    let p = all_programs()
+        .into_iter()
+        .find(|p| p.name == "vips")
+        .expect("vips");
+    let module = (p.build)(p.threads, p.size);
+    let mut sink = RecordingSink::default();
+    run_module(&module, VmConfig::round_robin(), &mut sink).expect("run");
+    sink.events
+}
+
+fn detector_stages(c: &mut Criterion) {
+    let events = recorded_stream();
+    let configs = [
+        ("lib", DetectorConfig::helgrind_lib(MsmMode::Long)),
+        ("lib+spin", DetectorConfig::helgrind_lib_spin(MsmMode::Long)),
+        ("drd", DetectorConfig::drd()),
+    ];
+    let mut group = c.benchmark_group("detector_stages");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for (name, cfg) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &events, |b, evs| {
+            b.iter(|| {
+                let mut det = RaceDetector::new(cfg);
+                for e in evs {
+                    det.on_event(e);
+                }
+                det.racy_contexts()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, detector_stages);
+criterion_main!(benches);

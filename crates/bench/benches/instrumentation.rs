@@ -1,0 +1,43 @@
+//! Cost of the static instrumentation phase: CFG + dominators + loop
+//! detection + spin classification, by window size and module size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spinrace_spinfind::SpinFinder;
+use spinrace_suites::all_programs;
+use spinrace_synclib::lower_to_spinlib;
+use spinrace_tir::Module;
+
+fn modules() -> Vec<(&'static str, Module)> {
+    all_programs()
+        .into_iter()
+        .filter(|p| matches!(p.name, "vips" | "bodytrack" | "x264"))
+        .map(|p| (p.name, (p.build)(p.threads, p.size)))
+        .collect()
+}
+
+fn instrumentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("instrumentation");
+    for (name, module) in modules() {
+        for window in [3u32, 7] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("analyze_w{window}"), name),
+                &module,
+                |b, m| {
+                    let finder = SpinFinder::with_window(window);
+                    b.iter(|| finder.analyze(m).accepted())
+                },
+            );
+        }
+        // Lowering + re-analysis: the nolib preparation path.
+        group.bench_with_input(BenchmarkId::new("lower_nolib", name), &module, |b, m| {
+            b.iter(|| {
+                let low = lower_to_spinlib(m).expect("lower");
+                SpinFinder::default().analyze(&low).accepted()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, instrumentation);
+criterion_main!(benches);

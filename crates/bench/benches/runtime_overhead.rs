@@ -1,0 +1,34 @@
+//! Figure F2's wall-clock series as a Criterion bench: full pipeline per
+//! (program, tool), against the uninstrumented VM baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spinrace_bench::{bench_programs, bench_tools, run_once};
+use spinrace_vm::{run_module, NullSink, VmConfig};
+
+fn runtime_overhead(c: &mut Criterion) {
+    let programs = bench_programs();
+    let mut group = c.benchmark_group("runtime_overhead");
+    group.sample_size(10);
+    for (name, module) in &programs {
+        group.bench_with_input(
+            BenchmarkId::new("native", name),
+            module,
+            |b, m| {
+                b.iter(|| {
+                    run_module(m, VmConfig::round_robin(), &mut NullSink).expect("run")
+                })
+            },
+        );
+        for (tool_name, tool) in bench_tools() {
+            group.bench_with_input(
+                BenchmarkId::new(tool_name, name),
+                module,
+                |b, m| b.iter(|| run_once(tool, m)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, runtime_overhead);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Raw interpreter throughput: instructions per second on compute-bound,
+//! lock-bound and spin-bound kernels (no detector attached).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spinrace_tir::{Module, ModuleBuilder};
+use spinrace_vm::{run_module, NullSink, VmConfig};
+
+/// Straight-line arithmetic kernel (~`n` instructions).
+fn compute_kernel(n: i64) -> Module {
+    let mut mb = ModuleBuilder::new("compute");
+    mb.entry("main", |f| {
+        let mut acc = f.const_(1);
+        for i in 0..n {
+            acc = f.add(acc, i % 7);
+            acc = f.mul(acc, 3);
+        }
+        f.output(acc);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Two threads contending on one mutex.
+fn lock_kernel(iters: i64) -> Module {
+    let mut mb = ModuleBuilder::new("locks");
+    let mu = mb.global("mu", 1);
+    let counter = mb.global("counter", 1);
+    let worker = mb.function("worker", 1, |f| {
+        for _ in 0..iters {
+            f.lock(mu.at(0));
+            let v = f.load(counter.at(0));
+            let v2 = f.add(v, 1);
+            f.store(counter.at(0), v2);
+            f.unlock(mu.at(0));
+        }
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let t1 = f.spawn(worker, 0);
+        let t2 = f.spawn(worker, 1);
+        f.join(t1);
+        f.join(t2);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Chained flag handoffs (spin-loop heavy).
+fn spin_kernel(chain: i64) -> Module {
+    let mut mb = ModuleBuilder::new("spins");
+    let flags = mb.global("flags", chain as u64 + 1);
+    let relay = mb.function("relay", 1, |f| {
+        let id = f.param(0);
+        let head = f.new_block();
+        let done = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        let v = f.load(flags.idx(id));
+        f.branch(v, done, head);
+        f.switch_to(done);
+        let next = f.add(id, 1);
+        f.store(flags.idx(next), 1);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let tids: Vec<_> = (0..chain).map(|i| f.spawn(relay, i)).collect();
+        f.store(flags.at(0), 1);
+        for t in tids {
+            f.join(t);
+        }
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+fn vm_throughput(c: &mut Criterion) {
+    let kernels = [
+        ("compute", compute_kernel(2000)),
+        ("locks", lock_kernel(100)),
+        ("spins", spin_kernel(8)),
+    ];
+    let mut group = c.benchmark_group("vm_throughput");
+    group.sample_size(20);
+    for (name, module) in &kernels {
+        // Estimate steps once for throughput units.
+        let steps = run_module(module, VmConfig::round_robin(), &mut NullSink)
+            .expect("run")
+            .steps;
+        group.throughput(Throughput::Elements(steps));
+        group.bench_with_input(BenchmarkId::from_parameter(name), module, |b, m| {
+            b.iter(|| run_module(m, VmConfig::round_robin(), &mut NullSink).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, vm_throughput);
+criterion_main!(benches);

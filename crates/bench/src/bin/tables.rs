@@ -1,0 +1,55 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p spinrace-bench --bin tables --release -- all
+//! cargo run -p spinrace-bench --bin tables --release -- t1 t2
+//! ```
+//!
+//! Prints each experiment and writes its JSON payload to
+//! `target/experiments/<id>.json`.
+
+use spinrace_report::{
+    f1_memory, f2_runtime, t1_drt, t2_window_sweep, t3_characteristics, t4_no_adhoc,
+    t5_with_adhoc, t6_universal, Experiment,
+};
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ["t1", "t2", "t3", "t4", "t5", "t6", "f1", "f2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        args.iter().map(|a| a.to_lowercase()).collect()
+    };
+
+    let out_dir = Path::new("target/experiments");
+    let _ = fs::create_dir_all(out_dir);
+
+    for id in wanted {
+        let exp: Experiment = match id.as_str() {
+            "t1" => t1_drt(),
+            "t2" => t2_window_sweep(),
+            "t3" => t3_characteristics(),
+            "t4" => t4_no_adhoc(),
+            "t5" => t5_with_adhoc(),
+            "t6" => t6_universal(),
+            "f1" => f1_memory(),
+            "f2" => f2_runtime(),
+            other => {
+                eprintln!("unknown experiment `{other}` (use t1..t6, f1, f2, all)");
+                std::process::exit(2);
+            }
+        };
+        println!("== {} — {} ==", exp.id, exp.title);
+        println!("{}", exp.rendered);
+        let path = out_dir.join(format!("{}.json", exp.id.to_lowercase()));
+        match fs::write(&path, serde_json::to_string_pretty(&exp.json).unwrap()) {
+            Ok(()) => println!("[json written to {}]\n", path.display()),
+            Err(e) => eprintln!("[could not write {}: {e}]\n", path.display()),
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Immediate dominators via the Cooper–Harvey–Kennedy iterative algorithm
+//! ("A Simple, Fast Dominance Algorithm").
+
+use crate::graph::Cfg;
+use spinrace_tir::BlockId;
+
+/// Immediate-dominator tree for one CFG.
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    /// `idom[b]` — immediate dominator of `b`; the entry's idom is itself;
+    /// `None` for unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    rpo_pos: Vec<usize>,
+}
+
+impl Dominators {
+    /// Compute dominators for `cfg`.
+    pub fn compute(cfg: &Cfg) -> Dominators {
+        let n = cfg.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if n == 0 {
+            return Dominators {
+                idom,
+                rpo_pos: vec![],
+            };
+        }
+        let entry = cfg.rpo[0];
+        idom[entry.0 as usize] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            // Walk up the (partially built) dominator tree; deeper RPO
+            // positions are further from the entry.
+            while a != b {
+                while cfg.rpo_pos[a.0 as usize] > cfg.rpo_pos[b.0 as usize] {
+                    a = idom[a.0 as usize].expect("processed");
+                }
+                while cfg.rpo_pos[b.0 as usize] > cfg.rpo_pos[a.0 as usize] {
+                    b = idom[b.0 as usize].expect("processed");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                // First processed predecessor.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.pred(b) {
+                    if !cfg.is_reachable(p) {
+                        continue;
+                    }
+                    if idom[p.0 as usize].is_some() {
+                        new_idom = Some(match new_idom {
+                            None => p,
+                            Some(cur) => intersect(&idom, cur, p),
+                        });
+                    }
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0 as usize] != Some(ni) {
+                        idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators {
+            idom,
+            rpo_pos: cfg.rpo_pos.clone(),
+        }
+    }
+
+    /// Immediate dominator of `b` (entry maps to itself).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.0 as usize]
+    }
+
+    /// Does `a` dominate `b`? (Reflexive; `false` if either is unreachable.)
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_pos[a.0 as usize] == usize::MAX || self.rpo_pos[b.0 as usize] == usize::MAX {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = match self.idom[cur.0 as usize] {
+                Some(i) => i,
+                None => return false,
+            };
+            if next == cur {
+                // reached the entry
+                return a == cur;
+            }
+            cur = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Cfg;
+    use spinrace_tir::{BlockId, ModuleBuilder};
+    use std::collections::HashSet;
+
+    /// Naive dominator computation by reachability-without-b: `a dom b` iff
+    /// removing `a` from the graph makes `b` unreachable from the entry.
+    fn naive_dominates(cfg: &Cfg, a: BlockId, b: BlockId) -> bool {
+        if !cfg.is_reachable(a) || !cfg.is_reachable(b) {
+            return false;
+        }
+        if a == b {
+            return true;
+        }
+        let entry = cfg.rpo[0];
+        if a == entry {
+            return true;
+        }
+        // BFS from entry avoiding a.
+        let mut seen: HashSet<BlockId> = HashSet::new();
+        let mut stack = vec![entry];
+        seen.insert(entry);
+        while let Some(x) = stack.pop() {
+            if x == a {
+                continue;
+            }
+            for &s in cfg.succ(x) {
+                if s != a && seen.insert(s) {
+                    stack.push(s);
+                }
+            }
+        }
+        !seen.contains(&b)
+    }
+
+    fn build_graph(edges: &[(u32, u32)], n: u32) -> spinrace_tir::Module {
+        // Build a function with n blocks where block i branches to its
+        // listed successors (1 or 2); blocks with no successors return.
+        let mut mb = ModuleBuilder::new("g");
+        let g = mb.global("g", 1);
+        mb.entry("main", |f| {
+            let blocks: Vec<_> = (1..n).map(|_| f.new_block()).collect();
+            let block_of = |i: u32| {
+                if i == 0 {
+                    spinrace_tir::BlockId(0)
+                } else {
+                    blocks[(i - 1) as usize]
+                }
+            };
+            for i in 0..n {
+                f.switch_to(block_of(i));
+                let succs: Vec<u32> = edges
+                    .iter()
+                    .filter(|(a, _)| *a == i)
+                    .map(|(_, b)| *b)
+                    .collect();
+                match succs.len() {
+                    0 => f.ret(None),
+                    1 => f.jump(block_of(succs[0])),
+                    _ => {
+                        let c = f.load(g.at(0));
+                        f.branch(c, block_of(succs[0]), block_of(succs[1]));
+                    }
+                }
+            }
+        });
+        mb.finish().unwrap()
+    }
+
+    fn check_against_naive(edges: &[(u32, u32)], n: u32) {
+        let m = build_graph(edges, n);
+        let cfg = Cfg::build(m.function(m.entry));
+        let dom = Dominators::compute(&cfg);
+        for a in 0..n {
+            for b in 0..n {
+                let (a, b) = (BlockId(a), BlockId(b));
+                assert_eq!(
+                    dom.dominates(a, b),
+                    naive_dominates(&cfg, a, b),
+                    "dominates({a:?},{b:?}) mismatch on {edges:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        check_against_naive(&[(0, 1), (0, 2), (1, 3), (2, 3)], 4);
+    }
+
+    #[test]
+    fn loop_dominators() {
+        check_against_naive(&[(0, 1), (1, 2), (2, 1), (1, 3)], 4);
+    }
+
+    #[test]
+    fn nested_loops() {
+        check_against_naive(&[(0, 1), (1, 2), (2, 3), (3, 2), (3, 1), (1, 4)], 5);
+    }
+
+    #[test]
+    fn irreducible_graph() {
+        // Two entries into a cycle: 0->1, 0->2, 1->2, 2->1, 1->3, 2->3
+        check_against_naive(&[(0, 1), (0, 2), (1, 2), (2, 1), (1, 3), (2, 3)], 4);
+    }
+
+    #[test]
+    fn entry_dominates_everything_reachable() {
+        let m = build_graph(&[(0, 1), (1, 2), (2, 3), (0, 3)], 4);
+        let cfg = Cfg::build(m.function(m.entry));
+        let dom = Dominators::compute(&cfg);
+        for b in 0..4 {
+            assert!(dom.dominates(BlockId(0), BlockId(b)));
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn random_graphs_match_naive(seed in 0u64..500) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(2..10u32);
+            let mut edges = Vec::new();
+            // spanning path so most blocks are reachable
+            for i in 0..n - 1 {
+                if rng.gen_bool(0.8) {
+                    edges.push((i, i + 1));
+                }
+            }
+            let extra = rng.gen_range(0..n * 2);
+            for _ in 0..extra {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                edges.push((a, b));
+            }
+            // dedupe, keep at most 2 successors per block
+            edges.sort_unstable();
+            edges.dedup();
+            let mut capped: Vec<(u32, u32)> = Vec::new();
+            for e in edges {
+                if capped.iter().filter(|(a, _)| *a == e.0).count() < 2 {
+                    capped.push(e);
+                }
+            }
+            check_against_naive(&capped, n);
+        }
+    }
+}

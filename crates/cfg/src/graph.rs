@@ -1,0 +1,163 @@
+//! CFG construction: successors, predecessors, reverse post-order.
+
+use spinrace_tir::{BlockId, Function};
+
+/// The control-flow graph of one function.
+///
+/// Blocks unreachable from the entry are excluded from `rpo` (and get
+/// `rpo_pos == usize::MAX`); analyses treat them as dead code, which is
+/// also how a binary-level tool would see never-branched-to bytes.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Successor lists, indexed by block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessor lists, indexed by block.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Reachable blocks in reverse post-order (entry first).
+    pub rpo: Vec<BlockId>,
+    /// Position of each block in `rpo` (`usize::MAX` if unreachable).
+    pub rpo_pos: Vec<usize>,
+}
+
+impl Cfg {
+    /// Build the CFG of `func`.
+    pub fn build(func: &Function) -> Cfg {
+        let n = func.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (b, block) in func.iter_blocks() {
+            for s in block.term.successors() {
+                succs[b.0 as usize].push(s);
+                preds[s.0 as usize].push(b);
+            }
+        }
+        // Iterative DFS post-order from the entry.
+        let mut post: Vec<BlockId> = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        // Stack of (block, next-successor-index).
+        let mut stack: Vec<(BlockId, usize)> = vec![(Function::ENTRY, 0)];
+        visited[Function::ENTRY.0 as usize] = true;
+        while let Some((b, i)) = stack.pop() {
+            let ss = &succs[b.0 as usize];
+            if i < ss.len() {
+                stack.push((b, i + 1));
+                let s = ss[i];
+                if !visited[s.0 as usize] {
+                    visited[s.0 as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_pos[b.0 as usize] = i;
+        }
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            rpo_pos,
+        }
+    }
+
+    /// Number of blocks (including unreachable ones).
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True when the function has no blocks (cannot happen for valid IR).
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Is `b` reachable from the entry?
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_pos[b.0 as usize] != usize::MAX
+    }
+
+    /// Successors of `b`.
+    pub fn succ(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.0 as usize]
+    }
+
+    /// Predecessors of `b`.
+    pub fn pred(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinrace_tir::ModuleBuilder;
+
+    /// diamond: 0 -> {1,2} -> 3
+    fn diamond() -> spinrace_tir::Module {
+        let mut mb = ModuleBuilder::new("d");
+        mb.entry("main", |f| {
+            let b1 = f.new_block();
+            let b2 = f.new_block();
+            let b3 = f.new_block();
+            let c = f.const_(1);
+            f.branch(c, b1, b2);
+            f.switch_to(b1);
+            f.jump(b3);
+            f.switch_to(b2);
+            f.jump(b3);
+            f.switch_to(b3);
+            f.ret(None);
+        });
+        mb.finish().unwrap()
+    }
+
+    #[test]
+    fn diamond_edges() {
+        let m = diamond();
+        let cfg = Cfg::build(m.function(m.entry));
+        assert_eq!(cfg.succ(BlockId(0)).len(), 2);
+        assert_eq!(cfg.pred(BlockId(3)).len(), 2);
+        assert_eq!(cfg.rpo.len(), 4);
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        // join block must come after both arms in RPO
+        let pos = |b: u32| cfg.rpo_pos[b as usize];
+        assert!(pos(3) > pos(1) && pos(3) > pos(2));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_excluded_from_rpo() {
+        let mut mb = ModuleBuilder::new("u");
+        mb.entry("main", |f| {
+            let dead = f.new_block();
+            f.ret(None);
+            f.switch_to(dead);
+            f.ret(None);
+        });
+        let m = mb.finish().unwrap();
+        let cfg = Cfg::build(m.function(m.entry));
+        assert_eq!(cfg.rpo.len(), 1);
+        assert!(!cfg.is_reachable(BlockId(1)));
+    }
+
+    #[test]
+    fn self_loop_edge() {
+        let mut mb = ModuleBuilder::new("s");
+        let g = mb.global("g", 1);
+        mb.entry("main", |f| {
+            let head = f.new_block();
+            let out = f.new_block();
+            f.jump(head);
+            f.switch_to(head);
+            let v = f.load(g.at(0));
+            f.branch(v, out, head);
+            f.switch_to(out);
+            f.ret(None);
+        });
+        let m = mb.finish().unwrap();
+        let cfg = Cfg::build(m.function(m.entry));
+        assert!(cfg.succ(BlockId(1)).contains(&BlockId(1)));
+        assert!(cfg.pred(BlockId(1)).contains(&BlockId(1)));
+    }
+}

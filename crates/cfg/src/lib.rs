@@ -1,0 +1,23 @@
+//! # SpinRace CFG — control-flow analysis over TIR
+//!
+//! The paper's instrumentation phase "searches the binary code to find all
+//! loops" via control-flow analysis. This crate provides the machinery on
+//! TIR functions:
+//!
+//! * [`Cfg`] — successor/predecessor graph and reverse post-order;
+//! * [`Dominators`] — immediate dominators (Cooper–Harvey–Kennedy);
+//! * [`loops::find_loops`] — natural loops from back edges, with exits and
+//!   same-header merging;
+//! * [`slice::backward_slice`] — the intra-loop backward slice of a branch
+//!   condition, classifying the loads, register dataflow and disqualifying
+//!   definitions that the spin-loop criteria are phrased in terms of.
+
+pub mod dom;
+pub mod graph;
+pub mod loops;
+pub mod slice;
+
+pub use dom::Dominators;
+pub use graph::Cfg;
+pub use loops::{find_candidate_loops, find_loops, NaturalLoop};
+pub use slice::{backward_slice, SliceInput, SliceResult};

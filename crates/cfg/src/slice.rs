@@ -1,0 +1,370 @@
+//! Intra-loop backward slicing of branch conditions.
+//!
+//! The spin-loop criteria are phrased in terms of *what feeds the loop's
+//! exit condition*: it must involve at least one load from memory, and it
+//! must not be changed by the loop itself. [`backward_slice`] computes the
+//! set of in-loop instructions the condition transitively depends on,
+//! classifying loads, calls (for the interprocedural window extension) and
+//! disqualifying definitions (CAS/RMW/alloc — the loop writing its own
+//! condition).
+
+use crate::graph::Cfg;
+use spinrace_tir::{BlockId, FuncId, Function, Instr, Operand, Pc, Reg};
+use std::collections::{BTreeSet, HashSet};
+
+/// What to slice: the condition of `from_block`'s terminator, within the
+/// loop `loop_blocks` of function `func`.
+pub struct SliceInput<'a> {
+    /// Function being analyzed.
+    pub func: &'a Function,
+    /// Its id (used to mint `Pc`s).
+    pub func_id: FuncId,
+    /// Its CFG.
+    pub cfg: &'a Cfg,
+    /// Member blocks of the loop under analysis.
+    pub loop_blocks: &'a BTreeSet<BlockId>,
+    /// The exiting block whose branch condition is sliced.
+    pub from_block: BlockId,
+}
+
+/// Result of slicing one exit condition.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SliceResult {
+    /// All in-loop instructions in the slice.
+    pub instrs: Vec<Pc>,
+    /// The loads in the slice — the candidate "condition variables".
+    pub loads: Vec<Pc>,
+    /// Calls whose return value feeds the condition: `(site, callee)`.
+    pub calls: Vec<(Pc, FuncId)>,
+    /// True if the condition is (partly) defined by a CAS/RMW/Alloc/Spawn
+    /// inside the loop — i.e. the loop *changes* its own condition, which
+    /// violates the paper's second criterion.
+    pub disqualified: bool,
+    /// True if some register feeding the condition is defined before the
+    /// loop (a loop-invariant input such as a bound or array base).
+    pub uses_external: bool,
+}
+
+/// Compute the backward slice of the exit-branch condition of
+/// `input.from_block` restricted to the loop.
+pub fn backward_slice(input: &SliceInput<'_>) -> SliceResult {
+    let mut out = SliceResult::default();
+    let block = input.func.block(input.from_block);
+    let cond = match block.term.branch_cond() {
+        Some(Operand::Reg(r)) => r,
+        // Constant or absent condition: nothing feeds it.
+        _ => return out,
+    };
+
+    // Work items: scan `block` backwards from `pos` looking for a def of
+    // `reg`. `pos == instrs.len()` means "from the end".
+    let mut work: Vec<(BlockId, usize, Reg)> = vec![(input.from_block, block.instrs.len(), cond)];
+    // Full-block scans already performed (termination).
+    let mut scanned_full: HashSet<(BlockId, Reg)> = HashSet::new();
+    // Instructions already added (dedupe).
+    let mut in_slice: HashSet<Pc> = HashSet::new();
+
+    while let Some((b, pos, reg)) = work.pop() {
+        let blk = input.func.block(b);
+        let mut found = false;
+        for i in (0..pos).rev() {
+            let instr = &blk.instrs[i];
+            if instr.def() != Some(reg) {
+                continue;
+            }
+            found = true;
+            let pc = Pc::new(input.func_id, b, i as u32);
+            let fresh = in_slice.insert(pc);
+            if fresh {
+                out.instrs.push(pc);
+            }
+            match instr {
+                Instr::Const { .. } | Instr::AddrOf { .. } => {}
+                Instr::Mov { src, .. } => {
+                    if fresh {
+                        work.push((b, i, *src));
+                    }
+                }
+                Instr::Bin { a, b: bb, .. } => {
+                    if fresh {
+                        for o in [a, bb] {
+                            if let Operand::Reg(r) = o {
+                                work.push((b, i, *r));
+                            }
+                        }
+                    }
+                }
+                Instr::Un { a, .. } => {
+                    if fresh {
+                        if let Operand::Reg(r) = a {
+                            work.push((b, i, *r));
+                        }
+                    }
+                }
+                Instr::Load { addr, .. } => {
+                    if fresh {
+                        out.loads.push(pc);
+                        let mut regs = Vec::new();
+                        addr.regs(&mut regs);
+                        for r in regs {
+                            work.push((b, i, r));
+                        }
+                    }
+                }
+                Instr::Call { func, args, .. } => {
+                    if fresh {
+                        out.calls.push((pc, *func));
+                        for o in args {
+                            if let Operand::Reg(r) = o {
+                                work.push((b, i, *r));
+                            }
+                        }
+                    }
+                }
+                Instr::Cas { .. } | Instr::Rmw { .. } | Instr::Alloc { .. } | Instr::Spawn { .. } => {
+                    out.disqualified = true;
+                }
+                _ => {}
+            }
+            break;
+        }
+        if !found {
+            // Not defined in this block segment: propagate to predecessors.
+            for &p in input.cfg.pred(b) {
+                if !input.cfg.is_reachable(p) {
+                    continue;
+                }
+                if input.loop_blocks.contains(&p) {
+                    if scanned_full.insert((p, reg)) {
+                        work.push((p, input.func.block(p).instrs.len(), reg));
+                    }
+                } else {
+                    // Value flows in from before the loop.
+                    out.uses_external = true;
+                }
+            }
+        }
+    }
+
+    out.instrs.sort_unstable();
+    out.loads.sort_unstable();
+    out.calls.sort_unstable();
+    out.loads.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Cfg;
+    use crate::loops::loops_of;
+    use spinrace_tir::{MemOrder, ModuleBuilder, Operand, RmwOp};
+
+    fn slice_first_loop(m: &spinrace_tir::Module) -> SliceResult {
+        let f = m.function(m.entry);
+        let (cfg, _, loops) = loops_of(f);
+        assert_eq!(loops.len(), 1, "expected exactly one loop");
+        let l = &loops[0];
+        let exiting: Vec<_> = l.exiting_blocks().into_iter().collect();
+        assert_eq!(exiting.len(), 1);
+        backward_slice(&SliceInput {
+            func: f,
+            func_id: m.entry,
+            cfg: &cfg,
+            loop_blocks: &l.blocks,
+            from_block: exiting[0],
+        })
+    }
+
+    #[test]
+    fn direct_load_condition() {
+        let mut mb = ModuleBuilder::new("s");
+        let flag = mb.global("flag", 1);
+        mb.entry("main", |f| {
+            let head = f.new_block();
+            let done = f.new_block();
+            f.jump(head);
+            f.switch_to(head);
+            let v = f.load(flag.at(0));
+            f.branch(v, done, head);
+            f.switch_to(done);
+            f.ret(None);
+        });
+        let m = mb.finish().unwrap();
+        let s = slice_first_loop(&m);
+        assert_eq!(s.loads.len(), 1);
+        assert!(!s.disqualified);
+        assert!(s.calls.is_empty());
+    }
+
+    #[test]
+    fn comparison_of_load_against_bound() {
+        // while (counter != n) {} with n computed before the loop
+        let mut mb = ModuleBuilder::new("s");
+        let counter = mb.global("counter", 1);
+        mb.entry("main", |f| {
+            let head = f.new_block();
+            let done = f.new_block();
+            let n = f.const_(4);
+            f.jump(head);
+            f.switch_to(head);
+            let v = f.load(counter.at(0));
+            let c = f.ne(v, n);
+            f.branch(c, head, done);
+            f.switch_to(done);
+            f.ret(None);
+        });
+        let m = mb.finish().unwrap();
+        let s = slice_first_loop(&m);
+        assert_eq!(s.loads.len(), 1);
+        assert!(s.uses_external, "bound register n is defined before loop");
+        assert!(!s.disqualified);
+    }
+
+    #[test]
+    fn counter_loop_has_no_loads() {
+        // for (i = 0; i < 10; i++) {} — no load feeds the condition
+        let mut mb = ModuleBuilder::new("s");
+        mb.entry("main", |f| {
+            let head = f.new_block();
+            let body = f.new_block();
+            let done = f.new_block();
+            let i = f.const_(0);
+            f.jump(head);
+            f.switch_to(head);
+            let c = f.lt(i, 10);
+            f.branch(c, body, done);
+            f.switch_to(body);
+            let i2 = f.add(i, 1);
+            f.mov(i, i2);
+            f.jump(head);
+            f.switch_to(done);
+            f.ret(None);
+        });
+        let m = mb.finish().unwrap();
+        let s = slice_first_loop(&m);
+        assert!(s.loads.is_empty());
+        assert!(!s.disqualified);
+    }
+
+    #[test]
+    fn cas_condition_is_disqualified() {
+        // while (cas(lock, 0, 1) != 0) {} — classic TAS, not a *read* loop
+        let mut mb = ModuleBuilder::new("s");
+        let lock = mb.global("lock", 1);
+        mb.entry("main", |f| {
+            let head = f.new_block();
+            let done = f.new_block();
+            f.jump(head);
+            f.switch_to(head);
+            let old = f.cas(lock.at(0), 0, 1, MemOrder::AcqRel);
+            f.branch(old, head, done);
+            f.switch_to(done);
+            f.ret(None);
+        });
+        let m = mb.finish().unwrap();
+        let s = slice_first_loop(&m);
+        assert!(s.disqualified);
+    }
+
+    #[test]
+    fn rmw_condition_is_disqualified() {
+        let mut mb = ModuleBuilder::new("s");
+        let x = mb.global("x", 1);
+        mb.entry("main", |f| {
+            let head = f.new_block();
+            let done = f.new_block();
+            f.jump(head);
+            f.switch_to(head);
+            let old = f.rmw(RmwOp::Add, x.at(0), 1, MemOrder::SeqCst);
+            let c = f.lt(old, 10);
+            f.branch(c, head, done);
+            f.switch_to(done);
+            f.ret(None);
+        });
+        let m = mb.finish().unwrap();
+        let s = slice_first_loop(&m);
+        assert!(s.disqualified);
+    }
+
+    #[test]
+    fn call_in_condition_is_recorded() {
+        let mut mb = ModuleBuilder::new("s");
+        let flag = mb.global("flag", 1);
+        let check = mb.function("check", 0, |f| {
+            let v = f.load(flag.at(0));
+            f.ret(Some(Operand::Reg(v)));
+        });
+        mb.entry("main", |f| {
+            let head = f.new_block();
+            let done = f.new_block();
+            f.jump(head);
+            f.switch_to(head);
+            let v = f.call(check, &[]);
+            f.branch(v, done, head);
+            f.switch_to(done);
+            f.ret(None);
+        });
+        let m = mb.finish().unwrap();
+        let s = slice_first_loop(&m);
+        assert_eq!(s.calls.len(), 1);
+        assert_eq!(s.calls[0].1, check);
+        // Loads *inside the callee* are not in this intra-procedural slice;
+        // spinfind adds them via the interprocedural extension.
+        assert!(s.loads.is_empty());
+    }
+
+    #[test]
+    fn indexed_load_pulls_index_into_slice() {
+        // while (!arr[i]) {} — i defined before the loop
+        let mut mb = ModuleBuilder::new("s");
+        let arr = mb.global("arr", 8);
+        mb.entry("main", |f| {
+            let i = f.const_(3);
+            let head = f.new_block();
+            let done = f.new_block();
+            f.jump(head);
+            f.switch_to(head);
+            let v = f.load(arr.idx(i));
+            f.branch(v, done, head);
+            f.switch_to(done);
+            f.ret(None);
+        });
+        let m = mb.finish().unwrap();
+        let s = slice_first_loop(&m);
+        assert_eq!(s.loads.len(), 1);
+        assert!(s.uses_external);
+    }
+
+    #[test]
+    fn constant_condition_yields_empty_slice() {
+        let mut mb = ModuleBuilder::new("s");
+        let g = mb.global("g", 1);
+        mb.entry("main", |f| {
+            let head = f.new_block();
+            let body = f.new_block();
+            let done = f.new_block();
+            f.jump(head);
+            f.switch_to(head);
+            f.branch(Operand::Imm(1), body, done);
+            f.switch_to(body);
+            let v = f.load(g.at(0));
+            let _ = v;
+            f.jump(head);
+            f.switch_to(done);
+            f.ret(None);
+        });
+        let m = mb.finish().unwrap();
+        let f = m.function(m.entry);
+        let (cfg, _, loops) = loops_of(f);
+        let l = &loops[0];
+        let s = backward_slice(&SliceInput {
+            func: f,
+            func_id: m.entry,
+            cfg: &cfg,
+            loop_blocks: &l.blocks,
+            from_block: BlockId(1),
+        });
+        assert!(s.instrs.is_empty() && s.loads.is_empty());
+    }
+}

@@ -1,0 +1,416 @@
+//! # SpinRace core — the analysis pipeline
+//!
+//! One call runs the full stack of the paper for a single
+//! `(program, tool, schedule)` triple:
+//!
+//! 1. **Prepare** — for `nolib` tools, lower the module through
+//!    `spinrace-synclib` (library ops become spin-loop implementations);
+//!    for `+spin` tools, run the `spinrace-spinfind` instrumentation phase
+//!    with the configured basic-block window.
+//! 2. **Execute** — interpret the module in `spinrace-vm` under a
+//!    deterministic scheduler, streaming events.
+//! 3. **Detect** — feed the stream to a `spinrace-detector` configuration.
+//! 4. **Report** — racy contexts, per-report address descriptions, memory
+//!    metrics, and run statistics.
+//!
+//! ```
+//! use spinrace_core::{Analyzer, Tool};
+//! use spinrace_tir::ModuleBuilder;
+//!
+//! // A racy program: two threads increment without synchronization.
+//! let mut mb = ModuleBuilder::new("racy");
+//! let g = mb.global("g", 1);
+//! let w = mb.function("w", 1, |f| {
+//!     let v = f.load(g.at(0));
+//!     let v2 = f.add(v, 1);
+//!     f.store(g.at(0), v2);
+//!     f.ret(None);
+//! });
+//! mb.entry("main", |f| {
+//!     let t1 = f.spawn(w, 0);
+//!     let t2 = f.spawn(w, 1);
+//!     f.join(t1);
+//!     f.join(t2);
+//!     f.ret(None);
+//! });
+//! let m = mb.finish().unwrap();
+//!
+//! let outcome = Analyzer::tool(Tool::HelgrindLibSpin { window: 7 })
+//!     .analyze(&m)
+//!     .unwrap();
+//! assert!(outcome.contexts >= 1);
+//! ```
+
+use spinrace_detector::{
+    DetectorConfig, DetectorMetrics, MsmMode, RaceDetector, RaceReport,
+};
+use spinrace_spinfind::{SpinCriteria, SpinFinder};
+use spinrace_synclib::{lower_to_spinlib_styled, LibStyle, LowerError};
+use spinrace_tir::Module;
+use spinrace_vm::{run_module, RunSummary, VmConfig, VmError};
+use std::fmt;
+
+/// The four tool configurations of the paper's tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tool {
+    /// Hybrid detector with library knowledge, no spin detection.
+    HelgrindLib,
+    /// Hybrid with library knowledge plus spin detection at `window`.
+    HelgrindLibSpin {
+        /// Spin-detection basic-block window (paper default 7).
+        window: u32,
+    },
+    /// The universal detector: module lowered to the spin library, no
+    /// library knowledge, spin detection at `window`.
+    HelgrindNolibSpin {
+        /// Spin-detection basic-block window.
+        window: u32,
+    },
+    /// Pure happens-before baseline.
+    Drd,
+}
+
+impl Tool {
+    /// Table label, e.g. `Helgrind+ lib+spin(7)`.
+    pub fn label(&self) -> String {
+        match self {
+            Tool::HelgrindLib => "Helgrind+ lib".into(),
+            Tool::HelgrindLibSpin { window } => format!("Helgrind+ lib+spin({window})"),
+            Tool::HelgrindNolibSpin { window } => format!("Helgrind+ nolib+spin({window})"),
+            Tool::Drd => "DRD".into(),
+        }
+    }
+
+    /// The paper's standard tool line-up with the default window.
+    pub fn paper_lineup() -> [Tool; 4] {
+        [
+            Tool::HelgrindLib,
+            Tool::HelgrindLibSpin { window: 7 },
+            Tool::HelgrindNolibSpin { window: 7 },
+            Tool::Drd,
+        ]
+    }
+}
+
+/// A fully configured analysis pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct Analyzer {
+    /// The tool (detector + preparation steps).
+    pub tool: Tool,
+    /// Short or long memory state machine (hybrid tools).
+    pub msm: MsmMode,
+    /// VM configuration (scheduler, step limits).
+    pub vm: VmConfig,
+    /// Racy-context cap.
+    pub context_cap: usize,
+    /// Library flavour used when lowering for `nolib` tools. `Textbook`
+    /// primitives are fully detectable; `Obscure` models real library
+    /// internals whose condition-variable paths dodge the spin patterns
+    /// (used for the PARSEC nolib experiments).
+    pub nolib_style: LibStyle,
+}
+
+impl Analyzer {
+    /// Analyzer for a tool with short-MSM, round-robin defaults.
+    pub fn tool(tool: Tool) -> Analyzer {
+        Analyzer {
+            tool,
+            msm: MsmMode::Short,
+            vm: VmConfig::round_robin(),
+            context_cap: 1000,
+            nolib_style: LibStyle::Textbook,
+        }
+    }
+
+    /// Use the obscure library flavour for nolib lowering.
+    pub fn obscure_nolib(mut self) -> Analyzer {
+        self.nolib_style = LibStyle::Obscure;
+        self
+    }
+
+    /// Switch to the long-running MSM (integration-test mode).
+    pub fn long_msm(mut self) -> Analyzer {
+        self.msm = MsmMode::Long;
+        self
+    }
+
+    /// Use a seeded random scheduler.
+    pub fn seed(mut self, seed: u64) -> Analyzer {
+        self.vm = VmConfig::random(seed);
+        self
+    }
+
+    /// Override the VM configuration wholesale.
+    pub fn vm_config(mut self, vm: VmConfig) -> Analyzer {
+        self.vm = vm;
+        self
+    }
+
+    /// Override the racy-context cap.
+    pub fn cap(mut self, cap: usize) -> Analyzer {
+        self.context_cap = cap;
+        self
+    }
+
+    fn detector_config(&self) -> DetectorConfig {
+        let cfg = match self.tool {
+            Tool::HelgrindLib => DetectorConfig::helgrind_lib(self.msm),
+            Tool::HelgrindLibSpin { .. } => DetectorConfig::helgrind_lib_spin(self.msm),
+            Tool::HelgrindNolibSpin { .. } => DetectorConfig::helgrind_nolib_spin(self.msm),
+            Tool::Drd => DetectorConfig::drd(),
+        };
+        cfg.with_cap(self.context_cap)
+    }
+
+    /// Run the full pipeline on `module`.
+    pub fn analyze(&self, module: &Module) -> Result<AnalysisOutcome, AnalyzeError> {
+        // 1. Prepare.
+        let mut prepared = match self.tool {
+            Tool::HelgrindNolibSpin { .. } => lower_to_spinlib_styled(module, self.nolib_style)?,
+            _ => module.clone(),
+        };
+        let spin_loops_found = match self.tool {
+            Tool::HelgrindLibSpin { window } | Tool::HelgrindNolibSpin { window } => {
+                let finder = SpinFinder::new(SpinCriteria::with_window(window));
+                let analysis = finder.instrument(&mut prepared);
+                analysis.accepted()
+            }
+            _ => 0,
+        };
+
+        // 2 + 3. Execute with the detector attached.
+        let mut det = RaceDetector::new(self.detector_config());
+        let summary = run_module(&prepared, self.vm, &mut det)?;
+
+        // 4. Report.
+        let reports: Vec<DescribedReport> = det
+            .reports()
+            .reports()
+            .iter()
+            .map(|r| DescribedReport {
+                location: prepared.describe_addr(r.addr),
+                report: r.clone(),
+            })
+            .collect();
+        Ok(AnalysisOutcome {
+            module_name: module.name.clone(),
+            tool_label: self.tool.label(),
+            contexts: det.racy_contexts(),
+            reports,
+            metrics: det.metrics(),
+            promoted_locations: det.promoted_locations(),
+            spin_loops_found,
+            summary,
+        })
+    }
+}
+
+/// A race report plus the human-readable location of the raced address
+/// (resolved against the analyzed module's globals).
+#[derive(Clone, Debug)]
+pub struct DescribedReport {
+    /// e.g. `"flag"` or `"slots[2]"` or `"heap+0x10"`.
+    pub location: String,
+    /// The raw report.
+    pub report: RaceReport,
+}
+
+/// Everything a harness needs from one run.
+#[derive(Clone, Debug)]
+pub struct AnalysisOutcome {
+    /// Name of the *original* module.
+    pub module_name: String,
+    /// Tool label (table column).
+    pub tool_label: String,
+    /// Distinct racy contexts (capped) — the paper's headline metric.
+    pub contexts: usize,
+    /// One representative report per context.
+    pub reports: Vec<DescribedReport>,
+    /// Detector memory metrics.
+    pub metrics: DetectorMetrics,
+    /// Locations promoted to sync locations by the spin feature.
+    pub promoted_locations: usize,
+    /// Spinning read loops found by the instrumentation phase.
+    pub spin_loops_found: usize,
+    /// VM run statistics.
+    pub summary: RunSummary,
+}
+
+impl AnalysisOutcome {
+    /// Was any race reported at a location whose description matches
+    /// `name` (exact global name, or `name[...]` element)?
+    pub fn has_race_on(&self, name: &str) -> bool {
+        self.reports.iter().any(|r| {
+            r.location == name
+                || r.location
+                    .strip_prefix(name)
+                    .is_some_and(|rest| rest.starts_with('['))
+        })
+    }
+
+    /// True when no races at all were reported.
+    pub fn is_clean(&self) -> bool {
+        self.contexts == 0
+    }
+}
+
+/// Pipeline failures.
+#[derive(Clone, Debug)]
+pub enum AnalyzeError {
+    /// The lowering pass failed (e.g. undersized barrier object).
+    Lower(LowerError),
+    /// Execution failed (trap, deadlock, step limit).
+    Vm(VmError),
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::Lower(e) => write!(f, "lowering failed: {e}"),
+            AnalyzeError::Vm(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+impl From<LowerError> for AnalyzeError {
+    fn from(e: LowerError) -> Self {
+        AnalyzeError::Lower(e)
+    }
+}
+impl From<VmError> for AnalyzeError {
+    fn from(e: VmError) -> Self {
+        AnalyzeError::Vm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinrace_tir::ModuleBuilder;
+
+    /// Race-free flag handoff — the paper's canonical motivating example.
+    fn flag_handoff() -> Module {
+        let mut mb = ModuleBuilder::new("flag-handoff");
+        let flag = mb.global("flag", 1);
+        let data = mb.global("data", 1);
+        let waiter = mb.function("waiter", 1, |f| {
+            let head = f.new_block();
+            let done = f.new_block();
+            f.jump(head);
+            f.switch_to(head);
+            let v = f.load(flag.at(0));
+            f.branch(v, done, head);
+            f.switch_to(done);
+            let d = f.load(data.at(0));
+            f.output(d);
+            f.ret(None);
+        });
+        mb.entry("main", |f| {
+            let t = f.spawn(waiter, 0);
+            f.store(data.at(0), 42);
+            f.store(flag.at(0), 1);
+            f.join(t);
+            f.ret(None);
+        });
+        mb.finish().unwrap()
+    }
+
+    #[test]
+    fn lib_mode_floods_on_adhoc_sync() {
+        let out = Analyzer::tool(Tool::HelgrindLib)
+            .analyze(&flag_handoff())
+            .unwrap();
+        assert!(out.contexts >= 2, "sync + apparent races reported");
+        assert!(out.has_race_on("flag"), "synchronization race");
+        assert!(out.has_race_on("data"), "apparent race");
+    }
+
+    #[test]
+    fn spin_mode_is_clean_on_adhoc_sync() {
+        let out = Analyzer::tool(Tool::HelgrindLibSpin { window: 7 })
+            .analyze(&flag_handoff())
+            .unwrap();
+        assert!(out.is_clean(), "reports: {:?}", out.reports);
+        assert_eq!(out.spin_loops_found, 1);
+        assert!(out.promoted_locations >= 1);
+    }
+
+    #[test]
+    fn drd_also_floods_on_plain_flag() {
+        let out = Analyzer::tool(Tool::Drd).analyze(&flag_handoff()).unwrap();
+        assert!(!out.is_clean());
+    }
+
+    #[test]
+    fn nolib_spin_handles_lowered_locks() {
+        // Lock-protected counter, analyzed with zero library knowledge.
+        let mut mb = ModuleBuilder::new("locked");
+        let mu = mb.global("mu", 1);
+        let g = mb.global("g", 1);
+        let w = mb.function("w", 1, |f| {
+            f.lock(mu.at(0));
+            let v = f.load(g.at(0));
+            let v2 = f.add(v, 1);
+            f.store(g.at(0), v2);
+            f.unlock(mu.at(0));
+            f.ret(None);
+        });
+        mb.entry("main", |f| {
+            let t1 = f.spawn(w, 0);
+            let t2 = f.spawn(w, 1);
+            f.join(t1);
+            f.join(t2);
+            f.ret(None);
+        });
+        let m = mb.finish().unwrap();
+        let out = Analyzer::tool(Tool::HelgrindNolibSpin { window: 7 })
+            .analyze(&m)
+            .unwrap();
+        assert!(out.is_clean(), "reports: {:?}", out.reports);
+        assert!(out.spin_loops_found >= 1, "TTAS loop instrumented");
+    }
+
+    #[test]
+    fn racy_program_is_caught_by_every_tool() {
+        let mut mb = ModuleBuilder::new("racy");
+        let g = mb.global("g", 1);
+        let w = mb.function("w", 1, |f| {
+            let v = f.load(g.at(0));
+            let v2 = f.add(v, 1);
+            f.store(g.at(0), v2);
+            f.ret(None);
+        });
+        mb.entry("main", |f| {
+            let t1 = f.spawn(w, 0);
+            let t2 = f.spawn(w, 1);
+            f.join(t1);
+            f.join(t2);
+            f.ret(None);
+        });
+        let m = mb.finish().unwrap();
+        for tool in Tool::paper_lineup() {
+            let out = Analyzer::tool(tool).analyze(&m).unwrap();
+            assert!(
+                out.has_race_on("g"),
+                "{} must catch the race",
+                tool.label()
+            );
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_columns() {
+        assert_eq!(Tool::HelgrindLib.label(), "Helgrind+ lib");
+        assert_eq!(
+            Tool::HelgrindLibSpin { window: 7 }.label(),
+            "Helgrind+ lib+spin(7)"
+        );
+        assert_eq!(
+            Tool::HelgrindNolibSpin { window: 3 }.label(),
+            "Helgrind+ nolib+spin(3)"
+        );
+        assert_eq!(Tool::Drd.label(), "DRD");
+    }
+}

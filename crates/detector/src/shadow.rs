@@ -1,0 +1,67 @@
+//! Shadow memory: per-address access history.
+
+use crate::lockset::LocksetId;
+use spinrace_tir::Pc;
+
+/// One recorded access: a FastTrack-style epoch plus its static site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// Accessing thread.
+    pub tid: u32,
+    /// That thread's clock component at access time.
+    pub clock: u32,
+    /// Static location.
+    pub pc: Pc,
+    /// Call-chain hash (Helgrind-style context).
+    pub stack: u64,
+}
+
+/// The shadow cell of one memory word.
+#[derive(Clone, Debug, Default)]
+pub struct ShadowCell {
+    /// Most recent write.
+    pub last_write: Option<AccessRecord>,
+    /// Reads since the last write that are still concurrent-relevant
+    /// (reads covered by the current accessor's clock are pruned lazily).
+    pub reads: Vec<AccessRecord>,
+    /// Eraser stage: intersection of locksets over lock-holding writes,
+    /// with the last such writer, site, and stack context.
+    pub write_lockset: Option<(LocksetId, u32, Pc, u64)>,
+    /// Long-MSM suspicion counter (see `MsmMode::Long`).
+    pub suspicions: u8,
+}
+
+impl ShadowCell {
+    /// Approximate retained bytes (memory metrics).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<ShadowCell>()
+            + self.reads.capacity() * std::mem::size_of::<AccessRecord>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinrace_tir::{BlockId, FuncId};
+
+    #[test]
+    fn default_cell_is_empty() {
+        let c = ShadowCell::default();
+        assert!(c.last_write.is_none());
+        assert!(c.reads.is_empty());
+        assert_eq!(c.suspicions, 0);
+    }
+
+    #[test]
+    fn bytes_grow_with_reads() {
+        let mut c = ShadowCell::default();
+        let before = c.approx_bytes();
+        c.reads.push(AccessRecord {
+            tid: 0,
+            clock: 1,
+            pc: Pc::new(FuncId(0), BlockId(0), 0),
+            stack: 0,
+        });
+        assert!(c.approx_bytes() > before);
+    }
+}

@@ -1,0 +1,99 @@
+//! Minimal ASCII table rendering.
+
+/// A simple column-aligned table.
+#[derive(Clone, Debug, Default)]
+pub struct AsciiTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl AsciiTable {
+    /// Table with the given headers.
+    pub fn new(headers: &[&str]) -> AsciiTable {
+        AsciiTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with a header underline; first column left-aligned, the
+    /// rest right-aligned.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                if i == 0 {
+                    line.push_str(&format!("{:<width$}", c, width = widths[i]));
+                } else {
+                    line.push_str(&format!("{:>width$}", c, width = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = AsciiTable::new(&["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "100".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+        // right alignment of the value column
+        assert!(lines[2].ends_with("  1") || lines[2].ends_with(" 1"));
+        assert!(lines[3].ends_with("100"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_width_is_checked() {
+        let mut t = AsciiTable::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,400 @@
+//! The per-experiment renderers. Each regenerates one table or figure of
+//! the paper from a live run of the pipeline and pairs the measured
+//! numbers with the paper's reported ones.
+
+use crate::ascii::AsciiTable;
+use serde_json::json;
+use spinrace_core::{Analyzer, Tool};
+use spinrace_spinfind::sync_inventory;
+use spinrace_suites::{all_programs, run_drt, run_parsec, ParsecProgram};
+use std::time::Instant;
+
+/// A rendered experiment: ASCII output plus machine-readable payload.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    /// Experiment id (`T1`…`F2`).
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// Rendered ASCII table(s).
+    pub rendered: String,
+    /// JSON payload for tooling.
+    pub json: serde_json::Value,
+}
+
+/// Seeds used for the PARSEC averages (the paper averaged 5 runs).
+pub const PARSEC_SEEDS: [u64; 5] = [1, 2, 3, 4, 5];
+
+/// T1 — the `data-race-test` table (paper: 120 cases, four tools).
+pub fn t1_drt() -> Experiment {
+    let tools = Tool::paper_lineup();
+    let table = run_drt(&tools);
+    // Paper row values for side-by-side comparison.
+    let paper = [
+        ("Helgrind+ lib", (32, 8)),
+        ("Helgrind+ lib+spin(7)", (8, 7)),
+        ("Helgrind+ nolib+spin(7)", (9, 7)),
+        ("DRD", (13, 20)),
+    ];
+    let mut t = AsciiTable::new(&[
+        "Tool",
+        "FalseAlarms",
+        "Missed",
+        "Failed",
+        "Correct",
+        "paper FA",
+        "paper missed",
+    ]);
+    let mut rows_json = Vec::new();
+    for r in &table.rows {
+        let (pfa, pm) = paper
+            .iter()
+            .find(|(n, _)| *n == r.tool)
+            .map(|(_, v)| *v)
+            .unwrap_or((0, 0));
+        t.row(vec![
+            r.tool.clone(),
+            r.false_alarms.to_string(),
+            r.missed_races.to_string(),
+            r.failed.to_string(),
+            r.correct.to_string(),
+            pfa.to_string(),
+            pm.to_string(),
+        ]);
+        rows_json.push(json!({
+            "tool": r.tool,
+            "false_alarms": r.false_alarms,
+            "missed": r.missed_races,
+            "failed": r.failed,
+            "correct": r.correct,
+            "paper_false_alarms": pfa,
+            "paper_missed": pm,
+        }));
+    }
+    Experiment {
+        id: "T1",
+        title: "data-race-test suite (120 cases), standard tool lineup".into(),
+        rendered: t.render(),
+        json: json!({ "rows": rows_json }),
+    }
+}
+
+/// T2 — the spin-window sweep (paper: spin(3)/(6)/(7)/(8)).
+pub fn t2_window_sweep() -> Experiment {
+    let windows = [3u32, 6, 7, 8];
+    let paper_fa = [24, 23, 8, 8];
+    let tools: Vec<Tool> = windows
+        .iter()
+        .map(|&w| Tool::HelgrindLibSpin { window: w })
+        .collect();
+    let table = run_drt(&tools);
+    let mut t = AsciiTable::new(&[
+        "Tool",
+        "FalseAlarms",
+        "Missed",
+        "Failed",
+        "Correct",
+        "paper FA",
+    ]);
+    let mut rows_json = Vec::new();
+    for (i, r) in table.rows.iter().enumerate() {
+        t.row(vec![
+            r.tool.clone(),
+            r.false_alarms.to_string(),
+            r.missed_races.to_string(),
+            r.failed.to_string(),
+            r.correct.to_string(),
+            paper_fa[i].to_string(),
+        ]);
+        rows_json.push(json!({
+            "tool": r.tool,
+            "false_alarms": r.false_alarms,
+            "missed": r.missed_races,
+            "paper_false_alarms": paper_fa[i],
+        }));
+    }
+    Experiment {
+        id: "T2",
+        title: "spin-loop detection window sweep".into(),
+        rendered: t.render(),
+        json: json!({ "rows": rows_json }),
+    }
+}
+
+/// T3 — the PARSEC synchronization-characteristics table.
+pub fn t3_characteristics() -> Experiment {
+    let programs = all_programs();
+    let mut t = AsciiTable::new(&[
+        "Program",
+        "Model",
+        "LOC (paper)",
+        "CVs",
+        "Locks",
+        "Barriers",
+        "Ad-hoc",
+        "spins found",
+    ]);
+    let mut rows_json = Vec::new();
+    for p in &programs {
+        let module = (p.build)(p.threads, p.size);
+        let inv = sync_inventory(&module, 7);
+        let mark = |b: bool| if b { "x" } else { "-" }.to_string();
+        t.row(vec![
+            p.name.to_string(),
+            p.model.to_string(),
+            p.paper_loc.to_string(),
+            mark(p.uses_cvs),
+            mark(p.uses_locks),
+            mark(p.uses_barriers),
+            mark(p.has_adhoc),
+            inv.adhoc_spins.to_string(),
+        ]);
+        rows_json.push(json!({
+            "program": p.name,
+            "model": p.model,
+            "cvs": p.uses_cvs,
+            "locks": p.uses_locks,
+            "barriers": p.uses_barriers,
+            "adhoc": p.has_adhoc,
+            "detected_spins": inv.adhoc_spins,
+            "lib_lock_sites": inv.locks,
+            "lib_cv_sites": inv.condvars,
+            "lib_barrier_sites": inv.barriers,
+            "atomic_sites": inv.atomics,
+        }));
+    }
+    Experiment {
+        id: "T3",
+        title: "PARSEC program synchronization characteristics".into(),
+        rendered: t.render(),
+        json: json!({ "rows": rows_json }),
+    }
+}
+
+fn parsec_table(programs: &[ParsecProgram], id: &'static str, title: &str) -> Experiment {
+    let tools = Tool::paper_lineup();
+    let table = run_parsec(programs, &tools, &PARSEC_SEEDS);
+    let mut t = AsciiTable::new(&[
+        "Program",
+        "H+ lib",
+        "H+ lib+spin",
+        "H+ nolib+spin",
+        "DRD",
+        "paper (lib/spin/nolib/drd)",
+    ]);
+    let mut rows_json = Vec::new();
+    for (i, p) in programs.iter().enumerate() {
+        let cells = &table.cells[i];
+        t.row(vec![
+            p.name.to_string(),
+            format!("{:.1}", cells[0].mean_contexts),
+            format!("{:.1}", cells[1].mean_contexts),
+            format!("{:.1}", cells[2].mean_contexts),
+            format!("{:.1}", cells[3].mean_contexts),
+            format!(
+                "{}/{}/{}/{}",
+                p.paper.lib, p.paper.lib_spin, p.paper.nolib_spin, p.paper.drd
+            ),
+        ]);
+        rows_json.push(json!({
+            "program": p.name,
+            "lib": cells[0].mean_contexts,
+            "lib_spin": cells[1].mean_contexts,
+            "nolib_spin": cells[2].mean_contexts,
+            "drd": cells[3].mean_contexts,
+            "paper": {
+                "lib": p.paper.lib,
+                "lib_spin": p.paper.lib_spin,
+                "nolib_spin": p.paper.nolib_spin,
+                "drd": p.paper.drd,
+            },
+        }));
+    }
+    Experiment {
+        id,
+        title: title.into(),
+        rendered: t.render(),
+        json: json!({ "rows": rows_json, "seeds": PARSEC_SEEDS }),
+    }
+}
+
+/// T4 — racy contexts, programs *without* ad-hoc synchronization (plus
+/// freqmine, grouped as in the paper's first PARSEC table).
+pub fn t4_no_adhoc() -> Experiment {
+    let programs: Vec<ParsecProgram> = all_programs().into_iter().take(5).collect();
+    parsec_table(
+        &programs,
+        "T4",
+        "PARSEC racy contexts — programs without ad-hoc synchronization (+freqmine)",
+    )
+}
+
+/// T5 — racy contexts, programs *with* ad-hoc synchronization.
+pub fn t5_with_adhoc() -> Experiment {
+    let programs: Vec<ParsecProgram> = all_programs().into_iter().skip(5).collect();
+    parsec_table(
+        &programs,
+        "T5",
+        "PARSEC racy contexts — programs with ad-hoc synchronization",
+    )
+}
+
+/// T6 — the combined "universal race detector" table (all 13 programs).
+pub fn t6_universal() -> Experiment {
+    let programs = all_programs();
+    parsec_table(
+        &programs,
+        "T6",
+        "PARSEC racy contexts — universal detector summary (all programs)",
+    )
+}
+
+/// F1 — detector memory consumption per configuration (the paper's
+/// memory-overhead figure). One round-robin run per cell.
+pub fn f1_memory() -> Experiment {
+    let programs = all_programs();
+    let tools = Tool::paper_lineup();
+    let mut t = AsciiTable::new(&[
+        "Program",
+        "lib (bytes)",
+        "lib+spin (bytes)",
+        "nolib+spin (bytes)",
+        "drd (bytes)",
+        "spin-state share",
+    ]);
+    let mut rows_json = Vec::new();
+    for p in &programs {
+        let module = (p.build)(p.threads, p.size);
+        let mut totals = Vec::new();
+        let mut spin_share = 0.0;
+        for &tool in &tools {
+            let mut a = Analyzer::tool(tool).long_msm();
+            if p.obscure_nolib {
+                a = a.obscure_nolib();
+            }
+            match a.analyze(&module) {
+                Ok(out) => {
+                    let m = out.metrics;
+                    if matches!(tool, Tool::HelgrindLibSpin { .. }) && m.total() > 0 {
+                        spin_share = m.spin_sync_bytes as f64 / m.total() as f64;
+                    }
+                    totals.push(m.total());
+                }
+                Err(_) => totals.push(0),
+            }
+        }
+        t.row(vec![
+            p.name.to_string(),
+            totals[0].to_string(),
+            totals[1].to_string(),
+            totals[2].to_string(),
+            totals[3].to_string(),
+            format!("{:.1}%", spin_share * 100.0),
+        ]);
+        rows_json.push(json!({
+            "program": p.name,
+            "lib_bytes": totals[0],
+            "lib_spin_bytes": totals[1],
+            "nolib_spin_bytes": totals[2],
+            "drd_bytes": totals[3],
+            "spin_state_share": spin_share,
+        }));
+    }
+    Experiment {
+        id: "F1",
+        title: "detector memory consumption (paper: minor overhead for the spin feature)"
+            .into(),
+        rendered: t.render(),
+        json: json!({ "rows": rows_json }),
+    }
+}
+
+/// F2 — runtime overhead per configuration vs. an uninstrumented run
+/// (the paper's runtime-overhead figure). Wall-clock, one run per cell.
+pub fn f2_runtime() -> Experiment {
+    let programs = all_programs();
+    let tools = Tool::paper_lineup();
+    let mut t = AsciiTable::new(&[
+        "Program",
+        "native (ms)",
+        "lib (x)",
+        "lib+spin (x)",
+        "nolib+spin (x)",
+        "drd (x)",
+    ]);
+    let mut rows_json = Vec::new();
+    for p in &programs {
+        let module = (p.build)(p.threads, p.size);
+        // Native: VM without a detector.
+        let t0 = Instant::now();
+        let _ = spinrace_vm::run_module(
+            &module,
+            spinrace_vm::VmConfig::round_robin(),
+            &mut spinrace_vm::NullSink,
+        );
+        let native = t0.elapsed().as_secs_f64().max(1e-6);
+        let mut factors = Vec::new();
+        for &tool in &tools {
+            let mut a = Analyzer::tool(tool).long_msm();
+            if p.obscure_nolib {
+                a = a.obscure_nolib();
+            }
+            let t1 = Instant::now();
+            let _ = a.analyze(&module);
+            factors.push(t1.elapsed().as_secs_f64() / native);
+        }
+        t.row(vec![
+            p.name.to_string(),
+            format!("{:.2}", native * 1e3),
+            format!("{:.1}", factors[0]),
+            format!("{:.1}", factors[1]),
+            format!("{:.1}", factors[2]),
+            format!("{:.1}", factors[3]),
+        ]);
+        rows_json.push(json!({
+            "program": p.name,
+            "native_ms": native * 1e3,
+            "lib_factor": factors[0],
+            "lib_spin_factor": factors[1],
+            "nolib_spin_factor": factors[2],
+            "drd_factor": factors[3],
+        }));
+    }
+    Experiment {
+        id: "F2",
+        title: "runtime overhead vs uninstrumented execution (paper: slight overhead)"
+            .into(),
+        rendered: t.render(),
+        json: json!({ "rows": rows_json }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t3_has_thirteen_rows_and_detects_spins() {
+        let e = t3_characteristics();
+        assert_eq!(e.id, "T3");
+        let rows = e.json["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 13);
+        // Programs flagged ad-hoc must have detected spin loops; the
+        // first four must have none.
+        for r in rows.iter().take(4) {
+            assert_eq!(r["detected_spins"].as_u64().unwrap(), 0, "{r}");
+        }
+        for r in rows.iter().skip(4) {
+            assert!(r["detected_spins"].as_u64().unwrap() > 0, "{r}");
+        }
+    }
+
+    #[test]
+    fn t2_renders_with_paper_column() {
+        let e = t2_window_sweep();
+        assert!(e.rendered.contains("paper FA"));
+        assert!(e.rendered.contains("lib+spin(3)"));
+        let rows = e.json["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 4);
+    }
+}

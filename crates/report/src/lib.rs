@@ -1,0 +1,26 @@
+//! # SpinRace report — regenerating the paper's tables and figures
+//!
+//! One function per experiment artifact:
+//!
+//! | id | paper artifact | function |
+//! |----|----------------|----------|
+//! | T1 | `data-race-test` results (4 tools)            | [`experiments::t1_drt`] |
+//! | T2 | spin-window sweep (3/6/7/8)                   | [`experiments::t2_window_sweep`] |
+//! | T3 | PARSEC synchronization characteristics        | [`experiments::t3_characteristics`] |
+//! | T4 | PARSEC racy contexts, programs without ad-hoc | [`experiments::t4_no_adhoc`] |
+//! | T5 | PARSEC racy contexts, programs with ad-hoc    | [`experiments::t5_with_adhoc`] |
+//! | T6 | universal-detector summary (all programs)     | [`experiments::t6_universal`] |
+//! | F1 | detector memory consumption                   | [`experiments::f1_memory`] |
+//! | F2 | runtime overhead                              | [`experiments::f2_runtime`] |
+//!
+//! Every function returns an [`Experiment`]: a rendered ASCII table plus a
+//! serde-serializable data payload (for `EXPERIMENTS.md` tooling).
+
+pub mod ascii;
+pub mod experiments;
+
+pub use ascii::AsciiTable;
+pub use experiments::{
+    f1_memory, f2_runtime, t1_drt, t2_window_sweep, t3_characteristics, t4_no_adhoc,
+    t5_with_adhoc, t6_universal, Experiment,
+};

@@ -1,0 +1,126 @@
+//! Static synchronization inventory of a module — regenerates the paper's
+//! PARSEC characteristics table (which primitives each program uses, plus
+//! whether ad-hoc synchronization is present).
+
+use crate::criteria::{SpinCriteria, SpinFinder};
+use spinrace_tir::{Instr, Module};
+
+/// Counts of synchronization constructs used by a module.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SyncInventory {
+    /// `MutexLock` sites.
+    pub locks: usize,
+    /// `CondWait`/`CondSignal`/`CondBroadcast` sites.
+    pub condvars: usize,
+    /// `BarrierWait` sites.
+    pub barriers: usize,
+    /// `SemWait`/`SemPost` sites.
+    pub semaphores: usize,
+    /// Atomic instructions (atomic load/store, CAS, RMW).
+    pub atomics: usize,
+    /// Detected spinning read loops (ad-hoc synchronization).
+    pub adhoc_spins: usize,
+    /// Natural loops that were *rejected* by the spin criteria but contain
+    /// a condition load — candidate obscure synchronization.
+    pub rejected_candidates: usize,
+}
+
+impl SyncInventory {
+    /// True when the program uses any ad-hoc (spin-based) synchronization.
+    pub fn has_adhoc(&self) -> bool {
+        self.adhoc_spins > 0
+    }
+}
+
+/// Compute the inventory of `m` using the given spin window.
+pub fn sync_inventory(m: &Module, window: u32) -> SyncInventory {
+    let mut inv = SyncInventory::default();
+    for func in &m.functions {
+        for block in &func.blocks {
+            for instr in &block.instrs {
+                match instr {
+                    Instr::MutexLock { .. } => inv.locks += 1,
+                    Instr::CondWait { .. }
+                    | Instr::CondSignal { .. }
+                    | Instr::CondBroadcast { .. } => inv.condvars += 1,
+                    Instr::BarrierWait { .. } => inv.barriers += 1,
+                    Instr::SemWait { .. } | Instr::SemPost { .. } => inv.semaphores += 1,
+                    Instr::Cas { .. } | Instr::Rmw { .. } => inv.atomics += 1,
+                    Instr::Load { atomic, .. } | Instr::Store { atomic, .. }
+                        if atomic.is_atomic() =>
+                    {
+                        inv.atomics += 1
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    let analysis = SpinFinder::new(SpinCriteria::with_window(window)).analyze(m);
+    inv.adhoc_spins = analysis.accepted();
+    inv.rejected_candidates = analysis
+        .rejected()
+        .filter(|v| {
+            matches!(
+                v.decision,
+                crate::criteria::Decision::Rejected {
+                    reason: crate::criteria::RejectReason::TooLarge { .. }
+                        | crate::criteria::RejectReason::ImpureConditionCall { .. }
+                        | crate::criteria::RejectReason::SideEffectingBody { .. }
+                }
+            )
+        })
+        .count();
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinrace_tir::ModuleBuilder;
+
+    #[test]
+    fn inventory_counts_primitives() {
+        let mut mb = ModuleBuilder::new("inv");
+        let mu = mb.global("mu", 1);
+        let cv = mb.global("cv", 1);
+        let bar = mb.global("bar", 1);
+        let flag = mb.global("flag", 1);
+        mb.entry("main", |f| {
+            f.barrier_init(bar.at(0), 2);
+            f.lock(mu.at(0));
+            f.signal(cv.at(0));
+            f.unlock(mu.at(0));
+            f.barrier_wait(bar.at(0));
+            // an ad-hoc spin
+            let head = f.new_block();
+            let done = f.new_block();
+            f.jump(head);
+            f.switch_to(head);
+            let v = f.load(flag.at(0));
+            f.branch(v, done, head);
+            f.switch_to(done);
+            f.ret(None);
+        });
+        let m = mb.finish().unwrap();
+        let inv = sync_inventory(&m, 7);
+        assert_eq!(inv.locks, 1);
+        assert_eq!(inv.condvars, 1);
+        assert_eq!(inv.barriers, 1);
+        assert_eq!(inv.adhoc_spins, 1);
+        assert!(inv.has_adhoc());
+    }
+
+    #[test]
+    fn plain_program_has_empty_inventory() {
+        let mut mb = ModuleBuilder::new("plain");
+        let g = mb.global("g", 1);
+        mb.entry("main", |f| {
+            f.store(g.at(0), 1);
+            f.ret(None);
+        });
+        let m = mb.finish().unwrap();
+        let inv = sync_inventory(&m, 7);
+        assert_eq!(inv, SyncInventory::default());
+    }
+}

@@ -1,0 +1,299 @@
+//! Race-free ad-hoc synchronization cases (32).
+//!
+//! * 5 plain-store flag handoffs (false alarms for `lib` **and** DRD);
+//! * 19 atomic-flag handoffs (false alarms for `lib` only — DRD credits
+//!   the acquire/release atomics);
+//! * 8 obscure patterns that defeat the spin criteria (false alarms for
+//!   every configuration — the paper's residual false positives).
+//!
+//! Spin-loop weights are distributed to reproduce Table 2 exactly:
+//! 8 loops of weight ≤ 3, one of weight 4–6, fifteen of weight 7
+//! ("loop conditions use templates and complex function calls"), and the
+//! obscure loops beyond every window.
+
+use super::{case, Category, DrtCase};
+use spinrace_tir::{MemOrder, Module, ModuleBuilder, Operand};
+
+pub(super) fn build(out: &mut Vec<DrtCase>) {
+    // ---- plain-store ad-hoc (5): weights 1, 2, 3, 7, 7 ----
+    for w in [1u32, 2, 3] {
+        out.push(case(
+            format!("adhoc_plain_w{w}"),
+            Category::AdhocPlain { weight: w },
+            false,
+            None,
+            2,
+            flag_handoff(&format!("adhoc_plain_w{w}"), w, false, 1),
+        ));
+    }
+    for (i, threads) in [(0u32, 1u32), (1, 2)] {
+        out.push(case(
+            format!("adhoc_plain_call7_{i}"),
+            Category::AdhocPlain { weight: 7 },
+            false,
+            None,
+            threads + 1,
+            flag_handoff_call(&format!("adhoc_plain_call7_{i}"), 6, false, threads),
+        ));
+    }
+
+    // ---- atomic-flag ad-hoc (19): 5×(≤3), 1×5, 13×7 ----
+    for (i, w) in [(0u32, 1u32), (1, 2), (2, 3), (3, 1), (4, 2)] {
+        let readers = 1 + i % 2;
+        out.push(case(
+            format!("adhoc_atomic_w{w}_{i}"),
+            Category::AdhocAtomic { weight: w },
+            false,
+            None,
+            readers + 1,
+            flag_handoff(&format!("adhoc_atomic_w{w}_{i}"), w, true, readers),
+        ));
+    }
+    out.push(case(
+        "adhoc_atomic_w5",
+        Category::AdhocAtomic { weight: 5 },
+        false,
+        None,
+        2,
+        flag_handoff("adhoc_atomic_w5", 5, true, 1),
+    ));
+    // six call-based weight-7 loops
+    for i in 0..6u32 {
+        let readers = 1 + i % 3;
+        out.push(case(
+            format!("adhoc_atomic_call7_{i}"),
+            Category::AdhocAtomic { weight: 7 },
+            false,
+            None,
+            readers + 1,
+            flag_handoff_call(&format!("adhoc_atomic_call7_{i}"), 6, true, readers),
+        ));
+    }
+    // seven padded weight-7 loops
+    for i in 0..7u32 {
+        let readers = 1 + i % 2;
+        out.push(case(
+            format!("adhoc_atomic_pad7_{i}"),
+            Category::AdhocAtomic { weight: 7 },
+            false,
+            None,
+            readers + 1,
+            flag_handoff(&format!("adhoc_atomic_pad7_{i}"), 7, true, readers),
+        ));
+    }
+
+    // ---- obscure (8) ----
+    for i in 0..3u32 {
+        out.push(case(
+            format!("obscure_impure_cond_{i}"),
+            Category::Obscure,
+            false,
+            None,
+            2,
+            impure_condition(&format!("obscure_impure_cond_{i}")),
+        ));
+    }
+    for (i, w) in [(0u32, 9u32), (1, 10), (2, 9)] {
+        out.push(case(
+            format!("obscure_oversized_{i}"),
+            Category::Obscure,
+            false,
+            None,
+            2,
+            flag_handoff(&format!("obscure_oversized_{i}"), w, false, 1),
+        ));
+    }
+    for i in 0..2u32 {
+        out.push(case(
+            format!("obscure_busy_body_{i}"),
+            Category::Obscure,
+            false,
+            None,
+            2,
+            busy_body(&format!("obscure_busy_body_{i}")),
+        ));
+    }
+}
+
+/// Flag handoff whose spin loop is padded to exactly `weight` blocks.
+/// `atomic` selects atomic flag accesses (release store / acquire loads).
+/// `readers` waiters spin on the same flag and then read the data.
+fn flag_handoff(name: &str, weight: u32, atomic: bool, readers: u32) -> Module {
+    let mut mb = ModuleBuilder::new(name);
+    let flag = mb.global("flag", 1);
+    let data = mb.global("data", 1);
+    let sink = mb.global("sink", 8);
+    let waiter = mb.function("waiter", 1, |f| {
+        let head = f.new_block();
+        let done = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        let v = if atomic {
+            f.load_atomic(flag.at(0), MemOrder::Acquire)
+        } else {
+            f.load(flag.at(0))
+        };
+        if weight == 1 {
+            f.branch(v, done, head);
+        } else {
+            let mut pads = Vec::new();
+            for _ in 0..weight - 1 {
+                pads.push(f.new_block());
+            }
+            f.branch(v, done, pads[0]);
+            for (i, &p) in pads.iter().enumerate() {
+                f.switch_to(p);
+                f.yield_();
+                let next = if i + 1 < pads.len() { pads[i + 1] } else { head };
+                f.jump(next);
+            }
+        }
+        f.switch_to(done);
+        let d = f.load(data.at(0));
+        f.store(sink.idx(f.param(0)), d);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let tids: Vec<_> = (0..readers).map(|i| f.spawn(waiter, i as i64)).collect();
+        f.store(data.at(0), 17);
+        if atomic {
+            f.store_atomic(flag.at(0), 1, MemOrder::Release);
+        } else {
+            f.store(flag.at(0), 1);
+        }
+        for tid in tids {
+            f.join(tid);
+        }
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Flag handoff whose loop condition is evaluated through a *pure helper
+/// function* with `callee_blocks` basic blocks — the paper's "templates
+/// and complex function calls" pattern. Effective weight = 1 + callee.
+fn flag_handoff_call(name: &str, callee_blocks: u32, atomic: bool, readers: u32) -> Module {
+    let mut mb = ModuleBuilder::new(name);
+    let flag = mb.global("flag", 1);
+    let data = mb.global("data", 1);
+    let sink = mb.global("sink", 8);
+    let check = mb.function("check_flag", 0, |f| {
+        let mut prev = f.current();
+        for _ in 1..callee_blocks {
+            let nb = f.new_block();
+            f.switch_to(prev);
+            f.nop();
+            f.jump(nb);
+            prev = nb;
+            f.switch_to(nb);
+        }
+        f.switch_to(prev);
+        let v = if atomic {
+            f.load_atomic(flag.at(0), MemOrder::Acquire)
+        } else {
+            f.load(flag.at(0))
+        };
+        f.ret(Some(Operand::Reg(v)));
+    });
+    let waiter = mb.function("waiter", 1, |f| {
+        let head = f.new_block();
+        let done = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        let v = f.call(check, &[]);
+        f.branch(v, done, head);
+        f.switch_to(done);
+        let d = f.load(data.at(0));
+        f.store(sink.idx(f.param(0)), d);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let tids: Vec<_> = (0..readers).map(|i| f.spawn(waiter, i as i64)).collect();
+        f.store(data.at(0), 23);
+        if atomic {
+            f.store_atomic(flag.at(0), 1, MemOrder::Release);
+        } else {
+            f.store(flag.at(0), 1);
+        }
+        for tid in tids {
+            f.join(tid);
+        }
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Spin whose condition helper also *writes* a scratch counter — an
+/// impure condition call (models function-pointer-style evaluation the
+/// analysis cannot follow). Correct at run time, invisible to the
+/// instrumentation phase.
+fn impure_condition(name: &str) -> Module {
+    let mut mb = ModuleBuilder::new(name);
+    let flag = mb.global("flag", 1);
+    let data = mb.global("data", 1);
+    let scratch = mb.global("scratch", 4);
+    let check = mb.function("check_and_count", 1, |f| {
+        // per-caller scratch slot keeps this free of *real* races
+        let s = f.load(scratch.idx(f.param(0)));
+        let s2 = f.add(s, 1);
+        f.store(scratch.idx(f.param(0)), s2);
+        let v = f.load(flag.at(0));
+        f.ret(Some(Operand::Reg(v)));
+    });
+    let waiter = mb.function("waiter", 1, |f| {
+        let head = f.new_block();
+        let done = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        let v = f.call(check, &[Operand::Reg(f.param(0))]);
+        f.branch(v, done, head);
+        f.switch_to(done);
+        let d = f.load(data.at(0));
+        f.output(d);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let t = f.spawn(waiter, 1);
+        f.store(data.at(0), 29);
+        f.store(flag.at(0), 1);
+        f.join(t);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Spin loop whose body performs unrelated stores ("working wait") — the
+/// strict do-nothing criterion rejects it.
+fn busy_body(name: &str) -> Module {
+    let mut mb = ModuleBuilder::new(name);
+    let flag = mb.global("flag", 1);
+    let data = mb.global("data", 1);
+    let spins = mb.global("spins", 4);
+    let waiter = mb.function("waiter", 1, |f| {
+        let head = f.new_block();
+        let body = f.new_block();
+        let done = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        let v = f.load(flag.at(0));
+        f.branch(v, done, body);
+        f.switch_to(body);
+        // spin-count bookkeeping in a per-thread slot
+        let s = f.load(spins.idx(f.param(0)));
+        let s2 = f.add(s, 1);
+        f.store(spins.idx(f.param(0)), s2);
+        f.jump(head);
+        f.switch_to(done);
+        let d = f.load(data.at(0));
+        f.output(d);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let t = f.spawn(waiter, 1);
+        f.store(data.at(0), 37);
+        f.store(flag.at(0), 1);
+        f.join(t);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}

@@ -1,0 +1,170 @@
+//! The 120-case `data-race-test`-style suite.
+//!
+//! Every case is a self-contained TIR program plus ground truth: whether
+//! it is racy, and if so on which global. The composition is engineered so
+//! each tool column of the paper's Table 1/2 fails for the *reasons* the
+//! paper identifies (see the category docs).
+
+mod adhoc;
+mod racy;
+mod sync_ok;
+
+use spinrace_tir::Module;
+
+/// Case category — determines which tools are expected to mis-classify.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Race-free, library primitives only (locks/CVs/barriers/sems/join).
+    LibSync,
+    /// Race-free, plain-store ad-hoc spin synchronization. False alarms
+    /// for `Helgrind+ lib` and DRD; clean for `+spin` when the loop weight
+    /// fits the window.
+    AdhocPlain {
+        /// Effective loop weight in basic blocks.
+        weight: u32,
+    },
+    /// Race-free, atomic-flag ad-hoc spin synchronization. False alarms
+    /// for `Helgrind+ lib` only (DRD credits the atomics).
+    AdhocAtomic {
+        /// Effective loop weight in basic blocks.
+        weight: u32,
+    },
+    /// Race-free, ad-hoc patterns that defeat the spin criteria (impure
+    /// condition calls, oversized loops, working bodies). False alarms
+    /// for every tool — the paper's residual false positives.
+    Obscure,
+    /// Racy, no synchronization at all: every tool catches it.
+    RacyPlain,
+    /// Racy, but the racing accesses are fortuitously ordered through an
+    /// atomic flag DRD credits as synchronization: DRD misses, the hybrid
+    /// configurations catch.
+    RacyAtomicOrdered,
+    /// Racy, but the racing store hides behind a schedule-dependent
+    /// branch the deterministic schedule never takes: everyone misses.
+    RacyLatent,
+    /// Racy, and additionally floods `lib`-mode detectors with dozens of
+    /// ad-hoc false contexts so the real race drowns past the report cap:
+    /// `lib` and DRD miss it, `+spin` configurations recover it (the
+    /// paper's removed false negative).
+    RacyFlooded,
+}
+
+/// One suite case.
+pub struct DrtCase {
+    /// Stable id (1-based, dense).
+    pub id: u32,
+    /// Human-readable name.
+    pub name: String,
+    /// Category (drives expectations).
+    pub category: Category,
+    /// Ground truth: does the program contain a data race?
+    pub racy: bool,
+    /// For racy cases: the global the race is on.
+    pub race_location: Option<&'static str>,
+    /// Number of threads the case spawns (main included).
+    pub threads: u32,
+    /// The program.
+    pub module: Module,
+}
+
+/// Build all 120 cases. Deterministic: ids, names and programs are stable
+/// across calls.
+pub fn all_cases() -> Vec<DrtCase> {
+    let mut cases = Vec::with_capacity(120);
+    sync_ok::build(&mut cases);
+    adhoc::build(&mut cases);
+    racy::build(&mut cases);
+    for (i, c) in cases.iter_mut().enumerate() {
+        c.id = (i + 1) as u32;
+    }
+    assert_eq!(cases.len(), 120, "the suite is specified at 120 cases");
+    cases
+}
+
+pub(crate) fn case(
+    name: impl Into<String>,
+    category: Category,
+    racy: bool,
+    race_location: Option<&'static str>,
+    threads: u32,
+    module: Module,
+) -> DrtCase {
+    DrtCase {
+        id: 0,
+        name: name.into(),
+        category,
+        racy,
+        race_location,
+        threads,
+        module,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinrace_vm::{run_module, NullSink, VmConfig};
+
+    #[test]
+    fn exactly_120_cases_with_unique_names() {
+        let cases = all_cases();
+        assert_eq!(cases.len(), 120);
+        let mut names: Vec<&str> = cases.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 120, "duplicate case names");
+    }
+
+    #[test]
+    fn racy_cases_name_their_victim() {
+        for c in all_cases() {
+            assert_eq!(
+                c.racy,
+                c.race_location.is_some(),
+                "case {} ({})",
+                c.id,
+                c.name
+            );
+        }
+    }
+
+    #[test]
+    fn composition_matches_the_design() {
+        let cases = all_cases();
+        let count = |f: &dyn Fn(&Category) -> bool| cases.iter().filter(|c| f(&c.category)).count();
+        assert_eq!(count(&|c| matches!(c, Category::LibSync)), 52);
+        assert_eq!(count(&|c| matches!(c, Category::AdhocPlain { .. })), 5);
+        assert_eq!(count(&|c| matches!(c, Category::AdhocAtomic { .. })), 19);
+        assert_eq!(count(&|c| matches!(c, Category::Obscure)), 8);
+        assert_eq!(count(&|c| matches!(c, Category::RacyPlain)), 15);
+        assert_eq!(count(&|c| matches!(c, Category::RacyAtomicOrdered)), 13);
+        assert_eq!(count(&|c| matches!(c, Category::RacyLatent)), 7);
+        assert_eq!(count(&|c| matches!(c, Category::RacyFlooded)), 1);
+        // window-weight distribution for Table 2
+        let weights: Vec<u32> = cases
+            .iter()
+            .filter_map(|c| match c.category {
+                Category::AdhocPlain { weight } | Category::AdhocAtomic { weight } => Some(weight),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(weights.iter().filter(|&&w| w <= 3).count(), 8);
+        assert_eq!(weights.iter().filter(|&&w| (4..=6).contains(&w)).count(), 1);
+        assert_eq!(weights.iter().filter(|&&w| w == 7).count(), 15);
+    }
+
+    #[test]
+    fn every_case_runs_to_completion_round_robin() {
+        for c in all_cases() {
+            let r = run_module(&c.module, VmConfig::round_robin(), &mut NullSink);
+            assert!(r.is_ok(), "case {} ({}) failed: {:?}", c.id, c.name, r.err());
+        }
+    }
+
+    #[test]
+    fn thread_counts_span_2_to_16() {
+        let cases = all_cases();
+        assert!(cases.iter().any(|c| c.threads >= 16));
+        assert!(cases.iter().all(|c| c.threads >= 2));
+    }
+}

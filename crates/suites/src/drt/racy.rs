@@ -1,0 +1,529 @@
+//! Racy cases (36).
+//!
+//! * 15 plainly racy programs — every tool catches them;
+//! * 13 races hidden behind *fortuitous atomic ordering* — DRD credits the
+//!   atomic flag as synchronization and misses them, the hybrid
+//!   configurations catch them;
+//! * 7 latent races behind schedule-dependent branches the deterministic
+//!   round-robin schedule never takes — everyone misses them;
+//! * 1 race drowned past the report cap by an ad-hoc false-positive flood
+//!   — `lib` and DRD miss it, the `+spin` configurations recover it (the
+//!   paper's removed false negative).
+//!
+//! Every racy case races on the global named `victim`.
+
+use super::{case, Category, DrtCase};
+use spinrace_tir::{MemOrder, Module, ModuleBuilder};
+
+pub(super) fn build(out: &mut Vec<DrtCase>) {
+    // ---- plainly racy (15) ----
+    for t in [2u32, 4, 8, 16] {
+        out.push(case(
+            format!("racy_counter_{t}t"),
+            Category::RacyPlain,
+            true,
+            Some("victim"),
+            t + 1,
+            racy_counter(t),
+        ));
+    }
+    for t in [2u32, 4] {
+        out.push(case(
+            format!("racy_rw_{t}t"),
+            Category::RacyPlain,
+            true,
+            Some("victim"),
+            t + 1,
+            racy_rw(t),
+        ));
+    }
+    out.push(case(
+        "racy_array_overlap",
+        Category::RacyPlain,
+        true,
+        Some("victim"),
+        3,
+        racy_array_overlap(),
+    ));
+    out.push(case(
+        "racy_publish_no_flag",
+        Category::RacyPlain,
+        true,
+        Some("victim"),
+        2,
+        racy_publish_no_flag(),
+    ));
+    out.push(case(
+        "racy_double_init",
+        Category::RacyPlain,
+        true,
+        Some("victim"),
+        3,
+        racy_double_init(),
+    ));
+    out.push(case(
+        "racy_missing_join",
+        Category::RacyPlain,
+        true,
+        Some("victim"),
+        2,
+        racy_missing_join(),
+    ));
+    for t in [2u32, 4] {
+        out.push(case(
+            format!("racy_one_side_locked_{t}t"),
+            Category::RacyPlain,
+            true,
+            Some("victim"),
+            t + 1,
+            racy_one_side_locked(t),
+        ));
+    }
+    out.push(case(
+        "racy_barrier_bypass",
+        Category::RacyPlain,
+        true,
+        Some("victim"),
+        4,
+        racy_barrier_bypass(),
+    ));
+    out.push(case(
+        "racy_init_after_spawn",
+        Category::RacyPlain,
+        true,
+        Some("victim"),
+        2,
+        racy_init_after_spawn(),
+    ));
+    out.push(case(
+        "racy_sem_wrong_order",
+        Category::RacyPlain,
+        true,
+        Some("victim"),
+        2,
+        racy_sem_wrong_order(),
+    ));
+
+    // ---- DRD-hidden: fortuitous atomic ordering (13) ----
+    for i in 0..13u32 {
+        out.push(case(
+            format!("racy_atomic_ordered_{i}"),
+            Category::RacyAtomicOrdered,
+            true,
+            Some("victim"),
+            3,
+            racy_atomic_ordered(i),
+        ));
+    }
+
+    // ---- latent: schedule-dependent branch (7) ----
+    for i in 0..7u32 {
+        out.push(case(
+            format!("racy_latent_{i}"),
+            Category::RacyLatent,
+            true,
+            Some("victim"),
+            3,
+            racy_latent(i),
+        ));
+    }
+
+    // ---- the flood case (1) ----
+    out.push(case(
+        "racy_flooded",
+        Category::RacyFlooded,
+        true,
+        Some("victim"),
+        13,
+        racy_flooded(),
+    ));
+}
+
+/// Unsynchronized increments from `t` threads.
+fn racy_counter(t: u32) -> Module {
+    let mut mb = ModuleBuilder::new(format!("racy_counter_{t}t"));
+    let victim = mb.global("victim", 1);
+    let worker = mb.function("worker", 1, |f| {
+        let v = f.load(victim.at(0));
+        let v2 = f.add(v, 1);
+        f.store(victim.at(0), v2);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let tids: Vec<_> = (0..t).map(|i| f.spawn(worker, i as i64)).collect();
+        for tid in tids {
+            f.join(tid);
+        }
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// One unsynchronized writer, several readers.
+fn racy_rw(t: u32) -> Module {
+    let mut mb = ModuleBuilder::new(format!("racy_rw_{t}t"));
+    let victim = mb.global("victim", 1);
+    let sink = mb.global("sink", 8);
+    let writer = mb.function("writer", 1, |f| {
+        f.store(victim.at(0), 3);
+        f.ret(None);
+    });
+    let reader = mb.function("reader", 1, |f| {
+        let v = f.load(victim.at(0));
+        f.store(sink.idx(f.param(0)), v);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let w = f.spawn(writer, 0);
+        let tids: Vec<_> = (1..t).map(|i| f.spawn(reader, i as i64)).collect();
+        f.join(w);
+        for tid in tids {
+            f.join(tid);
+        }
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Two threads write overlapping array slices; `victim` is the overlap.
+fn racy_array_overlap() -> Module {
+    let mut mb = ModuleBuilder::new("racy_array_overlap");
+    let left = mb.global("left", 3);
+    let victim = mb.global("victim", 1);
+    let right = mb.global("right", 3);
+    let a = mb.function("writer_a", 1, |f| {
+        for i in 0..3 {
+            f.store(left.at(i), 1);
+        }
+        f.store(victim.at(0), 1);
+        f.ret(None);
+    });
+    let b = mb.function("writer_b", 1, |f| {
+        f.store(victim.at(0), 2);
+        for i in 0..3 {
+            f.store(right.at(i), 2);
+        }
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let t1 = f.spawn(a, 0);
+        let t2 = f.spawn(b, 0);
+        f.join(t1);
+        f.join(t2);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Publication without any flag: reader may see torn state.
+fn racy_publish_no_flag() -> Module {
+    let mut mb = ModuleBuilder::new("racy_publish_no_flag");
+    let victim = mb.global("victim", 1);
+    let reader = mb.function("reader", 1, |f| {
+        let v = f.load(victim.at(0));
+        f.output(v);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let t = f.spawn(reader, 0);
+        f.store(victim.at(0), 88);
+        f.join(t);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Two threads both lazily "initialize" the same cell.
+fn racy_double_init() -> Module {
+    let mut mb = ModuleBuilder::new("racy_double_init");
+    let victim = mb.global("victim", 1);
+    let init = mb.function("init", 1, |f| {
+        let skip = f.new_block();
+        let doit = f.new_block();
+        let v = f.load(victim.at(0));
+        f.branch(v, skip, doit);
+        f.switch_to(doit);
+        f.store(victim.at(0), 5);
+        f.jump(skip);
+        f.switch_to(skip);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let t1 = f.spawn(init, 0);
+        let t2 = f.spawn(init, 1);
+        f.join(t1);
+        f.join(t2);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Main reads the worker's result *before* joining it.
+fn racy_missing_join() -> Module {
+    let mut mb = ModuleBuilder::new("racy_missing_join");
+    let victim = mb.global("victim", 1);
+    let worker = mb.function("worker", 1, |f| {
+        f.store(victim.at(0), 7);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let t = f.spawn(worker, 0);
+        let v = f.load(victim.at(0)); // too early
+        f.output(v);
+        f.join(t);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Half of the threads use the lock, the other half do not.
+fn racy_one_side_locked(t: u32) -> Module {
+    let mut mb = ModuleBuilder::new(format!("racy_one_side_locked_{t}t"));
+    let mu = mb.global("mu", 1);
+    let victim = mb.global("victim", 1);
+    let locked = mb.function("locked", 1, |f| {
+        f.lock(mu.at(0));
+        let v = f.load(victim.at(0));
+        let v2 = f.add(v, 1);
+        f.store(victim.at(0), v2);
+        f.unlock(mu.at(0));
+        f.ret(None);
+    });
+    let unlocked = mb.function("unlocked", 1, |f| {
+        let v = f.load(victim.at(0));
+        let v2 = f.add(v, 1);
+        f.store(victim.at(0), v2);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let mut tids = Vec::new();
+        for i in 0..t {
+            if i % 2 == 0 {
+                tids.push(f.spawn(locked, i as i64));
+            } else {
+                tids.push(f.spawn(unlocked, i as i64));
+            }
+        }
+        for tid in tids {
+            f.join(tid);
+        }
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Three threads meet at a barrier; a fourth ignores it and writes.
+fn racy_barrier_bypass() -> Module {
+    let mut mb = ModuleBuilder::new("racy_barrier_bypass");
+    let bar = mb.global("bar", 3);
+    let victim = mb.global("victim", 1);
+    let synced = mb.function("synced", 1, |f| {
+        let id = f.param(0);
+        let write = f.new_block();
+        let after = f.new_block();
+        let iszero = f.eq(id, 0);
+        f.branch(iszero, write, after);
+        f.switch_to(write);
+        f.store(victim.at(0), 1);
+        f.jump(after);
+        f.switch_to(after);
+        f.barrier_wait(bar.at(0));
+        let v = f.load(victim.at(0));
+        let _ = v;
+        f.ret(None);
+    });
+    let rogue = mb.function("rogue", 1, |f| {
+        f.store(victim.at(0), 99);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        f.barrier_init(bar.at(0), 2);
+        let t1 = f.spawn(synced, 0);
+        let t2 = f.spawn(synced, 1);
+        let t3 = f.spawn(rogue, 2);
+        f.join(t1);
+        f.join(t2);
+        f.join(t3);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Main initializes shared state *after* spawning its reader.
+fn racy_init_after_spawn() -> Module {
+    let mut mb = ModuleBuilder::new("racy_init_after_spawn");
+    let victim = mb.global("victim", 1);
+    let reader = mb.function("reader", 1, |f| {
+        for _ in 0..4 {
+            f.yield_();
+        }
+        let v = f.load(victim.at(0));
+        f.output(v);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let t = f.spawn(reader, 0);
+        f.store(victim.at(0), 1); // should have happened before the spawn
+        f.join(t);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// The "signal" semaphore is posted *before* the payload write.
+fn racy_sem_wrong_order() -> Module {
+    let mut mb = ModuleBuilder::new("racy_sem_wrong_order");
+    let sem = mb.global("sem", 1);
+    let victim = mb.global("victim", 1);
+    let consumer = mb.function("consumer", 1, |f| {
+        f.sem_wait(sem.at(0));
+        let v = f.load(victim.at(0));
+        f.output(v);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        f.sem_init(sem.at(0), 0);
+        let t = f.spawn(consumer, 0);
+        f.sem_post(sem.at(0)); // bug: post precedes the write
+        f.store(victim.at(0), 55);
+        f.join(t);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// The race DRD misses: T1 writes `victim` then release-stores an atomic
+/// flag; T2, *later in every schedule we run*, acquire-loads the flag
+/// (and ignores it) before writing `victim`. DRD takes the release/acquire
+/// pair as synchronization and sees the writes as ordered; the hybrid
+/// detectors do not credit bare atomic orderings and report the race.
+fn racy_atomic_ordered(variant: u32) -> Module {
+    let mut mb = ModuleBuilder::new(format!("racy_atomic_ordered_{variant}"));
+    let victim = mb.global("victim", 1);
+    let aflag = mb.global("aflag", 1);
+    let order = match variant % 3 {
+        0 => MemOrder::SeqCst,
+        1 => MemOrder::Release,
+        _ => MemOrder::AcqRel,
+    };
+    let load_order = match variant % 3 {
+        0 => MemOrder::SeqCst,
+        1 => MemOrder::Acquire,
+        _ => MemOrder::AcqRel,
+    };
+    let first = mb.function("first", 1, |f| {
+        if variant % 2 == 0 {
+            f.store(victim.at(0), 1);
+        } else {
+            let v = f.load(victim.at(0));
+            let v2 = f.add(v, 1);
+            f.store(victim.at(0), v2);
+        }
+        f.store_atomic(aflag.at(0), 1, order);
+        f.ret(None);
+    });
+    let second = mb.function("second", 1, |f| {
+        // Enough padding that the acquire load lands after the release
+        // store under round-robin (and nearly every random seed).
+        for _ in 0..8 + variant as usize % 4 {
+            f.nop();
+        }
+        let observed = f.load_atomic(aflag.at(0), load_order);
+        let _ = observed; // checked nowhere — not real synchronization
+        f.store(victim.at(0), 2);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let t1 = f.spawn(first, 0);
+        let t2 = f.spawn(second, 1);
+        f.join(t1);
+        f.join(t2);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// A latent race: T2 only writes `victim` if it observes T1's progress,
+/// which the round-robin schedule never lets it see. Dynamically silent
+/// for every detector; racy under other schedules (ground truth: racy).
+fn racy_latent(variant: u32) -> Module {
+    let mut mb = ModuleBuilder::new(format!("racy_latent_{variant}"));
+    let victim = mb.global("victim", 1);
+    let progress = mb.global("progress", 1);
+    let first = mb.function("first", 1, |f| {
+        f.store(victim.at(0), 1);
+        // progress announced late
+        for _ in 0..10 + variant as usize {
+            f.nop();
+        }
+        f.store(progress.at(0), 1);
+        f.ret(None);
+    });
+    let second = mb.function("second", 1, |f| {
+        let p = f.load(progress.at(0)); // runs early: sees 0
+        let write = f.new_block();
+        let skip = f.new_block();
+        f.branch(p, write, skip);
+        f.switch_to(write);
+        f.store(victim.at(0), 2);
+        f.jump(skip);
+        f.switch_to(skip);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let t1 = f.spawn(first, 0);
+        let t2 = f.spawn(second, 1);
+        f.join(t1);
+        f.join(t2);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Ten plain flag handoffs flood `lib`-mode detectors with ~30 false
+/// contexts; the real `victim` race happens afterwards and drowns past
+/// the drt report cap (25). With spin detection the flood disappears and
+/// the race is reported — the paper's recovered false negative.
+fn racy_flooded() -> Module {
+    let mut mb = ModuleBuilder::new("racy_flooded");
+    let flags = mb.global("flags", 10);
+    let datas = mb.global("datas", 10);
+    let sink = mb.global("sink", 10);
+    let victim = mb.global("victim", 1);
+    let waiter = mb.function("waiter", 1, |f| {
+        let id = f.param(0);
+        let head = f.new_block();
+        let done = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        let v = f.load(flags.idx(id));
+        f.branch(v, done, head);
+        f.switch_to(done);
+        let d = f.load(datas.idx(id));
+        f.store(sink.idx(id), d);
+        f.ret(None);
+    });
+    let racer = mb.function("racer", 1, |f| {
+        let v = f.load(victim.at(0));
+        let v2 = f.add(v, f.param(0));
+        f.store(victim.at(0), v2);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let tids: Vec<_> = (0..10).map(|i| f.spawn(waiter, i as i64)).collect();
+        for i in 0..10 {
+            f.store(datas.at(i), 100 + i);
+            f.store(flags.at(i), 1);
+        }
+        for tid in tids {
+            f.join(tid);
+        }
+        // the real race, reported only after the flood
+        let r1 = f.spawn(racer, 1);
+        let r2 = f.spawn(racer, 2);
+        f.join(r1);
+        f.join(r2);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}

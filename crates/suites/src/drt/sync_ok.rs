@@ -1,0 +1,1143 @@
+//! Race-free cases using library primitives only (52 cases).
+//!
+//! Every detector configuration should stay silent here; in `nolib` mode
+//! the primitives are lowered and the spin detection has to recover them
+//! (the paper's universal-detector claim).
+
+use super::{case, Category, DrtCase};
+use spinrace_tir::{Module, ModuleBuilder};
+
+pub(super) fn build(out: &mut Vec<DrtCase>) {
+    // ---- locks (14) ----
+    for t in [2u32, 4, 8, 16] {
+        out.push(case(
+            format!("lock_counter_{t}t"),
+            Category::LibSync,
+            false,
+            None,
+            t + 1,
+            lock_counter(t),
+        ));
+    }
+    for t in [2u32, 8] {
+        out.push(case(
+            format!("lock_slots_{t}t"),
+            Category::LibSync,
+            false,
+            None,
+            t + 1,
+            lock_slots(t),
+        ));
+    }
+    for t in [2u32, 4] {
+        out.push(case(
+            format!("lock_list_{t}t"),
+            Category::LibSync,
+            false,
+            None,
+            t + 1,
+            lock_list(t),
+        ));
+    }
+    for t in [2u32, 4] {
+        out.push(case(
+            format!("two_locks_ordered_{t}t"),
+            Category::LibSync,
+            false,
+            None,
+            t + 1,
+            two_locks_ordered(t),
+        ));
+    }
+    for t in [2u32, 3] {
+        out.push(case(
+            format!("lock_handoff_{t}t"),
+            Category::LibSync,
+            false,
+            None,
+            t + 1,
+            lock_handoff(t),
+        ));
+    }
+    for t in [2u32, 8] {
+        out.push(case(
+            format!("lock_rw_{t}t"),
+            Category::LibSync,
+            false,
+            None,
+            t + 1,
+            lock_rw(t),
+        ));
+    }
+
+    // ---- condition variables (10) ----
+    out.push(case(
+        "cv_handshake_signal",
+        Category::LibSync,
+        false,
+        None,
+        2,
+        cv_handshake(false),
+    ));
+    out.push(case(
+        "cv_handshake_broadcast",
+        Category::LibSync,
+        false,
+        None,
+        2,
+        cv_handshake(true),
+    ));
+    for t in [4u32, 8] {
+        out.push(case(
+            format!("cv_multiwaiter_{t}t"),
+            Category::LibSync,
+            false,
+            None,
+            t + 1,
+            cv_multiwaiter(t),
+        ));
+    }
+    out.push(case(
+        "cv_pingpong",
+        Category::LibSync,
+        false,
+        None,
+        2,
+        cv_pingpong(4),
+    ));
+    out.push(case(
+        "cv_pingpong_long",
+        Category::LibSync,
+        false,
+        None,
+        2,
+        cv_pingpong(8),
+    ));
+    for (p, c) in [(1u32, 1u32), (1, 2), (2, 1), (2, 2)] {
+        out.push(case(
+            format!("cv_bounded_buffer_{p}p{c}c"),
+            Category::LibSync,
+            false,
+            None,
+            p + c + 1,
+            cv_bounded_buffer(p, c),
+        ));
+    }
+
+    // ---- barriers (8) ----
+    for t in [2u32, 4, 8, 16] {
+        out.push(case(
+            format!("barrier_phase_{t}t"),
+            Category::LibSync,
+            false,
+            None,
+            t + 1,
+            barrier_phase(t),
+        ));
+    }
+    for t in [2u32, 4, 8, 16] {
+        out.push(case(
+            format!("barrier_reduce_{t}t"),
+            Category::LibSync,
+            false,
+            None,
+            t + 1,
+            barrier_reduce(t),
+        ));
+    }
+
+    // ---- semaphores (6) ----
+    for t in [2u32, 4] {
+        out.push(case(
+            format!("sem_lock_{t}t"),
+            Category::LibSync,
+            false,
+            None,
+            t + 1,
+            sem_lock(t),
+        ));
+    }
+    for t in [2u32, 3] {
+        out.push(case(
+            format!("sem_handoff_{t}t"),
+            Category::LibSync,
+            false,
+            None,
+            t + 1,
+            sem_handoff(t),
+        ));
+    }
+    for t in [4u32, 8] {
+        out.push(case(
+            format!("sem_multiplex_{t}t"),
+            Category::LibSync,
+            false,
+            None,
+            t + 1,
+            sem_multiplex(t),
+        ));
+    }
+
+    // ---- join ordering (6) ----
+    for t in [4u32, 8, 16] {
+        out.push(case(
+            format!("join_fanout_{t}t"),
+            Category::LibSync,
+            false,
+            None,
+            t + 1,
+            join_fanout(t),
+        ));
+    }
+    out.push(case(
+        "join_tree",
+        Category::LibSync,
+        false,
+        None,
+        4,
+        join_tree(),
+    ));
+    out.push(case(
+        "join_pipeline",
+        Category::LibSync,
+        false,
+        None,
+        3,
+        join_pipeline(),
+    ));
+    out.push(case(
+        "join_result",
+        Category::LibSync,
+        false,
+        None,
+        2,
+        join_result(),
+    ));
+
+    // ---- mixed (8) ----
+    for t in [4u32, 8] {
+        out.push(case(
+            format!("barrier_locks_{t}t"),
+            Category::LibSync,
+            false,
+            None,
+            t + 1,
+            barrier_locks(t),
+        ));
+    }
+    for t in [2u32, 4] {
+        out.push(case(
+            format!("cv_locks_{t}t"),
+            Category::LibSync,
+            false,
+            None,
+            t + 1,
+            cv_locks(t),
+        ));
+    }
+    out.push(case(
+        "sem_barrier",
+        Category::LibSync,
+        false,
+        None,
+        5,
+        sem_barrier(4),
+    ));
+    out.push(case(
+        "lock_phases_join",
+        Category::LibSync,
+        false,
+        None,
+        5,
+        lock_phases_join(4),
+    ));
+    out.push(case(
+        "producer_consumer_mixed",
+        Category::LibSync,
+        false,
+        None,
+        3,
+        producer_consumer_mixed(),
+    ));
+    out.push(case(
+        "all_primitives",
+        Category::LibSync,
+        false,
+        None,
+        3,
+        all_primitives(),
+    ));
+}
+
+/// `t` workers each add `iters` to a counter under one mutex.
+fn lock_counter(t: u32) -> Module {
+    let mut mb = ModuleBuilder::new(format!("lock_counter_{t}t"));
+    let mu = mb.global("mu", 1);
+    let counter = mb.global("counter", 1);
+    let worker = mb.function("worker", 1, |f| {
+        for _ in 0..3 {
+            f.lock(mu.at(0));
+            let v = f.load(counter.at(0));
+            let v2 = f.add(v, 1);
+            f.store(counter.at(0), v2);
+            f.unlock(mu.at(0));
+        }
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let tids: Vec<_> = (0..t).map(|i| f.spawn(worker, i as i64)).collect();
+        for tid in tids {
+            f.join(tid);
+        }
+        let v = f.load(counter.at(0));
+        f.output(v);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Per-slot mutexes: each worker hits two slots under their own locks.
+fn lock_slots(t: u32) -> Module {
+    let mut mb = ModuleBuilder::new(format!("lock_slots_{t}t"));
+    let mus = mb.global("mus", t as u64);
+    let slots = mb.global("slots", t as u64);
+    let n = t as i64;
+    let worker = mb.function("worker", 1, |f| {
+        let id = f.param(0);
+        let next = f.add(id, 1);
+        let next = f.bin(spinrace_tir::BinOp::Rem, next, n);
+        for target in [id, next] {
+            f.lock(mus.idx(target));
+            let v = f.load(slots.idx(target));
+            let v2 = f.add(v, 1);
+            f.store(slots.idx(target), v2);
+            f.unlock(mus.idx(target));
+        }
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let tids: Vec<_> = (0..t).map(|i| f.spawn(worker, i as i64)).collect();
+        for tid in tids {
+            f.join(tid);
+        }
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// A shared array + length, both guarded by one mutex (a "list").
+fn lock_list(t: u32) -> Module {
+    let mut mb = ModuleBuilder::new(format!("lock_list_{t}t"));
+    let mu = mb.global("mu", 1);
+    let len = mb.global("len", 1);
+    let items = mb.global("items", 64);
+    let worker = mb.function("worker", 1, |f| {
+        for _ in 0..2 {
+            f.lock(mu.at(0));
+            let l = f.load(len.at(0));
+            f.store(items.idx(l), f.param(0));
+            let l2 = f.add(l, 1);
+            f.store(len.at(0), l2);
+            f.unlock(mu.at(0));
+        }
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let tids: Vec<_> = (0..t).map(|i| f.spawn(worker, i as i64)).collect();
+        for tid in tids {
+            f.join(tid);
+        }
+        let l = f.load(len.at(0));
+        f.output(l);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Two mutexes always taken in the same order (no deadlock, no race).
+fn two_locks_ordered(t: u32) -> Module {
+    let mut mb = ModuleBuilder::new(format!("two_locks_ordered_{t}t"));
+    let m1 = mb.global("m1", 1);
+    let m2 = mb.global("m2", 1);
+    let a = mb.global("a", 1);
+    let b = mb.global("b", 1);
+    let worker = mb.function("worker", 1, |f| {
+        f.lock(m1.at(0));
+        f.lock(m2.at(0));
+        let va = f.load(a.at(0));
+        let vb = f.load(b.at(0));
+        let s = f.add(va, vb);
+        f.store(a.at(0), s);
+        f.store(b.at(0), s);
+        f.unlock(m2.at(0));
+        f.unlock(m1.at(0));
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let tids: Vec<_> = (0..t).map(|i| f.spawn(worker, i as i64)).collect();
+        for tid in tids {
+            f.join(tid);
+        }
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Ownership handoff: value written in one CS, consumed in another.
+fn lock_handoff(t: u32) -> Module {
+    let mut mb = ModuleBuilder::new(format!("lock_handoff_{t}t"));
+    let mu = mb.global("mu", 1);
+    let boxv = mb.global("boxv", 1);
+    let worker = mb.function("worker", 1, |f| {
+        f.lock(mu.at(0));
+        let v = f.load(boxv.at(0));
+        let v2 = f.add(v, 10);
+        f.store(boxv.at(0), v2);
+        f.unlock(mu.at(0));
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        f.lock(mu.at(0));
+        f.store(boxv.at(0), 5);
+        f.unlock(mu.at(0));
+        let tids: Vec<_> = (0..t).map(|i| f.spawn(worker, i as i64)).collect();
+        for tid in tids {
+            f.join(tid);
+        }
+        f.lock(mu.at(0));
+        let v = f.load(boxv.at(0));
+        f.unlock(mu.at(0));
+        f.output(v);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Readers and one writer all under a single mutex.
+fn lock_rw(t: u32) -> Module {
+    let mut mb = ModuleBuilder::new(format!("lock_rw_{t}t"));
+    let mu = mb.global("mu", 1);
+    let data = mb.global("data", 1);
+    let sink = mb.global("sink", 32);
+    let reader = mb.function("reader", 1, |f| {
+        f.lock(mu.at(0));
+        let v = f.load(data.at(0));
+        f.store(sink.idx(f.param(0)), v);
+        f.unlock(mu.at(0));
+        f.ret(None);
+    });
+    let writer = mb.function("writer", 1, |f| {
+        f.lock(mu.at(0));
+        f.store(data.at(0), 9);
+        f.unlock(mu.at(0));
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let w = f.spawn(writer, 0);
+        let tids: Vec<_> = (1..t).map(|i| f.spawn(reader, i as i64)).collect();
+        f.join(w);
+        for tid in tids {
+            f.join(tid);
+        }
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// One producer, one consumer over `ready` + CV (signal or broadcast).
+fn cv_handshake(broadcast: bool) -> Module {
+    let name = if broadcast {
+        "cv_handshake_broadcast"
+    } else {
+        "cv_handshake_signal"
+    };
+    let mut mb = ModuleBuilder::new(name);
+    let mu = mb.global("mu", 1);
+    let cv = mb.global("cv", 1);
+    let ready = mb.global("ready", 1);
+    let data = mb.global("data", 1);
+    let consumer = mb.function("consumer", 1, |f| {
+        let check = f.new_block();
+        let sleep = f.new_block();
+        let done = f.new_block();
+        f.lock(mu.at(0));
+        f.jump(check);
+        f.switch_to(check);
+        let r = f.load(ready.at(0));
+        f.branch(r, done, sleep);
+        f.switch_to(sleep);
+        f.wait(cv.at(0), mu.at(0));
+        f.jump(check);
+        f.switch_to(done);
+        let d = f.load(data.at(0));
+        f.unlock(mu.at(0));
+        f.output(d);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let t = f.spawn(consumer, 0);
+        f.lock(mu.at(0));
+        f.store(data.at(0), 64);
+        f.store(ready.at(0), 1);
+        if broadcast {
+            f.broadcast(cv.at(0));
+        } else {
+            f.signal(cv.at(0));
+        }
+        f.unlock(mu.at(0));
+        f.join(t);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// `t` waiters released by one broadcast, predicate re-checked in a loop.
+fn cv_multiwaiter(t: u32) -> Module {
+    let mut mb = ModuleBuilder::new(format!("cv_multiwaiter_{t}t"));
+    let mu = mb.global("mu", 1);
+    let cv = mb.global("cv", 1);
+    let go = mb.global("go", 1);
+    let counter = mb.global("counter", 1);
+    let waiter = mb.function("waiter", 1, |f| {
+        let check = f.new_block();
+        let sleep = f.new_block();
+        let done = f.new_block();
+        f.lock(mu.at(0));
+        f.jump(check);
+        f.switch_to(check);
+        let g = f.load(go.at(0));
+        f.branch(g, done, sleep);
+        f.switch_to(sleep);
+        f.wait(cv.at(0), mu.at(0));
+        f.jump(check);
+        f.switch_to(done);
+        let c = f.load(counter.at(0));
+        let c2 = f.add(c, 1);
+        f.store(counter.at(0), c2);
+        f.unlock(mu.at(0));
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let tids: Vec<_> = (0..t).map(|i| f.spawn(waiter, i as i64)).collect();
+        for _ in 0..20 {
+            f.yield_();
+        }
+        f.lock(mu.at(0));
+        f.store(go.at(0), 1);
+        f.broadcast(cv.at(0));
+        f.unlock(mu.at(0));
+        for tid in tids {
+            f.join(tid);
+        }
+        let v = f.load(counter.at(0));
+        f.output(v);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Two threads alternate turns through one CV (`rounds` exchanges).
+fn cv_pingpong(rounds: i64) -> Module {
+    let mut mb = ModuleBuilder::new(format!("cv_pingpong_{rounds}"));
+    let mu = mb.global("mu", 1);
+    let cv = mb.global("cv", 1);
+    let turn = mb.global("turn", 1);
+    let ball = mb.global("ball", 1);
+    let player = mb.function("player", 1, |f| {
+        let me = f.param(0);
+        for _ in 0..rounds {
+            let check = f.new_block();
+            let sleep = f.new_block();
+            let mine = f.new_block();
+            f.lock(mu.at(0));
+            f.jump(check);
+            f.switch_to(check);
+            let tv = f.load(turn.at(0));
+            let isme = f.eq(tv, me);
+            f.branch(isme, mine, sleep);
+            f.switch_to(sleep);
+            f.wait(cv.at(0), mu.at(0));
+            f.jump(check);
+            f.switch_to(mine);
+            let b = f.load(ball.at(0));
+            let b2 = f.add(b, 1);
+            f.store(ball.at(0), b2);
+            let other = f.sub(1, me);
+            f.store(turn.at(0), other);
+            f.broadcast(cv.at(0));
+            f.unlock(mu.at(0));
+        }
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let a = f.spawn(player, 0);
+        let b = f.spawn(player, 1);
+        f.join(a);
+        f.join(b);
+        let v = f.load(ball.at(0));
+        f.output(v);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Bounded buffer with not-full/not-empty condition variables.
+fn cv_bounded_buffer(producers: u32, consumers: u32) -> Module {
+    let mut mb = ModuleBuilder::new(format!("cv_bb_{producers}p{consumers}c"));
+    let mu = mb.global("mu", 1);
+    let notfull = mb.global("notfull", 1);
+    let notempty = mb.global("notempty", 1);
+    let buf = mb.global("buf", 4);
+    let fill = mb.global("fill", 1);
+    let produced = mb.global("produced", 1);
+    let consumed = mb.global("consumed", 1);
+    let per_producer = 4i64;
+    let total = per_producer * producers as i64;
+    let per_consumer = total / consumers as i64;
+    let producer = mb.function("producer", 1, |f| {
+        for _ in 0..per_producer {
+            let check = f.new_block();
+            let sleep = f.new_block();
+            let put = f.new_block();
+            f.lock(mu.at(0));
+            f.jump(check);
+            f.switch_to(check);
+            let n = f.load(fill.at(0));
+            let full = f.ge(n, 4);
+            f.branch(full, sleep, put);
+            f.switch_to(sleep);
+            f.wait(notfull.at(0), mu.at(0));
+            f.jump(check);
+            f.switch_to(put);
+            let n2 = f.load(fill.at(0));
+            f.store(buf.idx(n2), f.param(0));
+            let n3 = f.add(n2, 1);
+            f.store(fill.at(0), n3);
+            let p = f.load(produced.at(0));
+            let p2 = f.add(p, 1);
+            f.store(produced.at(0), p2);
+            f.broadcast(notempty.at(0));
+            f.unlock(mu.at(0));
+        }
+        f.ret(None);
+    });
+    let consumer = mb.function("consumer", 1, |f| {
+        for _ in 0..per_consumer {
+            let check = f.new_block();
+            let sleep = f.new_block();
+            let take = f.new_block();
+            f.lock(mu.at(0));
+            f.jump(check);
+            f.switch_to(check);
+            let n = f.load(fill.at(0));
+            let empty = f.eq(n, 0);
+            f.branch(empty, sleep, take);
+            f.switch_to(sleep);
+            f.wait(notempty.at(0), mu.at(0));
+            f.jump(check);
+            f.switch_to(take);
+            let n2 = f.load(fill.at(0));
+            let n3 = f.sub(n2, 1);
+            let v = f.load(buf.idx(n3));
+            let _ = v;
+            f.store(fill.at(0), n3);
+            let c = f.load(consumed.at(0));
+            let c2 = f.add(c, 1);
+            f.store(consumed.at(0), c2);
+            f.broadcast(notfull.at(0));
+            f.unlock(mu.at(0));
+        }
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let mut tids = Vec::new();
+        for i in 0..producers {
+            tids.push(f.spawn(producer, i as i64));
+        }
+        for i in 0..consumers {
+            tids.push(f.spawn(consumer, i as i64));
+        }
+        for tid in tids {
+            f.join(tid);
+        }
+        let c = f.load(consumed.at(0));
+        f.output(c);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Write-own-slot, barrier, read-all — the classic race-free phase split.
+fn barrier_phase(t: u32) -> Module {
+    let mut mb = ModuleBuilder::new(format!("barrier_phase_{t}t"));
+    let bar = mb.global("bar", 3);
+    let slots = mb.global("slots", t as u64);
+    let sums = mb.global("sums", t as u64);
+    let n = t as i64;
+    let worker = mb.function("worker", 1, |f| {
+        let id = f.param(0);
+        let v = f.add(id, 100);
+        f.store(slots.idx(id), v);
+        f.barrier_wait(bar.at(0));
+        let mut total = f.const_(0);
+        for i in 0..n {
+            let s = f.load(slots.at(i));
+            total = f.add(total, s);
+        }
+        f.store(sums.idx(id), total);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        f.barrier_init(bar.at(0), n);
+        let tids: Vec<_> = (0..t).map(|i| f.spawn(worker, i as i64)).collect();
+        for tid in tids {
+            f.join(tid);
+        }
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Two barrier rounds with a tree-free reduction into slot 0 by thread 0.
+fn barrier_reduce(t: u32) -> Module {
+    let mut mb = ModuleBuilder::new(format!("barrier_reduce_{t}t"));
+    let bar = mb.global("bar", 3);
+    let slots = mb.global("slots", t as u64);
+    let result = mb.global("result", 1);
+    let n = t as i64;
+    let worker = mb.function("worker", 1, |f| {
+        let id = f.param(0);
+        let sq = f.mul(id, id);
+        f.store(slots.idx(id), sq);
+        f.barrier_wait(bar.at(0));
+        // thread 0 reduces
+        let reduce = f.new_block();
+        let skip = f.new_block();
+        let iszero = f.eq(id, 0);
+        f.branch(iszero, reduce, skip);
+        f.switch_to(reduce);
+        let mut total = f.const_(0);
+        for i in 0..n {
+            let s = f.load(slots.at(i));
+            total = f.add(total, s);
+        }
+        f.store(result.at(0), total);
+        f.jump(skip);
+        f.switch_to(skip);
+        f.barrier_wait(bar.at(0));
+        let r = f.load(result.at(0));
+        let _ = r;
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        f.barrier_init(bar.at(0), n);
+        let tids: Vec<_> = (0..t).map(|i| f.spawn(worker, i as i64)).collect();
+        for tid in tids {
+            f.join(tid);
+        }
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Binary semaphore as a mutex.
+fn sem_lock(t: u32) -> Module {
+    let mut mb = ModuleBuilder::new(format!("sem_lock_{t}t"));
+    let sem = mb.global("sem", 1);
+    let counter = mb.global("counter", 1);
+    let worker = mb.function("worker", 1, |f| {
+        for _ in 0..3 {
+            f.sem_wait(sem.at(0));
+            let v = f.load(counter.at(0));
+            let v2 = f.add(v, 1);
+            f.store(counter.at(0), v2);
+            f.sem_post(sem.at(0));
+        }
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        f.sem_init(sem.at(0), 1);
+        let tids: Vec<_> = (0..t).map(|i| f.spawn(worker, i as i64)).collect();
+        for tid in tids {
+            f.join(tid);
+        }
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Producer posts after writing; consumers wait before reading.
+fn sem_handoff(t: u32) -> Module {
+    let mut mb = ModuleBuilder::new(format!("sem_handoff_{t}t"));
+    let sem = mb.global("sem", 1);
+    let data = mb.global("data", 1);
+    let sink = mb.global("sink", 16);
+    let consumer = mb.function("consumer", 1, |f| {
+        f.sem_wait(sem.at(0));
+        let v = f.load(data.at(0));
+        f.store(sink.idx(f.param(0)), v);
+        f.sem_post(sem.at(0));
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        f.sem_init(sem.at(0), 0);
+        let tids: Vec<_> = (0..t).map(|i| f.spawn(consumer, i as i64)).collect();
+        f.store(data.at(0), 31);
+        f.sem_post(sem.at(0));
+        for tid in tids {
+            f.join(tid);
+        }
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Counting semaphore of 2 permits; slots are per-thread (disjoint).
+fn sem_multiplex(t: u32) -> Module {
+    let mut mb = ModuleBuilder::new(format!("sem_multiplex_{t}t"));
+    let sem = mb.global("sem", 1);
+    let slots = mb.global("slots", t as u64);
+    let worker = mb.function("worker", 1, |f| {
+        f.sem_wait(sem.at(0));
+        f.store(slots.idx(f.param(0)), 1);
+        f.sem_post(sem.at(0));
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        f.sem_init(sem.at(0), 2);
+        let tids: Vec<_> = (0..t).map(|i| f.spawn(worker, i as i64)).collect();
+        for tid in tids {
+            f.join(tid);
+        }
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Disjoint slices, ordering purely by join.
+fn join_fanout(t: u32) -> Module {
+    let mut mb = ModuleBuilder::new(format!("join_fanout_{t}t"));
+    let slots = mb.global("slots", t as u64);
+    let n = t as i64;
+    let worker = mb.function("worker", 1, |f| {
+        let id = f.param(0);
+        let v = f.mul(id, 3);
+        f.store(slots.idx(id), v);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let tids: Vec<_> = (0..t).map(|i| f.spawn(worker, i as i64)).collect();
+        for tid in tids {
+            f.join(tid);
+        }
+        let mut total = f.const_(0);
+        for i in 0..n {
+            let s = f.load(slots.at(i));
+            total = f.add(total, s);
+        }
+        f.output(total);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Nested spawn/join: main -> A -> (B, C).
+fn join_tree() -> Module {
+    let mut mb = ModuleBuilder::new("join_tree");
+    let cells = mb.global("cells", 3);
+    let leaf = mb.function("leaf", 1, |f| {
+        let id = f.param(0);
+        f.store(cells.idx(id), id);
+        f.ret(None);
+    });
+    let mid = mb.function("mid", 1, |f| {
+        let b = f.spawn(leaf, 1);
+        let c = f.spawn(leaf, 2);
+        f.join(b);
+        f.join(c);
+        let v1 = f.load(cells.at(1));
+        let v2 = f.load(cells.at(2));
+        let s = f.add(v1, v2);
+        f.store(cells.at(0), s);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let a = f.spawn(mid, 0);
+        f.join(a);
+        let v = f.load(cells.at(0));
+        f.output(v);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Sequential pipeline through join: stage1 -> join -> stage2.
+fn join_pipeline() -> Module {
+    let mut mb = ModuleBuilder::new("join_pipeline");
+    let buf = mb.global("buf", 1);
+    let s1 = mb.function("stage1", 1, |f| {
+        f.store(buf.at(0), 11);
+        f.ret(None);
+    });
+    let s2 = mb.function("stage2", 1, |f| {
+        let v = f.load(buf.at(0));
+        let v2 = f.mul(v, 2);
+        f.store(buf.at(0), v2);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let a = f.spawn(s1, 0);
+        f.join(a);
+        let b = f.spawn(s2, 0);
+        f.join(b);
+        let v = f.load(buf.at(0));
+        f.output(v);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Worker leaves a result in a global; main reads it only after join.
+fn join_result() -> Module {
+    let mut mb = ModuleBuilder::new("join_result");
+    let result = mb.global("result", 1);
+    let worker = mb.function("worker", 1, |f| {
+        let v = f.mul(f.param(0), 7);
+        f.store(result.at(0), v);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let t = f.spawn(worker, 6);
+        f.join(t);
+        let v = f.load(result.at(0));
+        f.output(v);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Barrier phases with a lock-protected shared accumulator inside phases.
+fn barrier_locks(t: u32) -> Module {
+    let mut mb = ModuleBuilder::new(format!("barrier_locks_{t}t"));
+    let bar = mb.global("bar", 3);
+    let mu = mb.global("mu", 1);
+    let acc = mb.global("acc", 1);
+    let n = t as i64;
+    let worker = mb.function("worker", 1, |f| {
+        for _ in 0..2 {
+            f.lock(mu.at(0));
+            let v = f.load(acc.at(0));
+            let v2 = f.add(v, 1);
+            f.store(acc.at(0), v2);
+            f.unlock(mu.at(0));
+            f.barrier_wait(bar.at(0));
+        }
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        f.barrier_init(bar.at(0), n);
+        let tids: Vec<_> = (0..t).map(|i| f.spawn(worker, i as i64)).collect();
+        for tid in tids {
+            f.join(tid);
+        }
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// A CV-signalled stage where the payload is also lock-protected.
+fn cv_locks(t: u32) -> Module {
+    let mut mb = ModuleBuilder::new(format!("cv_locks_{t}t"));
+    let mu = mb.global("mu", 1);
+    let cv = mb.global("cv", 1);
+    let stage = mb.global("stage", 1);
+    let payload = mb.global("payload", 1);
+    let n = t as i64;
+    let worker = mb.function("worker", 1, |f| {
+        let id = f.param(0);
+        let check = f.new_block();
+        let sleep = f.new_block();
+        let work = f.new_block();
+        f.lock(mu.at(0));
+        f.jump(check);
+        f.switch_to(check);
+        let s = f.load(stage.at(0));
+        let mine = f.eq(s, id);
+        f.branch(mine, work, sleep);
+        f.switch_to(sleep);
+        f.wait(cv.at(0), mu.at(0));
+        f.jump(check);
+        f.switch_to(work);
+        let p = f.load(payload.at(0));
+        let p2 = f.add(p, 1);
+        f.store(payload.at(0), p2);
+        let s2 = f.add(id, 1);
+        f.store(stage.at(0), s2);
+        f.broadcast(cv.at(0));
+        f.unlock(mu.at(0));
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let tids: Vec<_> = (0..t).map(|i| f.spawn(worker, i as i64)).collect();
+        for tid in tids {
+            f.join(tid);
+        }
+        let p = f.load(payload.at(0));
+        let expected = f.eq(p, n);
+        f.assert_(expected, "all stages ran");
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Semaphore gate followed by a barrier round.
+fn sem_barrier(t: u32) -> Module {
+    let mut mb = ModuleBuilder::new("sem_barrier");
+    let sem = mb.global("sem", 1);
+    let bar = mb.global("bar", 3);
+    let slots = mb.global("slots", t as u64);
+    let n = t as i64;
+    let worker = mb.function("worker", 1, |f| {
+        f.sem_wait(sem.at(0));
+        f.store(slots.idx(f.param(0)), 1);
+        f.sem_post(sem.at(0));
+        f.barrier_wait(bar.at(0));
+        let mut total = f.const_(0);
+        for i in 0..n {
+            let s = f.load(slots.at(i));
+            total = f.add(total, s);
+        }
+        let _ = total;
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        f.sem_init(sem.at(0), 1);
+        f.barrier_init(bar.at(0), n);
+        let tids: Vec<_> = (0..t).map(|i| f.spawn(worker, i as i64)).collect();
+        for tid in tids {
+            f.join(tid);
+        }
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Phase 1 under locks, join-all, main runs phase 2 single-threaded.
+fn lock_phases_join(t: u32) -> Module {
+    let mut mb = ModuleBuilder::new("lock_phases_join");
+    let mu = mb.global("mu", 1);
+    let acc = mb.global("acc", 1);
+    let worker = mb.function("worker", 1, |f| {
+        f.lock(mu.at(0));
+        let v = f.load(acc.at(0));
+        let v2 = f.add(v, f.param(0));
+        f.store(acc.at(0), v2);
+        f.unlock(mu.at(0));
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let tids: Vec<_> = (0..t).map(|i| f.spawn(worker, i as i64)).collect();
+        for tid in tids {
+            f.join(tid);
+        }
+        // no lock needed after join
+        let v = f.load(acc.at(0));
+        let v2 = f.mul(v, 2);
+        f.store(acc.at(0), v2);
+        f.output(v2);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Producer/consumer: semaphore for data-ready, mutex for the stats.
+fn producer_consumer_mixed() -> Module {
+    let mut mb = ModuleBuilder::new("producer_consumer_mixed");
+    let sem = mb.global("sem", 1);
+    let mu = mb.global("mu", 1);
+    let data = mb.global("data", 4);
+    let stats = mb.global("stats", 1);
+    let producer = mb.function("producer", 1, |f| {
+        for i in 0..4 {
+            f.store(data.at(i), 10 + i);
+            f.sem_post(sem.at(0));
+        }
+        f.ret(None);
+    });
+    let consumer = mb.function("consumer", 1, |f| {
+        for i in 0..4 {
+            f.sem_wait(sem.at(0));
+            let v = f.load(data.at(i));
+            f.lock(mu.at(0));
+            let s = f.load(stats.at(0));
+            let s2 = f.add(s, v);
+            f.store(stats.at(0), s2);
+            f.unlock(mu.at(0));
+        }
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        f.sem_init(sem.at(0), 0);
+        let p = f.spawn(producer, 0);
+        let c = f.spawn(consumer, 0);
+        f.join(p);
+        f.join(c);
+        let s = f.load(stats.at(0));
+        f.output(s);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// One case that exercises every library primitive.
+fn all_primitives() -> Module {
+    let mut mb = ModuleBuilder::new("all_primitives");
+    let mu = mb.global("mu", 1);
+    let cv = mb.global("cv", 1);
+    let bar = mb.global("bar", 3);
+    let sem = mb.global("sem", 1);
+    let ready = mb.global("ready", 1);
+    let value = mb.global("value", 1);
+    let worker = mb.function("worker", 1, |f| {
+        // CV wait for readiness
+        let check = f.new_block();
+        let sleep = f.new_block();
+        let go = f.new_block();
+        f.lock(mu.at(0));
+        f.jump(check);
+        f.switch_to(check);
+        let r = f.load(ready.at(0));
+        f.branch(r, go, sleep);
+        f.switch_to(sleep);
+        f.wait(cv.at(0), mu.at(0));
+        f.jump(check);
+        f.switch_to(go);
+        f.unlock(mu.at(0));
+        // semaphore-guarded increment
+        f.sem_wait(sem.at(0));
+        let v = f.load(value.at(0));
+        let v2 = f.add(v, 1);
+        f.store(value.at(0), v2);
+        f.sem_post(sem.at(0));
+        // barrier with main
+        f.barrier_wait(bar.at(0));
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        f.sem_init(sem.at(0), 1);
+        f.barrier_init(bar.at(0), 3);
+        let t1 = f.spawn(worker, 0);
+        let t2 = f.spawn(worker, 1);
+        f.lock(mu.at(0));
+        f.store(ready.at(0), 1);
+        f.broadcast(cv.at(0));
+        f.unlock(mu.at(0));
+        f.barrier_wait(bar.at(0));
+        let v = f.load(value.at(0));
+        f.output(v);
+        f.join(t1);
+        f.join(t2);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}

@@ -1,0 +1,214 @@
+//! Classification harness: runs tools over the suites and aggregates the
+//! numbers behind every table of the paper.
+
+use crate::drt::DrtCase;
+use crate::parsec::ParsecProgram;
+use spinrace_core::{AnalysisOutcome, Analyzer, Tool};
+
+/// The report cap used for drt runs. Small enough that a determined
+/// false-positive flood can drown a late real race (the paper's removed
+/// false negative); large enough that ordinary cases are unaffected.
+pub const DRT_CAP: usize = 25;
+
+/// One case × tool result.
+#[derive(Clone, Debug)]
+pub struct CaseOutcome {
+    /// Case id.
+    pub case_id: u32,
+    /// Case name.
+    pub case_name: String,
+    /// Tool label.
+    pub tool: String,
+    /// Racy context count.
+    pub contexts: usize,
+    /// For racy cases: was the expected race reported?
+    pub detected: bool,
+    /// For race-free cases: was anything reported?
+    pub false_alarm: bool,
+    /// Pipeline error, if any (counts as a failed case).
+    pub error: Option<String>,
+}
+
+/// Per-tool aggregate over the whole suite — one row of the paper's
+/// Table 1 / Table 2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DrtRow {
+    /// Tool label.
+    pub tool: String,
+    /// Race-free cases with ≥1 report.
+    pub false_alarms: usize,
+    /// Racy cases where the expected race went unreported.
+    pub missed_races: usize,
+    /// `false_alarms + missed_races`.
+    pub failed: usize,
+    /// `120 - failed`.
+    pub correct: usize,
+}
+
+/// The whole drt table plus per-case detail.
+#[derive(Clone, Debug)]
+pub struct DrtTable {
+    /// One row per tool, in input order.
+    pub rows: Vec<DrtRow>,
+    /// Every individual outcome (for drill-down).
+    pub outcomes: Vec<CaseOutcome>,
+}
+
+impl DrtTable {
+    /// Row for a given tool label.
+    pub fn row(&self, label: &str) -> Option<&DrtRow> {
+        self.rows.iter().find(|r| r.tool == label)
+    }
+}
+
+/// Classify one outcome against its case's ground truth.
+pub fn classify(case: &DrtCase, out: &AnalysisOutcome) -> (bool, bool) {
+    if case.racy {
+        let detected = case
+            .race_location
+            .map(|loc| out.has_race_on(loc))
+            .unwrap_or(false);
+        (detected, false)
+    } else {
+        (false, !out.is_clean())
+    }
+}
+
+/// Run the full drt suite for each tool (round-robin schedule, short MSM,
+/// drt report cap). This regenerates the paper's Table 1 (with the
+/// standard lineup) and Table 2 (with a window sweep lineup).
+pub fn run_drt(tools: &[Tool]) -> DrtTable {
+    run_drt_with(tools, &crate::drt::all_cases())
+}
+
+/// Same, over a provided case list (useful for category slices in tests).
+pub fn run_drt_with(tools: &[Tool], cases: &[DrtCase]) -> DrtTable {
+    let mut rows = Vec::with_capacity(tools.len());
+    let mut outcomes = Vec::new();
+    for &tool in tools {
+        let analyzer = Analyzer::tool(tool).cap(DRT_CAP);
+        let mut false_alarms = 0;
+        let mut missed = 0;
+        for case in cases {
+            match analyzer.analyze(&case.module) {
+                Ok(out) => {
+                    let (detected, fa) = classify(case, &out);
+                    if case.racy && !detected {
+                        missed += 1;
+                    }
+                    if fa {
+                        false_alarms += 1;
+                    }
+                    outcomes.push(CaseOutcome {
+                        case_id: case.id,
+                        case_name: case.name.clone(),
+                        tool: tool.label(),
+                        contexts: out.contexts,
+                        detected,
+                        false_alarm: fa,
+                        error: None,
+                    });
+                }
+                Err(e) => {
+                    // An execution failure counts against the tool's
+                    // correct column like a miss/false alarm would.
+                    if case.racy {
+                        missed += 1;
+                    } else {
+                        false_alarms += 1;
+                    }
+                    outcomes.push(CaseOutcome {
+                        case_id: case.id,
+                        case_name: case.name.clone(),
+                        tool: tool.label(),
+                        contexts: 0,
+                        detected: false,
+                        false_alarm: !case.racy,
+                        error: Some(e.to_string()),
+                    });
+                }
+            }
+        }
+        let failed = false_alarms + missed;
+        rows.push(DrtRow {
+            tool: tool.label(),
+            false_alarms,
+            missed_races: missed,
+            failed,
+            correct: cases.len() - failed,
+        });
+    }
+    DrtTable { rows, outcomes }
+}
+
+/// One PARSEC table cell: racy contexts averaged over the seeds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ParsecCell {
+    /// Mean distinct racy contexts across seeds (capped at 1000 per run).
+    pub mean_contexts: f64,
+    /// Minimum across seeds.
+    pub min: usize,
+    /// Maximum across seeds.
+    pub max: usize,
+}
+
+/// The PARSEC racy-context table: `cells[program][tool]`.
+#[derive(Clone, Debug)]
+pub struct ParsecTable {
+    /// Program names, row order.
+    pub programs: Vec<String>,
+    /// Tool labels, column order.
+    pub tools: Vec<String>,
+    /// `cells[row][col]`.
+    pub cells: Vec<Vec<ParsecCell>>,
+}
+
+impl ParsecTable {
+    /// Cell by program and tool label.
+    pub fn cell(&self, program: &str, tool: &str) -> Option<ParsecCell> {
+        let r = self.programs.iter().position(|p| p == program)?;
+        let c = self.tools.iter().position(|t| t == tool)?;
+        Some(self.cells[r][c])
+    }
+}
+
+/// Run the PARSEC suite: long MSM (integration mode), cap 1000, averaging
+/// over `seeds` random schedules — fractional averages exactly as in the
+/// paper's tables. `nolib` runs use each program's library-internals
+/// flavour (obscure for the programs whose real libraries defeated the
+/// patterns).
+pub fn run_parsec(programs: &[ParsecProgram], tools: &[Tool], seeds: &[u64]) -> ParsecTable {
+    let mut cells = Vec::with_capacity(programs.len());
+    for prog in programs {
+        let module = (prog.build)(prog.threads, prog.size);
+        let mut row = Vec::with_capacity(tools.len());
+        for &tool in tools {
+            let mut counts = Vec::with_capacity(seeds.len());
+            for &seed in seeds {
+                let mut analyzer = Analyzer::tool(tool).long_msm().seed(seed);
+                if prog.obscure_nolib {
+                    analyzer = analyzer.obscure_nolib();
+                }
+                let contexts = match analyzer.analyze(&module) {
+                    Ok(out) => out.contexts,
+                    // A failed run counts as saturation (a real tool would
+                    // report "analysis incomplete").
+                    Err(_) => 1000,
+                };
+                counts.push(contexts);
+            }
+            let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+            row.push(ParsecCell {
+                mean_contexts: mean,
+                min: counts.iter().copied().min().unwrap_or(0),
+                max: counts.iter().copied().max().unwrap_or(0),
+            });
+        }
+        cells.push(row);
+    }
+    ParsecTable {
+        programs: programs.iter().map(|p| p.name.to_string()).collect(),
+        tools: tools.iter().map(|t| t.label()).collect(),
+        cells,
+    }
+}

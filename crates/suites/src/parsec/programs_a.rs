@@ -1,0 +1,482 @@
+//! PARSEC skeletons, part 1: blackscholes, swaptions, fluidanimate,
+//! canneal, freqmine, vips, bodytrack.
+
+use spinrace_synclib::patterns::{spin_until_nonzero, spin_until_nonzero_sized};
+use spinrace_tir::{MemOrder, Module, ModuleBuilder, Operand, RmwOp};
+
+/// Slice bounds for worker `id` over `size` items in `threads` parts.
+fn slice(id: u32, threads: u32, size: u32) -> (i64, i64) {
+    let per = size.div_ceil(threads);
+    let lo = (id * per).min(size) as i64;
+    let hi = ((id + 1) * per).min(size) as i64;
+    (lo, hi)
+}
+
+/// Data-parallel option pricing with a barrier between two passes.
+/// No locks, no CVs, no ad-hoc — every tool should stay silent.
+pub fn blackscholes(threads: u32, size: u32) -> Module {
+    let mut mb = ModuleBuilder::new("blackscholes");
+    let bar = mb.global("bar", 3);
+    let options = mb.global("options", size as u64);
+    let prices = mb.global("prices", size as u64);
+    let smoothed = mb.global("smoothed", size as u64);
+    let mut workers = Vec::new();
+    for id in 0..threads {
+        let (lo, hi) = slice(id, threads, size);
+        workers.push(mb.function(&format!("bs_worker_{id}"), 1, |f| {
+            for i in lo..hi {
+                let o = f.load(options.at(i));
+                let p1 = f.mul(o, 3);
+                let p = f.add(p1, 1);
+                f.store(prices.at(i), p);
+            }
+            f.barrier_wait(bar.at(0));
+            for i in lo..hi {
+                let here = f.load(prices.at(i));
+                let next = f.load(prices.at((i + 1) % size as i64));
+                let s = f.add(here, next);
+                f.store(smoothed.at(i), s);
+            }
+            f.ret(None);
+        }));
+    }
+    mb.entry("main", |f| {
+        for i in 0..size as i64 {
+            f.store(options.at(i), i + 1);
+        }
+        f.barrier_init(bar.at(0), threads as i64);
+        let tids: Vec<_> = workers.iter().map(|&w| f.spawn(w, 0)).collect();
+        for t in tids {
+            f.join(t);
+        }
+        let v = f.load(smoothed.at(0));
+        f.output(v);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Embarrassingly parallel simulation slices; ordering purely via join.
+pub fn swaptions(threads: u32, size: u32) -> Module {
+    let mut mb = ModuleBuilder::new("swaptions");
+    let rates = mb.global("rates", size as u64);
+    let values = mb.global("values", size as u64);
+    let mut workers = Vec::new();
+    for id in 0..threads {
+        let (lo, hi) = slice(id, threads, size);
+        workers.push(mb.function(&format!("sw_worker_{id}"), 1, |f| {
+            for i in lo..hi {
+                let r = f.load(rates.at(i));
+                let sq = f.mul(r, r);
+                let v = f.add(sq, 7);
+                f.store(values.at(i), v);
+            }
+            f.ret(None);
+        }));
+    }
+    mb.entry("main", |f| {
+        for i in 0..size as i64 {
+            f.store(rates.at(i), 2 * i + 1);
+        }
+        let tids: Vec<_> = workers.iter().map(|&w| f.spawn(w, 0)).collect();
+        for t in tids {
+            f.join(t);
+        }
+        let mut total = f.const_(0);
+        for i in 0..size as i64 {
+            let v = f.load(values.at(i));
+            total = f.add(total, v);
+        }
+        f.output(total);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Grid relaxation with per-cell locks (neighbours locked in index order)
+/// and a barrier between iterations.
+pub fn fluidanimate(threads: u32, size: u32) -> Module {
+    let mut mb = ModuleBuilder::new("fluidanimate");
+    let bar = mb.global("bar", 3);
+    let cellmu = mb.global("cellmu", size as u64);
+    let cells = mb.global("cells", size as u64);
+    let mut workers = Vec::new();
+    for id in 0..threads {
+        let (lo, hi) = slice(id, threads, size);
+        workers.push(mb.function(&format!("fa_worker_{id}"), 1, |f| {
+            for round in 0..2 {
+                for i in lo..hi {
+                    if i + 1 < size as i64 {
+                        f.lock(cellmu.at(i));
+                        f.lock(cellmu.at(i + 1));
+                        let a = f.load(cells.at(i));
+                        let b = f.load(cells.at(i + 1));
+                        let s = f.add(a, b);
+                        f.store(cells.at(i), s);
+                        f.unlock(cellmu.at(i + 1));
+                        f.unlock(cellmu.at(i));
+                    } else {
+                        f.lock(cellmu.at(i));
+                        let a = f.load(cells.at(i));
+                        let s = f.add(a, round + 1);
+                        f.store(cells.at(i), s);
+                        f.unlock(cellmu.at(i));
+                    }
+                }
+                f.barrier_wait(bar.at(0));
+            }
+            f.ret(None);
+        }));
+    }
+    mb.entry("main", |f| {
+        for i in 0..size as i64 {
+            f.store(cells.at(i), i);
+        }
+        f.barrier_init(bar.at(0), threads as i64);
+        let tids: Vec<_> = workers.iter().map(|&w| f.spawn(w, 0)).collect();
+        for t in tids {
+            f.join(t);
+        }
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Simulated annealing with atomic element swaps on disjoint partitions
+/// (lock-free, as the original's atomic pointer swaps).
+pub fn canneal(threads: u32, size: u32) -> Module {
+    let mut mb = ModuleBuilder::new("canneal");
+    let elements = mb.global("elements", size as u64);
+    let temperature = mb.global("temperature", 1);
+    let mut workers = Vec::new();
+    for id in 0..threads {
+        let (lo, hi) = slice(id, threads, size);
+        workers.push(mb.function(&format!("ca_worker_{id}"), 1, |f| {
+            let t = f.load(temperature.at(0));
+            for i in lo..hi {
+                let delta = f.add(t, i);
+                f.rmw(RmwOp::Xchg, elements.at(i), delta, MemOrder::AcqRel);
+            }
+            f.ret(None);
+        }));
+    }
+    mb.entry("main", |f| {
+        f.store(temperature.at(0), 100);
+        for i in 0..size as i64 {
+            f.store(elements.at(i), i);
+        }
+        let tids: Vec<_> = workers.iter().map(|&w| f.spawn(w, 0)).collect();
+        for t in tids {
+            f.join(t);
+        }
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// "OpenMP" mining: a custom runtime the detector has no library
+/// knowledge of in *any* configuration — an atomic chunk dispatcher, a
+/// hand-rolled counter/generation barrier, and a master-ready flag whose
+/// wait loop is too obscure for the spin patterns (the residual 2).
+pub fn freqmine(threads: u32, size: u32) -> Module {
+    let mut mb = ModuleBuilder::new("freqmine");
+    let master_ready = mb.global("master_ready", 1);
+    let chunk_next = mb.global("chunk_next", 1);
+    let omp_ctr = mb.global("omp_ctr", 1);
+    let omp_gen = mb.global("omp_gen", 1);
+    let items = mb.global("items", size as u64);
+    let counts = mb.global("counts", size as u64);
+    let totals = mb.global("totals", threads as u64);
+    let nthreads = threads as i64;
+    let mut workers = Vec::new();
+    for id in 0..threads {
+        workers.push(mb.function(&format!("fm_worker_{id}"), 1, |f| {
+            // Obscure master-ready wait: 9-block loop, beyond any window.
+            spin_until_nonzero_sized(f, master_ready.at(0), 9);
+            // Dynamic chunk dispatch via atomic fetch-add.
+            let head = f.new_block();
+            let body = f.new_block();
+            let barrier = f.new_block();
+            f.jump(head);
+            f.switch_to(head);
+            let c = f.rmw(RmwOp::Add, chunk_next.at(0), 1, MemOrder::SeqCst);
+            let done = f.ge(c, size as i64);
+            f.branch(done, barrier, body);
+            f.switch_to(body);
+            let v = f.load(items.idx(c));
+            let doubled = f.mul(v, 2);
+            f.store(counts.idx(c), doubled);
+            f.jump(head);
+            f.switch_to(barrier);
+            // Hand-rolled barrier: atomic arrivals, plain-store generation.
+            let gen = f.load(omp_gen.at(0));
+            let old = f.rmw(RmwOp::Add, omp_ctr.at(0), 1, MemOrder::SeqCst);
+            let arrived = f.add(old, 1);
+            let last = f.eq(arrived, nthreads);
+            let last_b = f.new_block();
+            let spin_b = f.new_block();
+            let after = f.new_block();
+            f.branch(last, last_b, spin_b);
+            f.switch_to(last_b);
+            f.store(omp_ctr.at(0), 0);
+            let g2 = f.add(gen, 1);
+            f.store(omp_gen.at(0), g2);
+            f.jump(after);
+            f.switch_to(spin_b);
+            let now = f.load(omp_gen.at(0));
+            let same = f.eq(now, gen);
+            f.branch(same, spin_b, after);
+            f.switch_to(after);
+            // Reduction pass: every worker reads all counts (unrolled).
+            let mut total = f.const_(0);
+            for i in 0..size as i64 {
+                let cv = f.load(counts.at(i));
+                total = f.add(total, cv);
+            }
+            f.store(totals.idx(f.param(0)), total);
+            f.ret(None);
+        }));
+    }
+    mb.entry("main", |f| {
+        for i in 0..size as i64 {
+            f.store(items.at(i), i + 1);
+        }
+        let tids: Vec<_> = workers
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| f.spawn(w, i as i64))
+            .collect();
+        f.store(master_ready.at(0), 1);
+        for t in tids {
+            f.join(t);
+        }
+        let v = f.load(totals.at(0));
+        f.output(v);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Image pipeline over a custom GLIB-like library: a hand-rolled TTAS
+/// mutex (part of the *program*, unknown to every detector) plus per-item
+/// plain done-flags between stages — all clean spin patterns.
+pub fn vips(_threads: u32, size: u32) -> Module {
+    let mut mb = ModuleBuilder::new("vips");
+    let glock = mb.global("glock", 1);
+    let stats = mb.global("stats", 1);
+    let buf1 = mb.global("buf1", size as u64);
+    let flag1 = mb.global("flag1", size as u64);
+    let buf2 = mb.global("buf2", size as u64);
+    let flag2 = mb.global("flag2", size as u64);
+    // The "GLIB" lock: test-and-test-and-set, in program code.
+    let glib_lock = mb.function("glib_lock", 1, |f| {
+        let test = f.new_block();
+        let try_b = f.new_block();
+        let done = f.new_block();
+        f.jump(test);
+        f.switch_to(test);
+        let v = f.load(spinrace_tir::AddrExpr::Based { base: f.param(0), disp: 0 });
+        f.branch(v, test, try_b);
+        f.switch_to(try_b);
+        let old = f.cas(
+            spinrace_tir::AddrExpr::Based { base: f.param(0), disp: 0 },
+            0,
+            1,
+            MemOrder::AcqRel,
+        );
+        f.branch(old, test, done);
+        f.switch_to(done);
+        f.ret(None);
+    });
+    let glib_unlock = mb.function("glib_unlock", 1, |f| {
+        f.store(
+            spinrace_tir::AddrExpr::Based { base: f.param(0), disp: 0 },
+            0,
+        );
+        f.ret(None);
+    });
+    let bump_stats = mb.function("bump_stats", 1, |f| {
+        let p = f.addr_of(glock, 0);
+        f.call_void(glib_lock, &[Operand::Reg(p)]);
+        let s = f.load(stats.at(0));
+        let s2 = f.add(s, 1);
+        f.store(stats.at(0), s2);
+        f.call_void(glib_unlock, &[Operand::Reg(p)]);
+        f.ret(None);
+    });
+    let stage1 = mb.function("stage1", 1, |f| {
+        for i in 0..size as i64 {
+            let v = f.const_(i + 10);
+            f.store(buf1.at(i), v);
+            f.store(flag1.at(i), 1);
+            f.call_void(bump_stats, &[Operand::Imm(0)]);
+        }
+        f.ret(None);
+    });
+    let stage2 = mb.function("stage2", 1, |f| {
+        for i in 0..size as i64 {
+            spin_until_nonzero(f, flag1.at(i));
+            let v = f.load(buf1.at(i));
+            let v2 = f.mul(v, 2);
+            f.store(buf2.at(i), v2);
+            f.store(flag2.at(i), 1);
+            f.call_void(bump_stats, &[Operand::Imm(0)]);
+        }
+        f.ret(None);
+    });
+    let stage3 = mb.function("stage3", 1, |f| {
+        let mut total = f.const_(0);
+        for i in 0..size as i64 {
+            spin_until_nonzero(f, flag2.at(i));
+            let v = f.load(buf2.at(i));
+            total = f.add(total, v);
+        }
+        f.output(total);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let t1 = f.spawn(stage1, 0);
+        let t2 = f.spawn(stage2, 0);
+        let t3 = f.spawn(stage3, 0);
+        f.join(t1);
+        f.join(t2);
+        f.join(t3);
+        let s = f.load(stats.at(0));
+        f.output(s);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Body tracking: a mutex+CV task queue and a frame barrier (library),
+/// plus two *obscure* ad-hoc waits (an oversized ticket loop and an
+/// impure-condition results loop) that no configuration can match — the
+/// persistent residual. Its heavy CV traffic is what regresses under the
+/// obscure `nolib` lowering.
+pub fn bodytrack(threads: u32, size: u32) -> Module {
+    let mut mb = ModuleBuilder::new("bodytrack");
+    let mu = mb.global("mu", 1);
+    let cv = mb.global("cv", 1);
+    let bar = mb.global("bar", 3);
+    let queue = mb.global("queue", size as u64);
+    let qlen = mb.global("qlen", 1);
+    let taken = mb.global("taken", 1);
+    let results = mb.global("results", size as u64);
+    let tickets = mb.global("tickets", threads as u64);
+    let results_ready = mb.global("results_ready", 1);
+    let scratch = mb.global("scratch", threads as u64);
+    let done_flags = mb.global("done_flags", size as u64);
+    let display_sum = mb.global("display_sum", 1);
+    let nitems = size as i64;
+    // Impure condition helper for the results-ready wait.
+    let check_ready = mb.function("check_ready", 1, |f| {
+        let s = f.load(scratch.idx(f.param(0)));
+        let s2 = f.add(s, 1);
+        f.store(scratch.idx(f.param(0)), s2);
+        let v = f.load(results_ready.at(0));
+        f.ret(Some(Operand::Reg(v)));
+    });
+    // Display thread: clean per-task flag spins (ad-hoc that the spin
+    // feature handles; floods `lib` mode).
+    let display = mb.function("bt_display", 1, |f| {
+        let mut total = f.const_(0);
+        for i in 0..nitems {
+            spin_until_nonzero(f, done_flags.at(i));
+            let r = f.load(results.at(i));
+            total = f.add(total, r);
+        }
+        f.store(display_sum.at(0), total);
+        f.ret(None);
+    });
+    let mut workers = Vec::new();
+    for id in 0..threads {
+        workers.push(mb.function(&format!("bt_worker_{id}"), 1, |f| {
+            // Obscure ticket wait: 9-block loop (function-pointer-style
+            // dispatch in the original).
+            spin_until_nonzero_sized(f, tickets.at(id as i64), 9);
+            // Pull tasks from the CV queue until all are taken.
+            let loop_head = f.new_block();
+            let sleepchk = f.new_block();
+            let sleep_b = f.new_block();
+            let take = f.new_block();
+            let done = f.new_block();
+            f.jump(loop_head);
+            f.switch_to(loop_head);
+            f.lock(mu.at(0));
+            f.jump(sleepchk);
+            f.switch_to(sleepchk);
+            let t = f.load(taken.at(0));
+            let exhausted = f.ge(t, nitems);
+            let finish = f.new_block();
+            f.branch(exhausted, finish, sleep_b);
+            f.switch_to(finish);
+            f.unlock(mu.at(0));
+            f.jump(done);
+            f.switch_to(sleep_b);
+            let l = f.load(qlen.at(0));
+            let avail = f.bin(spinrace_tir::BinOp::Gt, l, Operand::Reg(t));
+            let wait_b = f.new_block();
+            f.branch(avail, take, wait_b);
+            f.switch_to(wait_b);
+            f.wait(cv.at(0), mu.at(0));
+            f.jump(sleepchk);
+            f.switch_to(take);
+            let idx = f.load(taken.at(0));
+            let item = f.load(queue.idx(idx));
+            let idx2 = f.add(idx, 1);
+            f.store(taken.at(0), idx2);
+            f.unlock(mu.at(0));
+            let r = f.mul(item, 5);
+            f.store(results.idx(idx), r);
+            f.store(done_flags.idx(idx), 1);
+            f.jump(loop_head);
+            f.switch_to(done);
+            f.barrier_wait(bar.at(0));
+            f.ret(None);
+        }));
+    }
+    mb.entry("main", |f| {
+        f.barrier_init(bar.at(0), threads as i64 + 1);
+        let display_tid = f.spawn(display, 0);
+        let tids: Vec<_> = workers
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| f.spawn(w, i as i64))
+            .collect();
+        // Hand out tickets (the obscure flags), one store site each.
+        for id in 0..threads as i64 {
+            f.store(tickets.at(id), 1);
+        }
+        // Enqueue tasks one signal per item (unrolled: distinct sites).
+        for i in 0..nitems {
+            f.lock(mu.at(0));
+            f.store(queue.at(i), i + 2);
+            let l2 = f.add(i, 1);
+            f.store(qlen.at(0), l2);
+            f.signal(cv.at(0));
+            f.unlock(mu.at(0));
+        }
+        // Wake anyone still waiting after the last item.
+        f.lock(mu.at(0));
+        f.broadcast(cv.at(0));
+        f.unlock(mu.at(0));
+        f.barrier_wait(bar.at(0));
+        f.store(results_ready.at(0), 1);
+        for t in tids {
+            f.join(t);
+        }
+        f.join(display_tid);
+        // Main's own obscure wait (impure condition) before reading.
+        let head = f.new_block();
+        let after = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        let v = f.call(check_ready, &[Operand::Imm(0)]);
+        f.branch(v, after, head);
+        f.switch_to(after);
+        let r = f.load(results.at(0));
+        f.output(r);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}

@@ -1,0 +1,515 @@
+//! PARSEC skeletons, part 2: facesim, ferret, x264, dedup, streamcluster,
+//! raytrace.
+
+use spinrace_synclib::patterns::{spin_until_ge, spin_until_nonzero, spin_until_nonzero_sized};
+use spinrace_tir::{MemOrder, Module, ModuleBuilder, Operand};
+
+/// Physics simulation with a clean ad-hoc task queue: per-task plain
+/// done-flags between the producer and per-partition workers, plus a
+/// lock-protected accumulator and a CV completion handshake.
+pub fn facesim(threads: u32, size: u32) -> Module {
+    let mut mb = ModuleBuilder::new("facesim");
+    let mu = mb.global("mu", 1);
+    let cv = mb.global("cv", 1);
+    let acc = mb.global("acc", 1);
+    let finished = mb.global("finished", 1);
+    // Two rounds reuse one flag word per task (value == round), like the
+    // original's frame loop — repeated unordered accesses per location are
+    // what survives the long-MSM gating.
+    let tasks = mb.global("tasks", (2 * size) as u64);
+    let task_ready = mb.global("task_ready", size as u64);
+    let outputs = mb.global("outputs", (2 * size) as u64);
+    let nthreads = threads as i64;
+    let mut workers = Vec::new();
+    for id in 0..threads {
+        let lo = (id * size / threads) as i64;
+        let hi = ((id + 1) * size / threads) as i64;
+        workers.push(mb.function(&format!("fs_worker_{id}"), 1, |f| {
+            for round in 0..2i64 {
+                for i in lo..hi {
+                    // clean ad-hoc: wait for the producer's per-task flag
+                    spin_until_ge(f, task_ready.at(i), round + 1);
+                    let slot = round * size as i64 + i;
+                    let t = f.load(tasks.at(slot));
+                    let r = f.mul(t, 3);
+                    f.store(outputs.at(slot), r);
+                    f.lock(mu.at(0));
+                    let a = f.load(acc.at(0));
+                    let a2 = f.add(a, r);
+                    f.store(acc.at(0), a2);
+                    f.unlock(mu.at(0));
+                }
+            }
+            f.lock(mu.at(0));
+            let done = f.load(finished.at(0));
+            let d2 = f.add(done, 1);
+            f.store(finished.at(0), d2);
+            f.signal(cv.at(0));
+            f.unlock(mu.at(0));
+            f.ret(None);
+        }));
+    }
+    mb.entry("main", |f| {
+        let tids: Vec<_> = workers
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| f.spawn(w, i as i64))
+            .collect();
+        // Produce all tasks, flag by flag (unrolled: distinct sites).
+        for round in 0..2i64 {
+            for i in 0..size as i64 {
+                let slot = round * size as i64 + i;
+                f.store(tasks.at(slot), slot + 1);
+                f.store(task_ready.at(i), round + 1);
+            }
+        }
+        // CV wait for completion.
+        let check = f.new_block();
+        let sleep = f.new_block();
+        let done = f.new_block();
+        f.lock(mu.at(0));
+        f.jump(check);
+        f.switch_to(check);
+        let d = f.load(finished.at(0));
+        let all = f.ge(d, nthreads);
+        f.branch(all, done, sleep);
+        f.switch_to(sleep);
+        f.wait(cv.at(0), mu.at(0));
+        f.jump(check);
+        f.switch_to(done);
+        f.unlock(mu.at(0));
+        for t in tids {
+            f.join(t);
+        }
+        let a = f.load(acc.at(0));
+        f.output(a);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Content-similarity pipeline: CV queue into stage A, clean per-item
+/// ad-hoc flags into stage B, and one *obscure* (impure-condition)
+/// all-done flag read by main before the joins — the small residual.
+pub fn ferret(_threads: u32, size: u32) -> Module {
+    let mut mb = ModuleBuilder::new("ferret");
+    let mu = mb.global("mu", 1);
+    let cv = mb.global("cv", 1);
+    let q = mb.global("q", size as u64);
+    let qlen = mb.global("qlen", 1);
+    let mid = mb.global("mid", size as u64);
+    let mid_ready = mb.global("mid_ready", size as u64);
+    let ranked = mb.global("ranked", size as u64);
+    let all_done = mb.global("all_done", 1);
+    let scratch = mb.global("scratch", 2);
+    let nitems = size as i64;
+    let check_done = mb.function("check_done", 1, |f| {
+        let s = f.load(scratch.idx(f.param(0)));
+        let s2 = f.add(s, 1);
+        f.store(scratch.idx(f.param(0)), s2);
+        let v = f.load(all_done.at(0));
+        f.ret(Some(Operand::Reg(v)));
+    });
+    // Stage A: consume the CV queue, emit per-item flags.
+    let stage_a = mb.function("fr_stage_a", 1, |f| {
+        for i in 0..nitems {
+            let check = f.new_block();
+            let sleep = f.new_block();
+            let take = f.new_block();
+            f.lock(mu.at(0));
+            f.jump(check);
+            f.switch_to(check);
+            let l = f.load(qlen.at(0));
+            let avail = f.bin(spinrace_tir::BinOp::Gt, l, i);
+            f.branch(avail, take, sleep);
+            f.switch_to(sleep);
+            f.wait(cv.at(0), mu.at(0));
+            f.jump(check);
+            f.switch_to(take);
+            let item = f.load(q.at(i));
+            f.unlock(mu.at(0));
+            let v = f.add(item, 100);
+            f.store(mid.at(i), v);
+            f.store(mid_ready.at(i), 1);
+        }
+        f.ret(None);
+    });
+    // Stage B: clean ad-hoc consumption, unrolled per item.
+    let stage_b = mb.function("fr_stage_b", 1, |f| {
+        for i in 0..nitems {
+            spin_until_nonzero(f, mid_ready.at(i));
+            let v = f.load(mid.at(i));
+            let r = f.mul(v, 2);
+            f.store(ranked.at(i), r);
+        }
+        f.store(all_done.at(0), 1);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let ta = f.spawn(stage_a, 0);
+        let tb = f.spawn(stage_b, 0);
+        // Produce into the CV queue, one signal per item (unrolled), with
+        // feature-extraction busywork between items so the consumer
+        // regularly outruns the producer and has to wait.
+        for i in 0..nitems {
+            let mut h = f.const_(i);
+            for _ in 0..12 {
+                h = f.add(h, 3);
+                h = f.mul(h, 5);
+            }
+            let _ = h;
+            f.lock(mu.at(0));
+            f.store(q.at(i), i + 1);
+            let l2 = f.add(i, 1);
+            f.store(qlen.at(0), l2);
+            f.signal(cv.at(0));
+            f.unlock(mu.at(0));
+        }
+        // Obscure wait on the pipeline's all-done flag (impure condition).
+        let head = f.new_block();
+        let after = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        let v = f.call(check_done, &[Operand::Imm(0)]);
+        f.branch(v, after, head);
+        f.switch_to(after);
+        let r = f.load(ranked.at(0));
+        f.output(r);
+        f.join(ta);
+        f.join(tb);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Video encoding: one worker *per frame*; each frame waits for its
+/// reference frame's progress flag (clean ad-hoc, per-frame code) and for
+/// the reference's deblocking flag through an oversized 9-block loop
+/// (the obscure residual, one per frame), then hands a "slot freed"
+/// signal back over a library CV.
+pub fn x264(_threads: u32, size: u32) -> Module {
+    let mut mb = ModuleBuilder::new("x264");
+    let mu = mb.global("mu", 1);
+    let cv = mb.global("cv", 1);
+    let freed = mb.global("freed", 1);
+    let progress = mb.global("progress", size as u64);
+    let dbdone = mb.global("dbdone", size as u64);
+    let rows = mb.global("rows", (size * 4) as u64);
+    let nframes = size as i64;
+    let mut frame_fns = Vec::new();
+    for frame in 0..size {
+        let i = frame as i64;
+        frame_fns.push(mb.function(&format!("frame_{frame}"), 1, |f| {
+            if i > 0 {
+                // clean ad-hoc dependency on the reference frame
+                spin_until_nonzero(f, progress.at(i - 1));
+                // obscure deblock-done wait (function-pointer dispatch in
+                // the original): 9 blocks, beyond every window
+                spin_until_nonzero_sized(f, dbdone.at(i - 1), 9);
+            }
+            // encode 4 rows, reading the reference frame's rows
+            for r in 0..4 {
+                let base = if i > 0 {
+                    f.load(rows.at((i - 1) * 4 + r))
+                } else {
+                    f.const_(1)
+                };
+                let v = f.add(base, r + 1);
+                f.store(rows.at(i * 4 + r), v);
+            }
+            f.store(progress.at(i), 1);
+            // recycle the frame slot through the library CV *before*
+            // deblocking finishes, so successors genuinely spin on the
+            // deblock flag (as they do in the original).
+            f.lock(mu.at(0));
+            let fr = f.load(freed.at(0));
+            let fr2 = f.add(fr, 1);
+            f.store(freed.at(0), fr2);
+            f.signal(cv.at(0));
+            f.unlock(mu.at(0));
+            // deblocking pass, then the obscure flag
+            let mut d = f.const_(i);
+            for _ in 0..8 {
+                d = f.add(d, 13);
+                d = f.mul(d, 3);
+            }
+            let _ = d;
+            f.store(dbdone.at(i), 1);
+            f.ret(None);
+        }));
+    }
+    mb.entry("main", |f| {
+        let tids: Vec<_> = frame_fns.iter().map(|&w| f.spawn(w, 0)).collect();
+        // CV wait until every frame slot is recycled.
+        let check = f.new_block();
+        let sleep = f.new_block();
+        let done = f.new_block();
+        f.lock(mu.at(0));
+        f.jump(check);
+        f.switch_to(check);
+        let fr = f.load(freed.at(0));
+        let all = f.ge(fr, nframes);
+        f.branch(all, done, sleep);
+        f.switch_to(sleep);
+        f.wait(cv.at(0), mu.at(0));
+        f.jump(check);
+        f.switch_to(done);
+        f.unlock(mu.at(0));
+        for t in tids {
+            f.join(t);
+        }
+        let v = f.load(rows.at((nframes - 1) * 4));
+        f.output(v);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Deduplication pipeline: hand-rolled *atomic* ready-flags between
+/// stages (release stores + acquire spin loads — DRD handles these,
+/// `Helgrind+ lib` floods on them, the spin feature fixes them), plus a
+/// small CV completion handshake (the obscure-`nolib` residual).
+pub fn dedup(_threads: u32, size: u32) -> Module {
+    let mut mb = ModuleBuilder::new("dedup");
+    let mu = mb.global("mu", 1);
+    let cv = mb.global("cv", 1);
+    let stages_done = mb.global("stages_done", 1);
+    let chunks = mb.global("chunks", size as u64);
+    let chunk_ready = mb.global("chunk_ready", size as u64);
+    let compressed = mb.global("compressed", size as u64);
+    let comp_ready = mb.global("comp_ready", size as u64);
+    let written = mb.global("written", size as u64);
+    let nitems = size as i64;
+    let compressor = mb.function("dd_compress", 1, |f| {
+        for i in 0..nitems {
+            // atomic acquire spin on the chunker's flag
+            let head = f.new_block();
+            let done = f.new_block();
+            f.jump(head);
+            f.switch_to(head);
+            let v = f.load_atomic(chunk_ready.at(i), MemOrder::Acquire);
+            f.branch(v, done, head);
+            f.switch_to(done);
+            let c = f.load(chunks.at(i));
+            let z = f.mul(c, 7);
+            f.store(compressed.at(i), z);
+            f.store_atomic(comp_ready.at(i), 1, MemOrder::Release);
+        }
+        f.ret(None);
+    });
+    let writer = mb.function("dd_write", 1, |f| {
+        for i in 0..nitems {
+            let head = f.new_block();
+            let done = f.new_block();
+            f.jump(head);
+            f.switch_to(head);
+            let v = f.load_atomic(comp_ready.at(i), MemOrder::Acquire);
+            f.branch(v, done, head);
+            f.switch_to(done);
+            let z = f.load(compressed.at(i));
+            f.store(written.at(i), z);
+        }
+        f.lock(mu.at(0));
+        f.store(stages_done.at(0), 1);
+        f.signal(cv.at(0));
+        f.unlock(mu.at(0));
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let tc = f.spawn(compressor, 0);
+        let tw = f.spawn(writer, 0);
+        // Chunking stage in main, atomic release flags (unrolled).
+        for i in 0..nitems {
+            f.store(chunks.at(i), i * 3 + 1);
+            f.store_atomic(chunk_ready.at(i), 1, MemOrder::Release);
+        }
+        // CV completion handshake.
+        let check = f.new_block();
+        let sleep = f.new_block();
+        let done = f.new_block();
+        f.lock(mu.at(0));
+        f.jump(check);
+        f.switch_to(check);
+        let d = f.load(stages_done.at(0));
+        f.branch(d, done, sleep);
+        f.switch_to(sleep);
+        f.wait(cv.at(0), mu.at(0));
+        f.jump(check);
+        f.switch_to(done);
+        f.unlock(mu.at(0));
+        f.join(tc);
+        f.join(tw);
+        let v = f.load(written.at(0));
+        f.output(v);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Online clustering: library locks and barriers carry the data phases;
+/// a small hand-rolled spin barrier (the famous custom one) covers only a
+/// tiny round counter — few contexts in `lib` mode — while the *one-shot*
+/// cross-reads of the centers array are what an ungated pure-HB detector
+/// floods on. Two workers keep per-location confirmations below the long
+/// MSM threshold.
+pub fn streamcluster(_threads: u32, size: u32) -> Module {
+    let threads = 2u32; // see docs: one foreign reader per location
+    let mut mb = ModuleBuilder::new("streamcluster");
+    let mu = mb.global("mu", 1);
+    let cv = mb.global("cv", 1);
+    let opened = mb.global("opened", 1);
+    let bar = mb.global("bar", 3);
+    let sb_mu = mb.global("sb_mu", 1);
+    let sb_ctr = mb.global("sb_ctr", 1);
+    let centers = mb.global("centers", size as u64);
+    let costs = mb.global("costs", threads as u64);
+    let nthreads = threads as i64;
+    let mut workers = Vec::new();
+    for id in 0..threads {
+        let lo = (id * size / threads) as i64;
+        let hi = ((id + 1) * size / threads) as i64;
+        workers.push(mb.function(&format!("sc_worker_{id}"), 1, |f| {
+            // Phase 1: write own centers; the *custom* spin barrier is
+            // the phase separator (as in the original's hand-rolled
+            // barrier), so a detector without its edges sees the
+            // one-shot cross-reads below as unordered.
+            for i in lo..hi {
+                let v = f.const_(i * 2 + 1);
+                f.store(centers.at(i), v);
+            }
+            // The paper's own Barrier() example, verbatim:
+            //   Lock(L); counter++; Unlock(L);
+            //   while (counter != NUMBER_THREADS) { /* do nothing */ }
+            // Reused across rounds by spinning to round * NUMBER_THREADS.
+            for round in 1..=2i64 {
+                f.lock(sb_mu.at(0));
+                let c = f.load(sb_ctr.at(0));
+                let c2 = f.add(c, 1);
+                f.store(sb_ctr.at(0), c2);
+                f.unlock(sb_mu.at(0));
+                let target = f.const_(round * nthreads);
+                let spin_b = f.new_block();
+                let after = f.new_block();
+                f.jump(spin_b);
+                f.switch_to(spin_b);
+                let now = f.load(sb_ctr.at(0));
+                let reached = f.ge(now, target);
+                f.branch(reached, after, spin_b);
+                f.switch_to(after);
+            }
+            // One-shot cross-reads of every center: ordered only by the
+            // custom barrier. The hybrid's long MSM gates these
+            // first-occurrence suspicions; an ungated pure-HB detector
+            // reports every one of them.
+            let mut total = f.const_(0);
+            for i in 0..size as i64 {
+                let c = f.load(centers.at(i));
+                total = f.add(total, c);
+            }
+            f.store(costs.idx(f.param(0)), total);
+            // The library barrier closes the round (uses a barrier, as
+            // the characteristics table records).
+            f.barrier_wait(bar.at(0));
+            // CV notification that this worker opened its center set.
+            f.lock(mu.at(0));
+            let o = f.load(opened.at(0));
+            let o2 = f.add(o, 1);
+            f.store(opened.at(0), o2);
+            f.signal(cv.at(0));
+            f.unlock(mu.at(0));
+            f.ret(None);
+        }));
+    }
+    mb.entry("main", |f| {
+        f.barrier_init(bar.at(0), nthreads);
+        let tids: Vec<_> = workers
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| f.spawn(w, i as i64))
+            .collect();
+        let check = f.new_block();
+        let sleep = f.new_block();
+        let done = f.new_block();
+        f.lock(mu.at(0));
+        f.jump(check);
+        f.switch_to(check);
+        let o = f.load(opened.at(0));
+        let all = f.ge(o, nthreads);
+        f.branch(all, done, sleep);
+        f.switch_to(sleep);
+        f.wait(cv.at(0), mu.at(0));
+        f.jump(check);
+        f.switch_to(done);
+        f.unlock(mu.at(0));
+        for t in tids {
+            f.join(t);
+        }
+        let c = f.load(costs.at(0));
+        f.output(c);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+/// Ray tracing: a lock-protected tile dispatcher plus clean per-tile
+/// done-flags consumed by a collector thread (plain ad-hoc spins the spin
+/// feature eliminates entirely; `nolib` uses the textbook library and
+/// stays clean too, as the paper reports).
+pub fn raytrace(threads: u32, size: u32) -> Module {
+    let mut mb = ModuleBuilder::new("raytrace");
+    let mu = mb.global("mu", 1);
+    let next_tile = mb.global("next_tile", 1);
+    let tiles = mb.global("tiles", size as u64);
+    let tile_done = mb.global("tile_done", size as u64);
+    let image = mb.global("image", 1);
+    let ntiles = size as i64;
+    // Two render passes reuse the per-tile done words (value == pass).
+    let worker = mb.function("rt_worker", 1, |f| {
+        let head = f.new_block();
+        let body = f.new_block();
+        let done = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        f.lock(mu.at(0));
+        let t = f.load(next_tile.at(0));
+        let t2 = f.add(t, 1);
+        f.store(next_tile.at(0), t2);
+        f.unlock(mu.at(0));
+        let have = f.lt(t, 2 * ntiles);
+        f.branch(have, body, done);
+        f.switch_to(body);
+        let tile = f.bin(spinrace_tir::BinOp::Rem, t, ntiles);
+        let pass = f.bin(spinrace_tir::BinOp::Div, t, ntiles);
+        let v = f.mul(t, 11);
+        f.store(tiles.idx(tile), v);
+        let p1 = f.add(pass, 1);
+        f.store(tile_done.idx(tile), p1);
+        f.jump(head);
+        f.switch_to(done);
+        f.ret(None);
+    });
+    let collector = mb.function("rt_collector", 1, |f| {
+        let mut total = f.const_(0);
+        for pass in 0..2i64 {
+            for i in 0..ntiles {
+                spin_until_ge(f, tile_done.at(i), pass + 1);
+                let v = f.load(tiles.at(i));
+                total = f.add(total, v);
+            }
+        }
+        f.store(image.at(0), total);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let tc = f.spawn(collector, 0);
+        let tids: Vec<_> = (0..threads).map(|i| f.spawn(worker, i as i64)).collect();
+        for t in tids {
+            f.join(t);
+        }
+        f.join(tc);
+        let v = f.load(image.at(0));
+        f.output(v);
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}

@@ -1,0 +1,293 @@
+//! Pretty-printing of modules — the textual assembly form used in
+//! diagnostics, the `spinfinder_dump` example, and failing-test output.
+
+use crate::instr::{AddrExpr, Atomicity, BinOp, Instr, Operand, RmwOp, Terminator, UnOp};
+use crate::module::Module;
+use std::fmt;
+
+struct DisplayCtx<'a> {
+    m: &'a Module,
+}
+
+impl DisplayCtx<'_> {
+    fn addr(&self, a: &AddrExpr) -> String {
+        let gname = |g: crate::GlobalId| self.m.globals[g.0 as usize].name.clone();
+        match a {
+            AddrExpr::Global { global, disp } => {
+                if *disp == 0 {
+                    format!("[{}]", gname(*global))
+                } else {
+                    format!("[{}+{}]", gname(*global), disp)
+                }
+            }
+            AddrExpr::GlobalIndexed {
+                global,
+                index,
+                scale,
+                disp,
+            } => format!("[{}+{index}*{scale}+{disp}]", gname(*global)),
+            AddrExpr::Based { base, disp } => {
+                if *disp == 0 {
+                    format!("[{base}]")
+                } else {
+                    format!("[{base}+{disp}]")
+                }
+            }
+            AddrExpr::BasedIndexed {
+                base,
+                index,
+                scale,
+                disp,
+            } => format!("[{base}+{index}*{scale}+{disp}]"),
+        }
+    }
+
+    fn op(&self, o: &Operand) -> String {
+        match o {
+            Operand::Reg(r) => format!("{r}"),
+            Operand::Imm(v) => format!("{v}"),
+        }
+    }
+
+    fn instr(&self, i: &Instr) -> String {
+        let atom = |a: &Atomicity| match a {
+            Atomicity::Plain => "".to_string(),
+            Atomicity::Atomic(o) => format!(".atomic({o:?})"),
+        };
+        match i {
+            Instr::Const { dst, value } => format!("{dst} = {value}"),
+            Instr::Mov { dst, src } => format!("{dst} = {src}"),
+            Instr::Bin { op, dst, a, b } => {
+                format!("{dst} = {} {} {}", self.op(a), binop(*op), self.op(b))
+            }
+            Instr::Un { op, dst, a } => format!("{dst} = {}{}", unop(*op), self.op(a)),
+            Instr::AddrOf { dst, global, disp } => format!(
+                "{dst} = &{}+{}",
+                self.m.globals[global.0 as usize].name, disp
+            ),
+            Instr::Load { dst, addr, atomic } => {
+                format!("{dst} = load{} {}", atom(atomic), self.addr(addr))
+            }
+            Instr::Store { src, addr, atomic } => {
+                format!("store{} {} <- {}", atom(atomic), self.addr(addr), self.op(src))
+            }
+            Instr::Cas {
+                dst,
+                addr,
+                expected,
+                new,
+                order,
+            } => format!(
+                "{dst} = cas.{order:?} {} {} -> {}",
+                self.addr(addr),
+                self.op(expected),
+                self.op(new)
+            ),
+            Instr::Rmw {
+                op,
+                dst,
+                addr,
+                src,
+                order,
+            } => format!(
+                "{dst} = rmw.{}.{order:?} {} {}",
+                rmwop(*op),
+                self.addr(addr),
+                self.op(src)
+            ),
+            Instr::Fence { order } => format!("fence.{order:?}"),
+            Instr::Alloc { dst, words } => format!("{dst} = alloc {}", self.op(words)),
+            Instr::MutexLock { addr } => format!("mutex_lock {}", self.addr(addr)),
+            Instr::MutexUnlock { addr } => format!("mutex_unlock {}", self.addr(addr)),
+            Instr::CondSignal { cv } => format!("cond_signal {}", self.addr(cv)),
+            Instr::CondBroadcast { cv } => format!("cond_broadcast {}", self.addr(cv)),
+            Instr::CondWait { cv, mutex } => {
+                format!("cond_wait {} {}", self.addr(cv), self.addr(mutex))
+            }
+            Instr::BarrierInit { addr, count } => {
+                format!("barrier_init {} {}", self.addr(addr), self.op(count))
+            }
+            Instr::BarrierWait { addr } => format!("barrier_wait {}", self.addr(addr)),
+            Instr::SemInit { addr, value } => {
+                format!("sem_init {} {}", self.addr(addr), self.op(value))
+            }
+            Instr::SemWait { addr } => format!("sem_wait {}", self.addr(addr)),
+            Instr::SemPost { addr } => format!("sem_post {}", self.addr(addr)),
+            Instr::Spawn { dst, func, arg } => format!(
+                "{dst} = spawn {}({})",
+                self.m.functions[func.0 as usize].name,
+                self.op(arg)
+            ),
+            Instr::Join { tid } => format!("join {}", self.op(tid)),
+            Instr::Call { dst, func, args } => {
+                let args: Vec<_> = args.iter().map(|a| self.op(a)).collect();
+                let call = format!(
+                    "call {}({})",
+                    self.m.functions[func.0 as usize].name,
+                    args.join(", ")
+                );
+                match dst {
+                    Some(d) => format!("{d} = {call}"),
+                    None => call,
+                }
+            }
+            Instr::Yield => "yield".into(),
+            Instr::Nop => "nop".into(),
+            Instr::Output { src } => format!("output {}", self.op(src)),
+            Instr::Assert { cond, msg } => {
+                format!("assert {} \"{}\"", self.op(cond), self.m.string(*msg))
+            }
+        }
+    }
+
+    fn term(&self, t: &Terminator) -> String {
+        match t {
+            Terminator::Jump(b) => format!("jump {b}"),
+            Terminator::Branch {
+                cond,
+                if_true,
+                if_false,
+            } => format!("branch {} ? {if_true} : {if_false}", self.op(cond)),
+            Terminator::Ret(None) => "ret".into(),
+            Terminator::Ret(Some(v)) => format!("ret {}", self.op(v)),
+            Terminator::Exit => "exit".into(),
+        }
+    }
+}
+
+fn binop(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Min => "min",
+        BinOp::Max => "max",
+    }
+}
+
+fn unop(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Not => "!",
+        UnOp::Neg => "-",
+        UnOp::BitNot => "~",
+    }
+}
+
+fn rmwop(op: RmwOp) -> &'static str {
+    match op {
+        RmwOp::Add => "add",
+        RmwOp::Sub => "sub",
+        RmwOp::And => "and",
+        RmwOp::Or => "or",
+        RmwOp::Xor => "xor",
+        RmwOp::Xchg => "xchg",
+        RmwOp::Min => "min",
+        RmwOp::Max => "max",
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ctx = DisplayCtx { m: self };
+        writeln!(f, "module {} {{", self.name)?;
+        for g in &self.globals {
+            if g.init.is_empty() {
+                writeln!(f, "  global {}: {} words", g.name, g.words)?;
+            } else {
+                writeln!(f, "  global {}: {} words = {:?}", g.name, g.words, g.init)?;
+            }
+        }
+        for (fi, func) in self.functions.iter().enumerate() {
+            let marker = if crate::FuncId(fi as u32) == self.entry {
+                " [entry]"
+            } else {
+                ""
+            };
+            writeln!(
+                f,
+                "  fn {}({} params, {} regs){marker} {{",
+                func.name, func.params, func.num_regs
+            )?;
+            for (bi, block) in func.iter_blocks() {
+                let spin_note = self
+                    .spin
+                    .as_ref()
+                    .and_then(|s| {
+                        s.loops
+                            .iter()
+                            .find(|l| l.func == crate::FuncId(fi as u32) && l.header == bi)
+                    })
+                    .map(|l| format!("   ; spin loop {:?} (weight {})", l.id, l.weight))
+                    .unwrap_or_default();
+                writeln!(f, "    {bi}:{spin_note}")?;
+                for (ii, instr) in block.instrs.iter().enumerate() {
+                    let tag = self
+                        .spin
+                        .as_ref()
+                        .map(|s| {
+                            let pc = crate::Pc::new(
+                                crate::FuncId(fi as u32),
+                                bi,
+                                ii as u32,
+                            );
+                            if s.tagged_loads.contains_key(&pc) {
+                                "   ; [spin-read]"
+                            } else {
+                                ""
+                            }
+                        })
+                        .unwrap_or("");
+                    writeln!(f, "      {}{tag}", ctx.instr(instr))?;
+                }
+                writeln!(f, "      {}", ctx.term(&block.term))?;
+            }
+            writeln!(f, "  }}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ModuleBuilder;
+
+    #[test]
+    fn display_includes_function_and_globals() {
+        let mut mb = ModuleBuilder::new("demo");
+        let g = mb.global("counter", 1);
+        mb.entry("main", |f| {
+            let v = f.load(g.at(0));
+            let w = f.add(v, 1);
+            f.store(g.at(0), w);
+            f.ret(None);
+        });
+        let m = mb.finish().unwrap();
+        let text = m.to_string();
+        assert!(text.contains("module demo"));
+        assert!(text.contains("global counter"));
+        assert!(text.contains("fn main"));
+        assert!(text.contains("load [counter]"));
+        assert!(text.contains("store [counter]"));
+    }
+
+    #[test]
+    fn display_marks_entry() {
+        let mut mb = ModuleBuilder::new("demo");
+        mb.entry("main", |f| f.ret(None));
+        let m = mb.finish().unwrap();
+        assert!(m.to_string().contains("[entry]"));
+    }
+}

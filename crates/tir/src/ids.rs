@@ -1,0 +1,137 @@
+//! Compact identifier newtypes used throughout the IR.
+//!
+//! All identifiers are small integer newtypes so they can be used as dense
+//! indices; keeping them distinct types prevents a whole class of
+//! index-confusion bugs in the analysis code.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A virtual register inside one function. Registers hold `i64` values.
+///
+/// Function parameters occupy `r0..r{params}` on entry; the builder
+/// allocates further registers on demand.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Reg(pub u16);
+
+/// Index of a [`crate::Function`] within its [`crate::Module`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+/// Index of a [`crate::BasicBlock`] within its function. Block 0 is entry.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+/// Index of a global variable declaration within the module.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GlobalId(pub u32);
+
+/// Index into the module string table (diagnostic messages).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StrId(pub u32);
+
+/// Identifier of a detected spinning read loop (dense, per module).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SpinLoopId(pub u32);
+
+/// A *program counter*: the static location of one instruction.
+///
+/// `idx == block.instrs.len()` denotes the block terminator, so every
+/// control-transfer point also has an addressable location. `Pc` is the
+/// currency of race reports ("racy contexts" are deduplicated pairs of
+/// `Pc`s) and of the spin-instrumentation side tables.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Pc {
+    /// Function containing the instruction.
+    pub func: FuncId,
+    /// Block within the function.
+    pub block: BlockId,
+    /// Instruction index within the block (`len` = terminator).
+    pub idx: u32,
+}
+
+impl Pc {
+    /// Construct a `Pc` from raw parts.
+    pub fn new(func: FuncId, block: BlockId, idx: u32) -> Self {
+        Pc { func, block, idx }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+impl fmt::Debug for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+impl fmt::Debug for GlobalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+impl fmt::Debug for StrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+impl fmt::Debug for SpinLoopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spin{}", self.0)
+    }
+}
+impl fmt::Debug for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}:{:?}:{}", self.func, self.block, self.idx)
+    }
+}
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_ordering_is_lexicographic() {
+        let a = Pc::new(FuncId(0), BlockId(1), 2);
+        let b = Pc::new(FuncId(0), BlockId(2), 0);
+        let c = Pc::new(FuncId(1), BlockId(0), 0);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn ids_format_compactly() {
+        assert_eq!(format!("{:?}", Reg(3)), "r3");
+        assert_eq!(format!("{:?}", Pc::new(FuncId(1), BlockId(2), 3)), "f1:b2:3");
+    }
+
+    #[test]
+    fn ids_are_copy_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Pc::new(FuncId(0), BlockId(0), 0));
+        s.insert(Pc::new(FuncId(0), BlockId(0), 0));
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! # SpinRace TIR — Threaded Intermediate Representation
+//!
+//! TIR is the program representation that the whole SpinRace stack operates
+//! on. It plays the role that x86 machine code plays for the original
+//! Helgrind+ implementation of *Jannesari & Tichy, "Identifying Ad-hoc
+//! Synchronization for Enhanced Race Detection" (IPDPS 2010)*: the static
+//! instrumentation phase (crate `spinrace-cfg` / `spinrace-spinfind`)
+//! recovers control flow, finds small loops and classifies spinning read
+//! loops on TIR, and the runtime phase (crate `spinrace-vm` /
+//! `spinrace-detector`) executes instrumented TIR while tracking the
+//! write/read dependencies that establish happens-before edges.
+//!
+//! ## Shape of the IR
+//!
+//! * A [`Module`] is a set of [`Function`]s plus global variable
+//!   declarations, a string table for diagnostics, and (after
+//!   instrumentation) a [`SpinTable`] describing detected spinning read
+//!   loops.
+//! * A [`Function`] is a list of [`BasicBlock`]s; block 0 is the entry.
+//! * A [`BasicBlock`] is a straight-line sequence of [`Instr`]s followed by
+//!   exactly one [`Terminator`].
+//! * Values are 64-bit signed integers held in virtual registers ([`Reg`]).
+//!   Memory is a flat, word-addressed space (one address = one `i64` cell);
+//!   globals are contiguous word arrays, and a bump allocator provides heap
+//!   words at run time.
+//! * Synchronization exists at two levels, which is the crux of the paper:
+//!   **library operations** ([`Instr::MutexLock`], [`Instr::CondWait`],
+//!   [`Instr::BarrierWait`], …) whose semantics a "library-aware" detector
+//!   understands, and **plain memory operations** (including atomics) from
+//!   which `spinrace-synclib` builds the very same primitives out of
+//!   spinning read loops, so that a detector with *no* library knowledge can
+//!   be evaluated (`nolib` mode).
+//!
+//! ## Building programs
+//!
+//! Programs are assembled with [`ModuleBuilder`] / [`FunctionBuilder`]:
+//!
+//! ```
+//! use spinrace_tir::{ModuleBuilder, Operand};
+//!
+//! let mut mb = ModuleBuilder::new("flag-handoff");
+//! let flag = mb.global("flag", 1);
+//! let data = mb.global("data", 1);
+//!
+//! // Worker: spin until flag != 0, then read data.
+//! let worker = mb.function("worker", 1, |f| {
+//!     let head = f.new_block();
+//!     let done = f.new_block();
+//!     f.jump(head);
+//!     f.switch_to(head);
+//!     let v = f.load(flag.at(0));
+//!     f.branch(v, done, head);
+//!     f.switch_to(done);
+//!     let d = f.load(data.at(0));
+//!     f.output(d);
+//!     f.ret(None);
+//! });
+//!
+//! mb.entry("main", |f| {
+//!     let tid = f.spawn(worker, Operand::Imm(0));
+//!     f.store(data.at(0), Operand::Imm(42));
+//!     f.store(flag.at(0), Operand::Imm(1));
+//!     f.join(tid);
+//!     f.ret(None);
+//! });
+//!
+//! let module = mb.finish().expect("valid module");
+//! assert_eq!(module.functions.len(), 2);
+//! ```
+
+pub mod builder;
+pub mod display;
+pub mod ids;
+pub mod instr;
+pub mod module;
+pub mod validate;
+
+pub use builder::{FunctionBuilder, GlobalRef, ModuleBuilder};
+pub use ids::{BlockId, FuncId, GlobalId, Pc, Reg, SpinLoopId, StrId};
+pub use instr::{
+    AddrExpr, Atomicity, BinOp, Instr, MemOrder, Operand, RmwOp, Terminator, UnOp,
+};
+pub use module::{
+    BasicBlock, Function, GlobalDecl, Module, SpinLoopInfo, SpinTable,
+};
+pub use validate::{validate, ValidationError};

@@ -1,0 +1,312 @@
+//! Module-level containers: functions, blocks, globals, and the spin-loop
+//! side table produced by the instrumentation phase.
+
+use crate::ids::{BlockId, FuncId, GlobalId, Pc, SpinLoopId, StrId};
+use crate::instr::{Instr, Terminator};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A global variable: a contiguous array of `words` 64-bit cells.
+///
+/// The VM lays globals out back-to-back starting at address
+/// [`Module::GLOBAL_BASE`]; [`Module::global_base`] gives each global's
+/// first address.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalDecl {
+    /// Human-readable name (diagnostics only).
+    pub name: String,
+    /// Number of 64-bit words occupied.
+    pub words: u64,
+    /// Optional initializer (shorter initializers are zero-extended).
+    pub init: Vec<i64>,
+}
+
+/// A straight-line instruction sequence ending in one terminator.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// Instructions in execution order.
+    pub instrs: Vec<Instr>,
+    /// The unique terminator.
+    pub term: Terminator,
+}
+
+impl BasicBlock {
+    /// Number of instructions, terminator excluded.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+    /// True when the block holds no instructions (just a terminator).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+/// A function: parameters arrive in registers `r0..r{params}`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of parameters (bound to the first registers on entry).
+    pub params: u16,
+    /// Total virtual registers used (computed by the builder/validator).
+    pub num_regs: u16,
+    /// Basic blocks; `BlockId(0)` is the entry block.
+    pub blocks: Vec<BasicBlock>,
+}
+
+impl Function {
+    /// The entry block id (always block 0).
+    pub const ENTRY: BlockId = BlockId(0);
+
+    /// Access a block by id.
+    pub fn block(&self, b: BlockId) -> &BasicBlock {
+        &self.blocks[b.0 as usize]
+    }
+
+    /// Iterate `(BlockId, &BasicBlock)` pairs in index order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Total instruction count including terminators.
+    pub fn instr_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len() + 1).sum()
+    }
+}
+
+/// Metadata for one detected spinning read loop.
+///
+/// Produced by the instrumentation phase (`spinrace-spinfind`) according to
+/// the paper's criteria: a small natural loop whose exit condition is fed
+/// by at least one memory load and is not modified inside the loop.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpinLoopInfo {
+    /// Dense id of the loop within the module.
+    pub id: SpinLoopId,
+    /// Function containing the loop.
+    pub func: FuncId,
+    /// Loop header block (target of the back edge).
+    pub header: BlockId,
+    /// All blocks belonging to the natural loop, sorted.
+    pub blocks: Vec<BlockId>,
+    /// Static locations of the loads feeding the exit conditions
+    /// (the "condition variables" the detector must treat specially).
+    /// May include loads in pure callees invoked by the condition.
+    pub cond_loads: Vec<Pc>,
+    /// Effective size in basic blocks, including blocks of pure callees
+    /// used by the condition — the quantity compared against the paper's
+    /// 3–7 basic-block window.
+    pub weight: u32,
+}
+
+/// Side table attached to a module by the instrumentation phase.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpinTable {
+    /// All detected spinning read loops.
+    pub loops: Vec<SpinLoopInfo>,
+    /// Map from the `Pc` of a tagged load to its owning loop.
+    pub tagged_loads: HashMap<Pc, SpinLoopId>,
+    /// The basic-block window used for detection (paper: 3–8, default 7).
+    pub window: u32,
+}
+
+impl SpinTable {
+    /// Look up the spin loop a given load instruction belongs to.
+    pub fn loop_of_load(&self, pc: Pc) -> Option<SpinLoopId> {
+        self.tagged_loads.get(&pc).copied()
+    }
+    /// Number of detected loops.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+    /// True when no loops were detected.
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+}
+
+/// A complete program.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Module {
+    /// Program name (diagnostics).
+    pub name: String,
+    /// All functions; `entry` is started as the main thread.
+    pub functions: Vec<Function>,
+    /// The main function.
+    pub entry: FuncId,
+    /// Global variables.
+    pub globals: Vec<GlobalDecl>,
+    /// Diagnostic strings referenced by `Assert`.
+    pub strings: Vec<String>,
+    /// Spin-loop instrumentation results, if the module has been through
+    /// the instrumentation phase.
+    pub spin: Option<SpinTable>,
+}
+
+impl Module {
+    /// First address used for globals (addresses below are never valid, so
+    /// stray null-ish pointers fault loudly).
+    pub const GLOBAL_BASE: u64 = 0x1000;
+
+    /// Access a function by id.
+    pub fn function(&self, f: FuncId) -> &Function {
+        &self.functions[f.0 as usize]
+    }
+
+    /// Look up a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Base address of a global in the VM's flat address space.
+    pub fn global_base(&self, g: GlobalId) -> u64 {
+        let mut base = Self::GLOBAL_BASE;
+        for decl in &self.globals[..g.0 as usize] {
+            base += decl.words;
+        }
+        base
+    }
+
+    /// Total words of global memory.
+    pub fn globals_words(&self) -> u64 {
+        self.globals.iter().map(|g| g.words).sum()
+    }
+
+    /// First address past all globals (heap starts here).
+    pub fn heap_base(&self) -> u64 {
+        Self::GLOBAL_BASE + self.globals_words()
+    }
+
+    /// Find the global (and word offset within it) containing `addr`.
+    pub fn global_at(&self, addr: u64) -> Option<(GlobalId, u64)> {
+        if addr < Self::GLOBAL_BASE {
+            return None;
+        }
+        let mut base = Self::GLOBAL_BASE;
+        for (i, decl) in self.globals.iter().enumerate() {
+            if addr < base + decl.words {
+                return Some((GlobalId(i as u32), addr - base));
+            }
+            base += decl.words;
+        }
+        None
+    }
+
+    /// Human-readable description of an address (for reports).
+    pub fn describe_addr(&self, addr: u64) -> String {
+        match self.global_at(addr) {
+            Some((g, off)) => {
+                let name = &self.globals[g.0 as usize].name;
+                if off == 0 && self.globals[g.0 as usize].words == 1 {
+                    name.clone()
+                } else {
+                    format!("{name}[{off}]")
+                }
+            }
+            None if addr >= self.heap_base() => format!("heap+{:#x}", addr - self.heap_base()),
+            None => format!("{addr:#x}"),
+        }
+    }
+
+    /// Fetch the instruction at `pc`, or `None` if `pc` names a terminator.
+    pub fn instr_at(&self, pc: Pc) -> Option<&Instr> {
+        self.function(pc.func)
+            .block(pc.block)
+            .instrs
+            .get(pc.idx as usize)
+    }
+
+    /// Resolve a diagnostic string.
+    pub fn string(&self, s: StrId) -> &str {
+        self.strings
+            .get(s.0 as usize)
+            .map(|s| s.as_str())
+            .unwrap_or("<bad-string>")
+    }
+
+    /// Total static instruction count (terminators included).
+    pub fn instr_count(&self) -> usize {
+        self.functions.iter().map(|f| f.instr_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Terminator;
+
+    fn tiny_module() -> Module {
+        Module {
+            name: "t".into(),
+            functions: vec![Function {
+                name: "main".into(),
+                params: 0,
+                num_regs: 0,
+                blocks: vec![BasicBlock {
+                    instrs: vec![],
+                    term: Terminator::Ret(None),
+                }],
+            }],
+            entry: FuncId(0),
+            globals: vec![
+                GlobalDecl {
+                    name: "a".into(),
+                    words: 2,
+                    init: vec![],
+                },
+                GlobalDecl {
+                    name: "b".into(),
+                    words: 3,
+                    init: vec![1, 2, 3],
+                },
+            ],
+            strings: vec![],
+            spin: None,
+        }
+    }
+
+    #[test]
+    fn global_layout_is_contiguous() {
+        let m = tiny_module();
+        assert_eq!(m.global_base(GlobalId(0)), Module::GLOBAL_BASE);
+        assert_eq!(m.global_base(GlobalId(1)), Module::GLOBAL_BASE + 2);
+        assert_eq!(m.heap_base(), Module::GLOBAL_BASE + 5);
+    }
+
+    #[test]
+    fn global_at_inverts_layout() {
+        let m = tiny_module();
+        assert_eq!(
+            m.global_at(Module::GLOBAL_BASE + 1),
+            Some((GlobalId(0), 1))
+        );
+        assert_eq!(
+            m.global_at(Module::GLOBAL_BASE + 4),
+            Some((GlobalId(1), 2))
+        );
+        assert_eq!(m.global_at(Module::GLOBAL_BASE + 5), None);
+        assert_eq!(m.global_at(0), None);
+    }
+
+    #[test]
+    fn describe_addr_names_globals() {
+        let m = tiny_module();
+        assert_eq!(m.describe_addr(Module::GLOBAL_BASE), "a[0]");
+        assert_eq!(m.describe_addr(Module::GLOBAL_BASE + 3), "b[1]");
+        assert!(m.describe_addr(m.heap_base() + 7).starts_with("heap+"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = tiny_module();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Module = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,471 @@
+//! Structural validation of modules.
+//!
+//! Catches malformed IR early: dangling block/function/global/string
+//! references, out-of-range registers, arity mismatches, and recursion
+//! (direct or mutual) — recursion is rejected because the interprocedural
+//! spin-loop analysis and the VM's frame accounting both assume a
+//! call-graph DAG, which is also what compiled spin-wait code looks like.
+
+use crate::ids::{BlockId, FuncId, Pc, Reg};
+use crate::instr::Instr;
+use crate::module::Module;
+use std::fmt;
+
+/// A structural defect in a module.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// `entry` points past the function table.
+    BadEntry,
+    /// Entry function must take no parameters.
+    EntryHasParams,
+    /// A terminator targets a block that does not exist.
+    BadBlockTarget { func: FuncId, from: BlockId, to: BlockId },
+    /// A register index is `>= num_regs`.
+    BadRegister { func: FuncId, block: BlockId, reg: Reg },
+    /// A call/spawn names a function that does not exist.
+    BadFunctionRef { func: FuncId, target: u32 },
+    /// Call argument count differs from callee parameter count.
+    ArityMismatch {
+        func: FuncId,
+        callee: FuncId,
+        expected: u16,
+        got: usize,
+    },
+    /// Spawned functions must take exactly one parameter.
+    SpawnArity { func: FuncId, target: FuncId },
+    /// A memory operand names a global that does not exist.
+    BadGlobalRef { func: FuncId, global: u32 },
+    /// An `Assert` names a missing diagnostic string.
+    BadStringRef { func: FuncId },
+    /// The call graph contains a cycle through this function.
+    Recursion { func: FuncId },
+    /// Spin-table metadata references a location that is not a load.
+    BadSpinTag { pc: Pc },
+    /// Spin-table loop references a block outside its function.
+    BadSpinLoop { func: FuncId, block: BlockId },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::BadEntry => write!(f, "entry function out of range"),
+            ValidationError::EntryHasParams => write!(f, "entry function must take 0 parameters"),
+            ValidationError::BadBlockTarget { func, from, to } => {
+                write!(f, "{func:?}: {from:?} targets nonexistent {to:?}")
+            }
+            ValidationError::BadRegister { func, block, reg } => {
+                write!(f, "{func:?}:{block:?}: register {reg:?} out of range")
+            }
+            ValidationError::BadFunctionRef { func, target } => {
+                write!(f, "{func:?}: reference to nonexistent function f{target}")
+            }
+            ValidationError::ArityMismatch {
+                func,
+                callee,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{func:?}: call to {callee:?} passes {got} args, expected {expected}"
+            ),
+            ValidationError::SpawnArity { func, target } => {
+                write!(f, "{func:?}: spawn target {target:?} must take 1 parameter")
+            }
+            ValidationError::BadGlobalRef { func, global } => {
+                write!(f, "{func:?}: reference to nonexistent global g{global}")
+            }
+            ValidationError::BadStringRef { func } => {
+                write!(f, "{func:?}: assert references missing string")
+            }
+            ValidationError::Recursion { func } => {
+                write!(f, "call graph cycle through {func:?} (recursion unsupported)")
+            }
+            ValidationError::BadSpinTag { pc } => {
+                write!(f, "spin table tags non-load instruction at {pc:?}")
+            }
+            ValidationError::BadSpinLoop { func, block } => {
+                write!(f, "spin loop references bad block {func:?}:{block:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validate a module; `Ok(())` means the VM and analyses can rely on all
+/// indices being in range and the call graph being acyclic.
+pub fn validate(m: &Module) -> Result<(), ValidationError> {
+    if m.entry.0 as usize >= m.functions.len() {
+        return Err(ValidationError::BadEntry);
+    }
+    if m.function(m.entry).params != 0 {
+        return Err(ValidationError::EntryHasParams);
+    }
+
+    let nfuncs = m.functions.len() as u32;
+    let nglobals = m.globals.len() as u32;
+    let nstrings = m.strings.len() as u32;
+
+    for (fi, func) in m.functions.iter().enumerate() {
+        let fid = FuncId(fi as u32);
+        for (bi, block) in func.iter_blocks() {
+            // Register bounds: defs, uses, terminator uses.
+            let mut regs: Vec<Reg> = Vec::new();
+            for instr in &block.instrs {
+                regs.clear();
+                instr.uses(&mut regs);
+                if let Some(d) = instr.def() {
+                    regs.push(d);
+                }
+                for r in &regs {
+                    if r.0 >= func.num_regs {
+                        return Err(ValidationError::BadRegister {
+                            func: fid,
+                            block: bi,
+                            reg: *r,
+                        });
+                    }
+                }
+                check_instr_refs(m, fid, instr, nfuncs, nglobals, nstrings)?;
+            }
+            regs.clear();
+            block.term.uses(&mut regs);
+            for r in &regs {
+                if r.0 >= func.num_regs {
+                    return Err(ValidationError::BadRegister {
+                        func: fid,
+                        block: bi,
+                        reg: *r,
+                    });
+                }
+            }
+            for succ in block.term.successors() {
+                if succ.0 as usize >= func.blocks.len() {
+                    return Err(ValidationError::BadBlockTarget {
+                        func: fid,
+                        from: bi,
+                        to: succ,
+                    });
+                }
+            }
+        }
+    }
+
+    check_acyclic(m)?;
+    check_spin_table(m)?;
+    Ok(())
+}
+
+fn check_instr_refs(
+    m: &Module,
+    fid: FuncId,
+    instr: &Instr,
+    nfuncs: u32,
+    nglobals: u32,
+    nstrings: u32,
+) -> Result<(), ValidationError> {
+    // Global references inside address expressions.
+    for addr in [instr.load_addr(), instr.store_addr()].iter().flatten() {
+        if let Some(g) = addr.global() {
+            if g.0 >= nglobals {
+                return Err(ValidationError::BadGlobalRef {
+                    func: fid,
+                    global: g.0,
+                });
+            }
+        }
+    }
+    match instr {
+        Instr::AddrOf { global, .. } => {
+            if global.0 >= nglobals {
+                return Err(ValidationError::BadGlobalRef {
+                    func: fid,
+                    global: global.0,
+                });
+            }
+        }
+        Instr::MutexLock { addr }
+        | Instr::MutexUnlock { addr }
+        | Instr::BarrierInit { addr, .. }
+        | Instr::BarrierWait { addr }
+        | Instr::SemInit { addr, .. }
+        | Instr::SemWait { addr }
+        | Instr::SemPost { addr } => {
+            if let Some(g) = addr.global() {
+                if g.0 >= nglobals {
+                    return Err(ValidationError::BadGlobalRef {
+                        func: fid,
+                        global: g.0,
+                    });
+                }
+            }
+        }
+        Instr::CondSignal { cv } | Instr::CondBroadcast { cv } => {
+            if let Some(g) = cv.global() {
+                if g.0 >= nglobals {
+                    return Err(ValidationError::BadGlobalRef {
+                        func: fid,
+                        global: g.0,
+                    });
+                }
+            }
+        }
+        Instr::CondWait { cv, mutex } => {
+            for a in [cv, mutex] {
+                if let Some(g) = a.global() {
+                    if g.0 >= nglobals {
+                        return Err(ValidationError::BadGlobalRef {
+                            func: fid,
+                            global: g.0,
+                        });
+                    }
+                }
+            }
+        }
+        Instr::Spawn { func, .. } => {
+            if func.0 >= nfuncs {
+                return Err(ValidationError::BadFunctionRef {
+                    func: fid,
+                    target: func.0,
+                });
+            }
+            if m.function(*func).params != 1 {
+                return Err(ValidationError::SpawnArity {
+                    func: fid,
+                    target: *func,
+                });
+            }
+        }
+        Instr::Call { func, args, .. } => {
+            if func.0 >= nfuncs {
+                return Err(ValidationError::BadFunctionRef {
+                    func: fid,
+                    target: func.0,
+                });
+            }
+            let expected = m.function(*func).params;
+            if args.len() != expected as usize {
+                return Err(ValidationError::ArityMismatch {
+                    func: fid,
+                    callee: *func,
+                    expected,
+                    got: args.len(),
+                });
+            }
+        }
+        Instr::Assert { msg, .. } => {
+            if msg.0 >= nstrings {
+                return Err(ValidationError::BadStringRef { func: fid });
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// DFS over the (direct-call) call graph; spawn edges are excluded because
+/// they create a new frame stack rather than growing the current one, but a
+/// spawn cycle would still mean unbounded thread creation — we accept that
+/// as a runtime (step-quota) concern, not a structural one.
+fn check_acyclic(m: &Module) -> Result<(), ValidationError> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks = vec![Mark::White; m.functions.len()];
+    // Iterative DFS with an explicit stack to avoid deep recursion.
+    for start in 0..m.functions.len() {
+        if marks[start] != Mark::White {
+            continue;
+        }
+        let mut stack: Vec<(usize, Vec<FuncId>, usize)> = vec![(start, callees(m, start), 0)];
+        marks[start] = Mark::Grey;
+        while let Some((node, succs, mut i)) = stack.pop() {
+            let mut descended = false;
+            while i < succs.len() {
+                let s = succs[i].0 as usize;
+                i += 1;
+                match marks[s] {
+                    Mark::Grey => {
+                        return Err(ValidationError::Recursion {
+                            func: FuncId(s as u32),
+                        })
+                    }
+                    Mark::White => {
+                        marks[s] = Mark::Grey;
+                        stack.push((node, succs, i));
+                        stack.push((s, callees(m, s), 0));
+                        descended = true;
+                        break;
+                    }
+                    Mark::Black => {}
+                }
+            }
+            if !descended && i >= callees_len(m, node) {
+                marks[node] = Mark::Black;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn callees(m: &Module, f: usize) -> Vec<FuncId> {
+    let mut out = Vec::new();
+    for block in &m.functions[f].blocks {
+        for instr in &block.instrs {
+            if let Some(c) = instr.callee() {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+fn callees_len(m: &Module, f: usize) -> usize {
+    callees(m, f).len()
+}
+
+fn check_spin_table(m: &Module) -> Result<(), ValidationError> {
+    let Some(spin) = &m.spin else { return Ok(()) };
+    for info in &spin.loops {
+        let func = m.function(info.func);
+        for b in std::iter::once(info.header).chain(info.blocks.iter().copied()) {
+            if b.0 as usize >= func.blocks.len() {
+                return Err(ValidationError::BadSpinLoop {
+                    func: info.func,
+                    block: b,
+                });
+            }
+        }
+    }
+    for pc in spin.tagged_loads.keys() {
+        match m.instr_at(*pc) {
+            Some(Instr::Load { .. }) => {}
+            _ => return Err(ValidationError::BadSpinTag { pc: *pc }),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::instr::{Operand, Terminator};
+
+    #[test]
+    fn valid_module_passes() {
+        let mut mb = ModuleBuilder::new("ok");
+        let g = mb.global("g", 1);
+        let helper = mb.function("helper", 1, |f| {
+            let v = f.add(f.param(0), 1);
+            f.ret(Some(Operand::Reg(v)));
+        });
+        mb.entry("main", |f| {
+            let v = f.call(helper, &[Operand::Imm(1)]);
+            f.store(g.at(0), v);
+            f.ret(None);
+        });
+        assert!(mb.finish().is_ok());
+    }
+
+    #[test]
+    fn recursion_is_rejected() {
+        let mut mb = ModuleBuilder::new("rec");
+        let f1 = mb.declare_function("f1", 0);
+        mb.define_function(f1, |f| {
+            f.call_void(f1, &[]);
+            f.ret(None);
+        });
+        mb.entry("main", |f| {
+            f.call_void(f1, &[]);
+            f.ret(None);
+        });
+        let m = mb.finish_unchecked();
+        assert!(matches!(
+            validate(&m),
+            Err(ValidationError::Recursion { .. })
+        ));
+    }
+
+    #[test]
+    fn mutual_recursion_is_rejected() {
+        let mut mb = ModuleBuilder::new("rec2");
+        let f1 = mb.declare_function("f1", 0);
+        let f2 = mb.declare_function("f2", 0);
+        mb.define_function(f1, |f| {
+            f.call_void(f2, &[]);
+            f.ret(None);
+        });
+        mb.define_function(f2, |f| {
+            f.call_void(f1, &[]);
+            f.ret(None);
+        });
+        mb.entry("main", |f| {
+            f.ret(None);
+        });
+        let m = mb.finish_unchecked();
+        assert!(matches!(
+            validate(&m),
+            Err(ValidationError::Recursion { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_block_target_is_rejected() {
+        let mut mb = ModuleBuilder::new("bb");
+        mb.entry("main", |f| {
+            f.ret(None);
+        });
+        let mut m = mb.finish_unchecked();
+        m.functions[0].blocks[0].term = Terminator::Jump(crate::BlockId(9));
+        assert!(matches!(
+            validate(&m),
+            Err(ValidationError::BadBlockTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut mb = ModuleBuilder::new("ar");
+        let h = mb.function("h", 2, |f| {
+            f.ret(None);
+        });
+        mb.entry("main", |f| {
+            f.call_void(h, &[Operand::Imm(1)]);
+            f.ret(None);
+        });
+        let m = mb.finish_unchecked();
+        assert!(matches!(
+            validate(&m),
+            Err(ValidationError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn spawn_target_needs_one_param() {
+        let mut mb = ModuleBuilder::new("sp");
+        let h = mb.function("h", 0, |f| {
+            f.ret(None);
+        });
+        mb.entry("main", |f| {
+            let mut fbreg = f.reg();
+            // hand-roll a spawn to a 0-param function
+            let _ = &mut fbreg;
+            f.ret(None);
+        });
+        let mut m = mb.finish_unchecked();
+        m.functions[1].blocks[0].instrs.push(crate::Instr::Spawn {
+            dst: crate::Reg(0),
+            func: h,
+            arg: Operand::Imm(0),
+        });
+        m.functions[1].num_regs = 1;
+        assert!(matches!(
+            validate(&m),
+            Err(ValidationError::SpawnArity { .. })
+        ));
+    }
+}

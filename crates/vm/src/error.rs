@@ -1,0 +1,50 @@
+//! Run-time errors: traps, deadlocks, resource limits.
+
+use crate::events::ThreadId;
+use spinrace_tir::Pc;
+use std::fmt;
+
+/// Why a run ended abnormally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VmError {
+    /// A thread performed an illegal operation (failed assert, division by
+    /// zero, wild address, unlocking an unowned mutex, ...).
+    Trap {
+        tid: ThreadId,
+        pc: Pc,
+        message: String,
+    },
+    /// No thread is runnable but not all have finished.
+    Deadlock {
+        /// `(thread, human-readable reason)` for every blocked thread.
+        blocked: Vec<(ThreadId, String)>,
+    },
+    /// The step quota was exhausted (livelock or runaway program).
+    StepLimit { steps: u64 },
+    /// More threads were spawned than the configured maximum.
+    TooManyThreads { limit: usize },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Trap { tid, pc, message } => {
+                write!(f, "thread {tid} trapped at {pc}: {message}")
+            }
+            VmError::Deadlock { blocked } => {
+                write!(f, "deadlock; blocked threads: ")?;
+                for (i, (tid, why)) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "t{tid} ({why})")?;
+                }
+                Ok(())
+            }
+            VmError::StepLimit { steps } => write!(f, "step limit exhausted after {steps} steps"),
+            VmError::TooManyThreads { limit } => write!(f, "thread limit {limit} exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}

@@ -1,0 +1,250 @@
+//! The event stream: what the VM tells a race detector.
+
+use serde::{Deserialize, Serialize};
+use spinrace_tir::{MemOrder, Pc, SpinLoopId};
+
+/// Dynamic thread identifier (0 = main thread).
+pub type ThreadId = u32;
+
+/// One observable action, in program-order per thread and in a globally
+/// consistent total order across threads (the VM interleaves whole
+/// instructions).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// `parent` created `child`.
+    Spawn {
+        parent: ThreadId,
+        child: ThreadId,
+        pc: Pc,
+    },
+    /// `parent` observed `child`'s termination.
+    Join {
+        parent: ThreadId,
+        child: ThreadId,
+        pc: Pc,
+    },
+    /// A thread finished (root frame returned).
+    ThreadEnd { tid: ThreadId },
+
+    /// A load. `atomic` carries the ordering for atomic loads; `spin` is
+    /// set when the load is a tagged spin-condition load executed inside
+    /// an active spin-loop instance.
+    Read {
+        tid: ThreadId,
+        addr: u64,
+        value: i64,
+        pc: Pc,
+        /// Hash of the call chain (Helgrind-style stack context); used to
+        /// distinguish report contexts arising from shared library code.
+        stack: u64,
+        atomic: Option<MemOrder>,
+        spin: Option<SpinLoopId>,
+    },
+    /// A store.
+    Write {
+        tid: ThreadId,
+        addr: u64,
+        value: i64,
+        pc: Pc,
+        /// Call-chain hash (see [`Event::Read::stack`]).
+        stack: u64,
+        atomic: Option<MemOrder>,
+    },
+    /// A successful atomic read-modify-write (CAS or RMW).
+    Update {
+        tid: ThreadId,
+        addr: u64,
+        old: i64,
+        new: i64,
+        pc: Pc,
+        /// Call-chain hash (see [`Event::Read::stack`]).
+        stack: u64,
+        order: MemOrder,
+    },
+    /// A memory fence.
+    Fence {
+        tid: ThreadId,
+        order: MemOrder,
+        pc: Pc,
+    },
+
+    /// Mutex acquired (library mode).
+    MutexLock { tid: ThreadId, mutex: u64, pc: Pc },
+    /// Mutex released (library mode).
+    MutexUnlock { tid: ThreadId, mutex: u64, pc: Pc },
+    /// Condition variable signalled (one waiter released if any).
+    CondSignal { tid: ThreadId, cv: u64, pc: Pc },
+    /// Condition variable broadcast.
+    CondBroadcast { tid: ThreadId, cv: u64, pc: Pc },
+    /// A `CondWait` returned (signal received *and* mutex re-acquired).
+    CondWaitReturn {
+        tid: ThreadId,
+        cv: u64,
+        mutex: u64,
+        pc: Pc,
+    },
+    /// Thread arrived at a barrier (generation `gen`).
+    BarrierEnter {
+        tid: ThreadId,
+        barrier: u64,
+        gen: u64,
+        pc: Pc,
+    },
+    /// Thread released from a barrier (generation `gen`).
+    BarrierLeave {
+        tid: ThreadId,
+        barrier: u64,
+        gen: u64,
+        pc: Pc,
+    },
+    /// Semaphore V.
+    SemPost { tid: ThreadId, sem: u64, pc: Pc },
+    /// Semaphore P completed.
+    SemAcquired { tid: ThreadId, sem: u64, pc: Pc },
+
+    /// A thread entered an instrumented spinning read loop.
+    SpinEnter { tid: ThreadId, spin: SpinLoopId },
+    /// A thread left an instrumented spinning read loop. `reads` lists the
+    /// `(address, load-pc)` pairs of the *final* iteration's condition
+    /// loads — the reads whose observed values allowed the exit, i.e. the
+    /// read side of the paper's write/read dependency.
+    SpinExit {
+        tid: ThreadId,
+        spin: SpinLoopId,
+        reads: Vec<(u64, Pc)>,
+    },
+
+    /// `Output` instruction (program result logging).
+    Output { tid: ThreadId, value: i64 },
+}
+
+impl Event {
+    /// The thread performing the event.
+    pub fn tid(&self) -> ThreadId {
+        match self {
+            Event::Spawn { parent, .. } | Event::Join { parent, .. } => *parent,
+            Event::ThreadEnd { tid }
+            | Event::Read { tid, .. }
+            | Event::Write { tid, .. }
+            | Event::Update { tid, .. }
+            | Event::Fence { tid, .. }
+            | Event::MutexLock { tid, .. }
+            | Event::MutexUnlock { tid, .. }
+            | Event::CondSignal { tid, .. }
+            | Event::CondBroadcast { tid, .. }
+            | Event::CondWaitReturn { tid, .. }
+            | Event::BarrierEnter { tid, .. }
+            | Event::BarrierLeave { tid, .. }
+            | Event::SemPost { tid, .. }
+            | Event::SemAcquired { tid, .. }
+            | Event::SpinEnter { tid, .. }
+            | Event::SpinExit { tid, .. }
+            | Event::Output { tid, .. } => *tid,
+        }
+    }
+
+    /// True for plain (non-atomic, non-spin) data accesses — the events a
+    /// race detector must check.
+    pub fn is_plain_access(&self) -> bool {
+        matches!(
+            self,
+            Event::Read {
+                atomic: None,
+                spin: None,
+                ..
+            } | Event::Write { atomic: None, .. }
+        )
+    }
+}
+
+/// Consumer of the VM's event stream.
+pub trait EventSink {
+    /// Called for every event, in execution order.
+    fn on_event(&mut self, ev: &Event);
+}
+
+/// Discards all events.
+#[derive(Default)]
+pub struct NullSink;
+impl EventSink for NullSink {
+    fn on_event(&mut self, _ev: &Event) {}
+}
+
+/// Records all events (tests and trace dumps).
+#[derive(Default)]
+pub struct RecordingSink {
+    /// The recorded stream.
+    pub events: Vec<Event>,
+}
+impl EventSink for RecordingSink {
+    fn on_event(&mut self, ev: &Event) {
+        self.events.push(ev.clone());
+    }
+}
+
+/// Fans one stream out to several sinks.
+pub struct MultiSink<'a> {
+    /// The sinks, invoked in order.
+    pub sinks: Vec<&'a mut dyn EventSink>,
+}
+impl EventSink for MultiSink<'_> {
+    fn on_event(&mut self, ev: &Event) {
+        for s in self.sinks.iter_mut() {
+            s.on_event(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinrace_tir::{BlockId, FuncId};
+
+    #[test]
+    fn plain_access_classification() {
+        let pc = Pc::new(FuncId(0), BlockId(0), 0);
+        let plain = Event::Read {
+            tid: 1,
+            addr: 0x1000,
+            value: 0,
+            pc,
+            stack: 0,
+            atomic: None,
+            spin: None,
+        };
+        assert!(plain.is_plain_access());
+        let spin = Event::Read {
+            tid: 1,
+            addr: 0x1000,
+            value: 0,
+            pc,
+            stack: 0,
+            atomic: None,
+            spin: Some(SpinLoopId(0)),
+        };
+        assert!(!spin.is_plain_access());
+        let atomic = Event::Write {
+            tid: 1,
+            addr: 0x1000,
+            value: 0,
+            pc,
+            stack: 0,
+            atomic: Some(MemOrder::Release),
+        };
+        assert!(!atomic.is_plain_access());
+    }
+
+    #[test]
+    fn recording_sink_keeps_order() {
+        let pc = Pc::new(FuncId(0), BlockId(0), 0);
+        let mut sink = RecordingSink::default();
+        sink.on_event(&Event::Output { tid: 0, value: 1 });
+        sink.on_event(&Event::Fence {
+            tid: 0,
+            order: MemOrder::SeqCst,
+            pc,
+        });
+        assert_eq!(sink.events.len(), 2);
+        assert!(matches!(sink.events[0], Event::Output { .. }));
+    }
+}

@@ -1,0 +1,163 @@
+//! Per-thread execution state: frames, registers, blocking states, and the
+//! per-frame stacks of active spin-loop instances.
+
+use crate::events::ThreadId;
+use spinrace_tir::{BlockId, FuncId, Pc, Reg};
+
+/// Why a thread is not currently runnable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Ready to execute.
+    Runnable,
+    /// Waiting to acquire `mutex`. When `for_cond` is set, the thread is
+    /// re-acquiring after a condition wait and must emit `CondWaitReturn`
+    /// once it owns the mutex again.
+    BlockedMutex { mutex: u64, for_cond: Option<u64> },
+    /// Sleeping on a condition variable (mutex already released).
+    BlockedCond { cv: u64, mutex: u64 },
+    /// Waiting for another thread to finish.
+    BlockedJoin { target: ThreadId },
+    /// Waiting at a barrier.
+    BlockedBarrier { barrier: u64, gen: u64 },
+    /// Waiting on a semaphore.
+    BlockedSem { sem: u64 },
+    /// Terminated.
+    Finished,
+}
+
+impl ThreadState {
+    /// Human-readable description (deadlock reports).
+    pub fn describe(&self) -> String {
+        match self {
+            ThreadState::Runnable => "runnable".into(),
+            ThreadState::BlockedMutex { mutex, .. } => format!("waiting for mutex {mutex:#x}"),
+            ThreadState::BlockedCond { cv, .. } => format!("waiting on condvar {cv:#x}"),
+            ThreadState::BlockedJoin { target } => format!("joining thread {target}"),
+            ThreadState::BlockedBarrier { barrier, .. } => {
+                format!("waiting at barrier {barrier:#x}")
+            }
+            ThreadState::BlockedSem { sem } => format!("waiting on semaphore {sem:#x}"),
+            ThreadState::Finished => "finished".into(),
+        }
+    }
+}
+
+/// A live spin-loop instance on a frame's spin stack.
+#[derive(Clone, Debug)]
+pub struct ActiveSpin {
+    /// Index into the module's `SpinTable::loops`.
+    pub loop_idx: usize,
+    /// Tagged condition reads of the *current* iteration:
+    /// `(address, load pc)`. Reset at every header re-entry; on exit these
+    /// are the final iteration's reads.
+    pub reads: Vec<(u64, Pc)>,
+}
+
+/// One call frame.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Function executing in this frame.
+    pub func: FuncId,
+    /// Current block.
+    pub block: BlockId,
+    /// Next instruction index within the block (`len` = terminator).
+    pub ip: u32,
+    /// Register file.
+    pub regs: Vec<i64>,
+    /// Where the caller wants the return value (None for root frames or
+    /// value-discarding calls).
+    pub ret_to: Option<Reg>,
+    /// Active spin-loop instances (innermost last).
+    pub spins: Vec<ActiveSpin>,
+}
+
+impl Frame {
+    /// Fresh frame at the entry block of `func`.
+    pub fn new(func: FuncId, num_regs: u16, ret_to: Option<Reg>) -> Frame {
+        Frame {
+            func,
+            block: BlockId(0),
+            ip: 0,
+            regs: vec![0; num_regs as usize],
+            ret_to,
+            spins: Vec::new(),
+        }
+    }
+
+    /// The `Pc` of the instruction about to execute.
+    pub fn pc(&self) -> Pc {
+        Pc::new(self.func, self.block, self.ip)
+    }
+}
+
+/// A thread: a stack of frames plus a blocking state.
+#[derive(Clone, Debug)]
+pub struct Thread {
+    /// Dynamic id (0 = main).
+    pub id: ThreadId,
+    /// Call stack (root first).
+    pub frames: Vec<Frame>,
+    /// Blocking state.
+    pub state: ThreadState,
+}
+
+impl Thread {
+    /// New runnable thread with a single root frame.
+    pub fn new(id: ThreadId, root: Frame) -> Thread {
+        Thread {
+            id,
+            frames: vec![root],
+            state: ThreadState::Runnable,
+        }
+    }
+
+    /// Top (current) frame.
+    pub fn frame(&self) -> &Frame {
+        self.frames.last().expect("live thread has a frame")
+    }
+
+    /// Top (current) frame, mutable.
+    pub fn frame_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("live thread has a frame")
+    }
+
+    /// Innermost active spin instance across all frames (topmost frame
+    /// with a non-empty spin stack), as `(frame index, spin index)`.
+    pub fn innermost_spin(&self) -> Option<(usize, usize)> {
+        for (fi, f) in self.frames.iter().enumerate().rev() {
+            if !f.spins.is_empty() {
+                return Some((fi, f.spins.len() - 1));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn innermost_spin_prefers_top_frames() {
+        let mut t = Thread::new(0, Frame::new(FuncId(0), 4, None));
+        t.frames[0].spins.push(ActiveSpin {
+            loop_idx: 0,
+            reads: vec![],
+        });
+        t.frames.push(Frame::new(FuncId(1), 2, None));
+        assert_eq!(t.innermost_spin(), Some((0, 0)));
+        t.frames[1].spins.push(ActiveSpin {
+            loop_idx: 1,
+            reads: vec![],
+        });
+        assert_eq!(t.innermost_spin(), Some((1, 0)));
+    }
+
+    #[test]
+    fn describe_states() {
+        assert!(ThreadState::BlockedJoin { target: 3 }
+            .describe()
+            .contains("joining"));
+        assert_eq!(ThreadState::Runnable.describe(), "runnable");
+    }
+}

@@ -1,0 +1,126 @@
+//! Flat word-addressed memory: globals segment + bump-allocated heap.
+
+use spinrace_tir::Module;
+
+/// The shared memory of a running program.
+///
+/// Addresses are word-granular `u64`s. Globals occupy
+/// `[Module::GLOBAL_BASE, heap_base)`; `Alloc` hands out heap words above
+/// that. Reads and writes are bounds-checked so stray pointers fault
+/// deterministically instead of corrupting unrelated state.
+pub struct Memory {
+    global_base: u64,
+    globals: Vec<i64>,
+    heap_base: u64,
+    heap: Vec<i64>,
+}
+
+impl Memory {
+    /// Initialize from a module's global declarations.
+    pub fn new(m: &Module) -> Memory {
+        let words = m.globals_words() as usize;
+        let mut globals = vec![0i64; words];
+        let mut off = 0usize;
+        for g in &m.globals {
+            for (i, v) in g.init.iter().enumerate() {
+                globals[off + i] = *v;
+            }
+            off += g.words as usize;
+        }
+        Memory {
+            global_base: Module::GLOBAL_BASE,
+            globals,
+            heap_base: m.heap_base(),
+            heap: Vec::new(),
+        }
+    }
+
+    /// Allocate `words` fresh zeroed heap words, returning the base address.
+    pub fn alloc(&mut self, words: u64) -> u64 {
+        let base = self.heap_base + self.heap.len() as u64;
+        self.heap.extend(std::iter::repeat(0).take(words as usize));
+        base
+    }
+
+    /// Read one word.
+    pub fn read(&self, addr: u64) -> Result<i64, String> {
+        self.slot(addr).map(|(v, _)| v)
+    }
+
+    /// Write one word.
+    pub fn write(&mut self, addr: u64, value: i64) -> Result<(), String> {
+        if addr >= self.global_base && addr < self.heap_base {
+            self.globals[(addr - self.global_base) as usize] = value;
+            Ok(())
+        } else if addr >= self.heap_base && addr < self.heap_base + self.heap.len() as u64 {
+            self.heap[(addr - self.heap_base) as usize] = value;
+            Ok(())
+        } else {
+            Err(format!("wild store to address {addr:#x}"))
+        }
+    }
+
+    fn slot(&self, addr: u64) -> Result<(i64, ()), String> {
+        if addr >= self.global_base && addr < self.heap_base {
+            Ok((self.globals[(addr - self.global_base) as usize], ()))
+        } else if addr >= self.heap_base && addr < self.heap_base + self.heap.len() as u64 {
+            Ok((self.heap[(addr - self.heap_base) as usize], ()))
+        } else {
+            Err(format!("wild load from address {addr:#x}"))
+        }
+    }
+
+    /// Total allocated words (globals + heap) — used by memory metrics.
+    pub fn words(&self) -> usize {
+        self.globals.len() + self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinrace_tir::ModuleBuilder;
+
+    fn mem() -> (Memory, u64) {
+        let mut mb = ModuleBuilder::new("m");
+        let _a = mb.global_init("a", 2, vec![7]);
+        mb.entry("main", |f| f.ret(None));
+        let m = mb.finish().unwrap();
+        let base = Module::GLOBAL_BASE;
+        (Memory::new(&m), base)
+    }
+
+    #[test]
+    fn globals_are_initialized() {
+        let (mem, base) = mem();
+        assert_eq!(mem.read(base).unwrap(), 7);
+        assert_eq!(mem.read(base + 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let (mut mem, base) = mem();
+        mem.write(base + 1, -5).unwrap();
+        assert_eq!(mem.read(base + 1).unwrap(), -5);
+    }
+
+    #[test]
+    fn wild_accesses_fault() {
+        let (mut mem, base) = mem();
+        assert!(mem.read(0).is_err());
+        assert!(mem.read(base + 2).is_err());
+        assert!(mem.write(base + 999, 1).is_err());
+    }
+
+    #[test]
+    fn heap_allocation_extends_address_space() {
+        let (mut mem, base) = mem();
+        let p = mem.alloc(3);
+        assert_eq!(p, base + 2);
+        mem.write(p + 2, 9).unwrap();
+        assert_eq!(mem.read(p + 2).unwrap(), 9);
+        assert!(mem.read(p + 3).is_err());
+        let q = mem.alloc(1);
+        assert_eq!(q, p + 3);
+    }
+}

@@ -1,0 +1,172 @@
+//! Runtime tracking of spin-loop instances.
+//!
+//! The instrumentation phase marks loops statically; at run time the VM
+//! must know, per thread and frame, which instances are live, reset their
+//! read sets at each iteration (header re-entry) and report the final
+//! iteration's reads on exit. This module precomputes the lookup tables
+//! and encodes the block-transition bookkeeping as a small list of
+//! [`SpinAction`]s the interpreter turns into events.
+
+use crate::machine::{ActiveSpin, Frame};
+use spinrace_tir::{BlockId, FuncId, Module, Pc, SpinLoopId};
+use std::collections::{HashMap, HashSet};
+
+/// What happened to the frame's spin stack on a block transition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpinAction {
+    /// An instance was entered.
+    Enter(SpinLoopId),
+    /// An instance exited; carries the final iteration's `(addr, pc)` reads.
+    Exit(SpinLoopId, Vec<(u64, Pc)>),
+}
+
+/// Precomputed spin-table lookups for one module.
+#[derive(Clone, Debug, Default)]
+pub struct SpinRuntime {
+    /// `(func, header block)` → loop index.
+    headers: HashMap<(FuncId, BlockId), usize>,
+    /// Per loop index: member-block set.
+    blocks: Vec<HashSet<BlockId>>,
+    /// Per loop index: its public id.
+    ids: Vec<SpinLoopId>,
+    /// Tagged condition-load locations.
+    tagged: HashSet<Pc>,
+}
+
+impl SpinRuntime {
+    /// Build from the module's spin table (empty runtime if none).
+    pub fn new(m: &Module) -> SpinRuntime {
+        let mut rt = SpinRuntime::default();
+        if let Some(spin) = &m.spin {
+            for (idx, info) in spin.loops.iter().enumerate() {
+                rt.headers.insert((info.func, info.header), idx);
+                rt.blocks.insert(idx, info.blocks.iter().copied().collect());
+                rt.ids.insert(idx, info.id);
+            }
+            rt.tagged = spin.tagged_loads.keys().copied().collect();
+        }
+        rt
+    }
+
+    /// Is the load at `pc` a tagged spin-condition load?
+    pub fn is_tagged(&self, pc: Pc) -> bool {
+        self.tagged.contains(&pc)
+    }
+
+    /// Public id of loop `idx`.
+    pub fn id(&self, idx: usize) -> SpinLoopId {
+        self.ids[idx]
+    }
+
+    /// Update `frame`'s spin stack for a transition to `block`. Returns
+    /// the actions in event order (exits outer-to-inner... i.e. inner
+    /// first, then possibly one enter).
+    pub fn on_block_entry(&self, frame: &mut Frame, block: BlockId) -> Vec<SpinAction> {
+        let mut actions = Vec::new();
+        // Pop instances whose loop no longer contains the block.
+        while let Some(top) = frame.spins.last() {
+            if self.blocks[top.loop_idx].contains(&block) {
+                break;
+            }
+            let top = frame.spins.pop().expect("checked non-empty");
+            actions.push(SpinAction::Exit(self.ids[top.loop_idx], top.reads));
+        }
+        // Entering (or re-entering) a header?
+        if let Some(&idx) = self.headers.get(&(frame.func, block)) {
+            match frame.spins.last_mut() {
+                Some(top) if top.loop_idx == idx => {
+                    // Back edge: new iteration, reset the read set.
+                    top.reads.clear();
+                }
+                _ => {
+                    frame.spins.push(ActiveSpin {
+                        loop_idx: idx,
+                        reads: Vec::new(),
+                    });
+                    actions.push(SpinAction::Enter(self.ids[idx]));
+                }
+            }
+        }
+        actions
+    }
+
+    /// Drain all live instances of a frame (frame pop / thread end).
+    pub fn drain_frame(&self, frame: &mut Frame) -> Vec<SpinAction> {
+        let mut actions = Vec::new();
+        while let Some(top) = frame.spins.pop() {
+            actions.push(SpinAction::Exit(self.ids[top.loop_idx], top.reads));
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinrace_tir::{SpinLoopInfo, SpinTable};
+
+    fn runtime_with_loop(func: FuncId, header: u32, blocks: &[u32]) -> SpinRuntime {
+        let mut mb = spinrace_tir::ModuleBuilder::new("t");
+        mb.entry("main", |f| f.ret(None));
+        let mut m = mb.finish().unwrap();
+        let mut table = SpinTable::default();
+        table.loops.push(SpinLoopInfo {
+            id: SpinLoopId(0),
+            func,
+            header: BlockId(header),
+            blocks: blocks.iter().map(|b| BlockId(*b)).collect(),
+            cond_loads: vec![],
+            weight: blocks.len() as u32,
+        });
+        m.spin = Some(table);
+        SpinRuntime::new(&m)
+    }
+
+    #[test]
+    fn enter_iterate_exit() {
+        let rt = runtime_with_loop(FuncId(0), 1, &[1, 2]);
+        let mut frame = Frame::new(FuncId(0), 0, None);
+
+        // entry block 0: nothing
+        assert!(rt.on_block_entry(&mut frame, BlockId(0)).is_empty());
+        // into the header: enter
+        let a = rt.on_block_entry(&mut frame, BlockId(1));
+        assert_eq!(a, vec![SpinAction::Enter(SpinLoopId(0))]);
+        // record a read, move to body, back to header: reads reset
+        frame.spins[0].reads.push((0x1000, Pc::new(FuncId(0), BlockId(1), 0)));
+        assert!(rt.on_block_entry(&mut frame, BlockId(2)).is_empty());
+        assert!(rt.on_block_entry(&mut frame, BlockId(1)).is_empty());
+        assert!(frame.spins[0].reads.is_empty(), "iteration reset");
+        // final iteration reads
+        frame.spins[0].reads.push((0x1001, Pc::new(FuncId(0), BlockId(1), 0)));
+        // leave to block 3: exit with final reads
+        let a = rt.on_block_entry(&mut frame, BlockId(3));
+        match &a[..] {
+            [SpinAction::Exit(id, reads)] => {
+                assert_eq!(*id, SpinLoopId(0));
+                assert_eq!(reads.len(), 1);
+                assert_eq!(reads[0].0, 0x1001);
+            }
+            other => panic!("unexpected actions {other:?}"),
+        }
+        assert!(frame.spins.is_empty());
+    }
+
+    #[test]
+    fn drain_on_frame_pop() {
+        let rt = runtime_with_loop(FuncId(0), 1, &[1]);
+        let mut frame = Frame::new(FuncId(0), 0, None);
+        rt.on_block_entry(&mut frame, BlockId(1));
+        let a = rt.drain_frame(&mut frame);
+        assert_eq!(a.len(), 1);
+        assert!(matches!(a[0], SpinAction::Exit(..)));
+    }
+
+    #[test]
+    fn untracked_function_is_noop() {
+        let rt = runtime_with_loop(FuncId(5), 1, &[1]);
+        let mut frame = Frame::new(FuncId(0), 0, None);
+        assert!(rt.on_block_entry(&mut frame, BlockId(1)).is_empty());
+        assert!(frame.spins.is_empty());
+    }
+}

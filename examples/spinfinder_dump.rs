@@ -1,0 +1,101 @@
+//! Inspect the instrumentation phase: dump every natural loop the
+//! analysis considered, its verdict, and the final instrumented module
+//! with spin annotations.
+//!
+//! ```text
+//! cargo run --example spinfinder_dump
+//! ```
+
+use spinrace::spinfind::{Decision, SpinCriteria, SpinFinder};
+use spinrace::tir::{ModuleBuilder, Operand};
+
+fn main() {
+    // A module with four kinds of loops: a plain counter loop, a clean
+    // flag spin, a spin whose condition is evaluated through a pure
+    // helper, and a loop that works (stores) in its body.
+    let mut mb = ModuleBuilder::new("zoo");
+    let flag = mb.global("flag", 1);
+    let work = mb.global("work", 1);
+
+    let check = mb.function("check_flag", 0, |f| {
+        let mid = f.new_block();
+        f.nop();
+        f.jump(mid);
+        f.switch_to(mid);
+        let v = f.load(flag.at(0));
+        f.ret(Some(Operand::Reg(v)));
+    });
+
+    mb.entry("main", |f| {
+        // 1. counter loop — rejected (no load in condition)
+        let c_head = f.new_block();
+        let c_body = f.new_block();
+        let after1 = f.new_block();
+        let i = f.const_(0);
+        f.jump(c_head);
+        f.switch_to(c_head);
+        let c = f.lt(i, 10);
+        f.branch(c, c_body, after1);
+        f.switch_to(c_body);
+        let i2 = f.add(i, 1);
+        f.mov(i, i2);
+        f.jump(c_head);
+        f.switch_to(after1);
+
+        // 2. clean flag spin — accepted
+        let s_head = f.new_block();
+        let after2 = f.new_block();
+        f.jump(s_head);
+        f.switch_to(s_head);
+        let v = f.load(flag.at(0));
+        f.branch(v, after2, s_head);
+        f.switch_to(after2);
+
+        // 3. condition via a pure call — accepted, callee blocks counted
+        let p_head = f.new_block();
+        let after3 = f.new_block();
+        f.jump(p_head);
+        f.switch_to(p_head);
+        let r = f.call(check, &[]);
+        f.branch(r, after3, p_head);
+        f.switch_to(after3);
+
+        // 4. working loop — rejected (side-effecting body)
+        let w_head = f.new_block();
+        let w_body = f.new_block();
+        let after4 = f.new_block();
+        f.jump(w_head);
+        f.switch_to(w_head);
+        let v4 = f.load(flag.at(0));
+        f.branch(v4, after4, w_body);
+        f.switch_to(w_body);
+        let w = f.load(work.at(0));
+        let w2 = f.add(w, 1);
+        f.store(work.at(0), w2);
+        f.jump(w_head);
+        f.switch_to(after4);
+        f.ret(None);
+    });
+    let mut module = mb.finish().expect("valid module");
+
+    let finder = SpinFinder::new(SpinCriteria::default());
+    let analysis = finder.instrument(&mut module);
+
+    println!("=== loop verdicts (window = 7) ===");
+    for v in &analysis.verdicts {
+        let func = &module.functions[v.func.0 as usize].name;
+        match &v.decision {
+            Decision::Accepted { cond_loads } => println!(
+                "ACCEPT  {func}:{:?}  size={} weight={}  condition loads: {:?}",
+                v.header, v.size, v.weight, cond_loads
+            ),
+            Decision::Rejected { reason } => println!(
+                "reject  {func}:{:?}  size={} weight={}  ({reason:?})",
+                v.header, v.size, v.weight
+            ),
+        }
+    }
+
+    println!("\n=== instrumented module ===");
+    println!("{module}");
+}

@@ -1,0 +1,156 @@
+//! Ablations for the design choices DESIGN.md calls out: the short/long
+//! memory state machine, the interprocedural condition extension, and
+//! the report cap.
+
+use spinrace::core::{Analyzer, Tool};
+use spinrace::spinfind::{SpinCriteria, SpinFinder};
+use spinrace::suites::all_programs;
+use spinrace::tir::{ModuleBuilder, Operand};
+
+/// Long MSM trades first-iteration sensitivity for fewer false positives
+/// (Helgrind+'s short-vs-long distinction): on a one-shot unordered
+/// access pattern the short machine reports and the long machine stays
+/// silent; on a repeated pattern both report.
+#[test]
+fn msm_short_vs_long_sensitivity() {
+    // One-shot handoff with a *benign* (ordered-by-luck, unprotected)
+    // access pattern the detectors see as unordered exactly once.
+    let build = |repeats: i64| {
+        let mut mb = ModuleBuilder::new("msm-abl");
+        let g = mb.global("g", 1);
+        let w = mb.function("w", 1, |f| {
+            for _ in 0..repeats {
+                let v = f.load(g.at(0));
+                let v2 = f.add(v, 1);
+                f.store(g.at(0), v2);
+            }
+            f.ret(None);
+        });
+        mb.entry("main", |f| {
+            let a = f.spawn(w, 0);
+            let b = f.spawn(w, 1);
+            f.join(a);
+            f.join(b);
+            f.ret(None);
+        });
+        mb.finish().unwrap()
+    };
+
+    let one_shot = build(1);
+    let repeated = build(3);
+
+    let short = Analyzer::tool(Tool::HelgrindLib);
+    let long = Analyzer::tool(Tool::HelgrindLib).long_msm();
+
+    assert!(
+        !short.analyze(&one_shot).unwrap().is_clean(),
+        "short MSM reports the first unordered pair"
+    );
+    assert!(
+        long.analyze(&one_shot).unwrap().contexts
+            <= short.analyze(&one_shot).unwrap().contexts,
+        "long MSM is never more sensitive"
+    );
+    assert!(
+        !long.analyze(&repeated).unwrap().is_clean(),
+        "long MSM catches it on the second iteration"
+    );
+}
+
+/// Disabling the interprocedural condition extension loses the loops
+/// whose conditions evaluate through helper functions — the mechanism
+/// behind the paper's "templates and complex function calls" note.
+#[test]
+fn interprocedural_extension_ablation() {
+    let mut mb = ModuleBuilder::new("interproc-abl");
+    let flag = mb.global("flag", 1);
+    let check = mb.function("check", 0, |f| {
+        let v = f.load(flag.at(0));
+        f.ret(Some(Operand::Reg(v)));
+    });
+    mb.entry("main", |f| {
+        let head = f.new_block();
+        let done = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        let v = f.call(check, &[]);
+        f.branch(v, done, head);
+        f.switch_to(done);
+        f.ret(None);
+    });
+    let m = mb.finish().unwrap();
+
+    let with = SpinFinder::new(SpinCriteria {
+        interprocedural: true,
+        ..Default::default()
+    })
+    .analyze(&m);
+    let without = SpinFinder::new(SpinCriteria {
+        interprocedural: false,
+        ..Default::default()
+    })
+    .analyze(&m);
+    assert_eq!(with.accepted(), 1);
+    assert_eq!(without.accepted(), 0);
+}
+
+/// The report cap changes *counts*, never verdict direction: raising it
+/// can only reveal more contexts.
+#[test]
+fn report_cap_is_monotone() {
+    let p = all_programs()
+        .into_iter()
+        .find(|p| p.name == "vips")
+        .unwrap();
+    let m = (p.build)(p.threads, p.size);
+    let mut prev = 0;
+    for cap in [5usize, 25, 100, 1000] {
+        let out = Analyzer::tool(Tool::HelgrindLib)
+            .long_msm()
+            .cap(cap)
+            .analyze(&m)
+            .unwrap();
+        assert!(out.contexts <= cap);
+        assert!(out.contexts >= prev.min(cap));
+        prev = out.contexts;
+    }
+}
+
+/// The obscure-library flavour is what creates the PARSEC `nolib`
+/// regressions: with the textbook library instead, the obscure programs'
+/// nolib runs match their lib+spin runs much more closely.
+#[test]
+fn obscure_library_drives_nolib_regressions() {
+    let p = all_programs()
+        .into_iter()
+        .find(|p| p.name == "bodytrack")
+        .unwrap();
+    let m = (p.build)(p.threads, p.size);
+    let spin = Analyzer::tool(Tool::HelgrindLibSpin { window: 7 })
+        .long_msm()
+        .seed(1)
+        .analyze(&m)
+        .unwrap()
+        .contexts;
+    let nolib_textbook = Analyzer::tool(Tool::HelgrindNolibSpin { window: 7 })
+        .long_msm()
+        .seed(1)
+        .analyze(&m)
+        .unwrap()
+        .contexts;
+    let nolib_obscure = Analyzer::tool(Tool::HelgrindNolibSpin { window: 7 })
+        .long_msm()
+        .seed(1)
+        .obscure_nolib()
+        .analyze(&m)
+        .unwrap()
+        .contexts;
+    assert!(
+        nolib_obscure > nolib_textbook,
+        "obscure internals add contexts: {nolib_obscure} vs {nolib_textbook}"
+    );
+    assert!(
+        nolib_textbook <= spin + 4,
+        "textbook nolib stays close to lib+spin ({nolib_textbook} vs {spin})"
+    );
+}
