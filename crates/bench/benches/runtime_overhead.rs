@@ -10,21 +10,13 @@ fn runtime_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("runtime_overhead");
     group.sample_size(10);
     for (name, module) in &programs {
-        group.bench_with_input(
-            BenchmarkId::new("native", name),
-            module,
-            |b, m| {
-                b.iter(|| {
-                    run_module(m, VmConfig::round_robin(), &mut NullSink).expect("run")
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("native", name), module, |b, m| {
+            b.iter(|| run_module(m, VmConfig::round_robin(), &mut NullSink).expect("run"))
+        });
         for (tool_name, tool) in bench_tools() {
-            group.bench_with_input(
-                BenchmarkId::new(tool_name, name),
-                module,
-                |b, m| b.iter(|| run_once(tool, m)),
-            );
+            group.bench_with_input(BenchmarkId::new(tool_name, name), module, |b, m| {
+                b.iter(|| run_once(tool, m))
+            });
         }
     }
     group.finish();

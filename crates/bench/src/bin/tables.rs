@@ -9,8 +9,8 @@
 //! `target/experiments/<id>.json`.
 
 use spinrace_report::{
-    f1_memory, f2_runtime, t1_drt, t2_window_sweep, t3_characteristics, t4_no_adhoc,
-    t5_with_adhoc, t6_universal, Experiment,
+    f1_memory, f2_runtime, t1_drt, t2_window_sweep, t3_characteristics, t4_no_adhoc, t5_with_adhoc,
+    t6_universal, Experiment,
 };
 use std::fs;
 use std::path::Path;

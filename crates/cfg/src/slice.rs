@@ -80,48 +80,41 @@ pub fn backward_slice(input: &SliceInput<'_>) -> SliceResult {
             }
             match instr {
                 Instr::Const { .. } | Instr::AddrOf { .. } => {}
-                Instr::Mov { src, .. } => {
-                    if fresh {
-                        work.push((b, i, *src));
-                    }
+                Instr::Mov { src, .. } if fresh => {
+                    work.push((b, i, *src));
                 }
-                Instr::Bin { a, b: bb, .. } => {
-                    if fresh {
-                        for o in [a, bb] {
-                            if let Operand::Reg(r) = o {
-                                work.push((b, i, *r));
-                            }
-                        }
-                    }
-                }
-                Instr::Un { a, .. } => {
-                    if fresh {
-                        if let Operand::Reg(r) = a {
+                Instr::Bin { a, b: bb, .. } if fresh => {
+                    for o in [a, bb] {
+                        if let Operand::Reg(r) = o {
                             work.push((b, i, *r));
                         }
                     }
                 }
-                Instr::Load { addr, .. } => {
-                    if fresh {
-                        out.loads.push(pc);
-                        let mut regs = Vec::new();
-                        addr.regs(&mut regs);
-                        for r in regs {
-                            work.push((b, i, r));
+                Instr::Un {
+                    a: Operand::Reg(r), ..
+                } if fresh => {
+                    work.push((b, i, *r));
+                }
+                Instr::Load { addr, .. } if fresh => {
+                    out.loads.push(pc);
+                    let mut regs = Vec::new();
+                    addr.regs(&mut regs);
+                    for r in regs {
+                        work.push((b, i, r));
+                    }
+                }
+                Instr::Call { func, args, .. } if fresh => {
+                    out.calls.push((pc, *func));
+                    for o in args {
+                        if let Operand::Reg(r) = o {
+                            work.push((b, i, *r));
                         }
                     }
                 }
-                Instr::Call { func, args, .. } => {
-                    if fresh {
-                        out.calls.push((pc, *func));
-                        for o in args {
-                            if let Operand::Reg(r) = o {
-                                work.push((b, i, *r));
-                            }
-                        }
-                    }
-                }
-                Instr::Cas { .. } | Instr::Rmw { .. } | Instr::Alloc { .. } | Instr::Spawn { .. } => {
+                Instr::Cas { .. }
+                | Instr::Rmw { .. }
+                | Instr::Alloc { .. }
+                | Instr::Spawn { .. } => {
                     out.disqualified = true;
                 }
                 _ => {}
@@ -156,7 +149,6 @@ pub fn backward_slice(input: &SliceInput<'_>) -> SliceResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::Cfg;
     use crate::loops::loops_of;
     use spinrace_tir::{MemOrder, ModuleBuilder, Operand, RmwOp};
 

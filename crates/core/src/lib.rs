@@ -41,9 +41,7 @@
 //! assert!(outcome.contexts >= 1);
 //! ```
 
-use spinrace_detector::{
-    DetectorConfig, DetectorMetrics, MsmMode, RaceDetector, RaceReport,
-};
+use spinrace_detector::{DetectorConfig, DetectorMetrics, MsmMode, RaceDetector, RaceReport};
 use spinrace_spinfind::{SpinCriteria, SpinFinder};
 use spinrace_synclib::{lower_to_spinlib_styled, LibStyle, LowerError};
 use spinrace_tir::Module;
@@ -392,11 +390,7 @@ mod tests {
         let m = mb.finish().unwrap();
         for tool in Tool::paper_lineup() {
             let out = Analyzer::tool(tool).analyze(&m).unwrap();
-            assert!(
-                out.has_race_on("g"),
-                "{} must catch the race",
-                tool.label()
-            );
+            assert!(out.has_race_on("g"), "{} must catch the race", tool.label());
         }
     }
 

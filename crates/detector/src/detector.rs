@@ -116,8 +116,8 @@ impl RaceDetector {
     /// Total shadow bytes (metrics).
     pub fn shadow_iter_bytes(&self) -> usize {
         self.shadow
-            .iter()
-            .map(|(_, c)| std::mem::size_of::<u64>() + c.approx_bytes())
+            .values()
+            .map(|c| std::mem::size_of::<u64>() + c.approx_bytes())
             .sum()
     }
     /// Lockset table bytes (metrics).
@@ -298,10 +298,7 @@ impl RaceDetector {
     /// Release into a promoted location: accumulate the writer's clock.
     fn release_sync_loc(&mut self, tid: ThreadId, addr: u64) {
         let vc = self.vcs[tid as usize].clone();
-        self.sync_loc
-            .get_mut(&addr)
-            .expect("promoted")
-            .join(&vc);
+        self.sync_loc.get_mut(&addr).expect("promoted").join(&vc);
         self.vcs[tid as usize].tick(tid);
     }
 
@@ -483,10 +480,7 @@ impl EventSink for RaceDetector {
                 self.ensure_thread(tid);
                 if self.cfg.lib {
                     let vc = self.vcs[tid as usize].clone();
-                    self.barrier_vc
-                        .entry((barrier, gen))
-                        .or_default()
-                        .join(&vc);
+                    self.barrier_vc.entry((barrier, gen)).or_default().join(&vc);
                     self.vcs[tid as usize].tick(tid);
                 }
             }
@@ -878,10 +872,7 @@ mod tests {
             pc: pc(10),
         });
         assert_eq!(d.racy_contexts(), 1);
-        assert_eq!(
-            d.reports().reports()[0].kind,
-            RaceKind::LocksetViolation
-        );
+        assert_eq!(d.reports().reports()[0].kind, RaceKind::LocksetViolation);
         // DRD on the same trace: silent (this is a DRD "missed race").
         let mut drd = RaceDetector::new(DetectorConfig::drd());
         // replay
@@ -1006,8 +997,7 @@ mod tests {
 
     #[test]
     fn context_cap_saturates_at_configured_value() {
-        let mut d =
-            RaceDetector::new(DetectorConfig::helgrind_lib(MsmMode::Short).with_cap(5));
+        let mut d = RaceDetector::new(DetectorConfig::helgrind_lib(MsmMode::Short).with_cap(5));
         spawn(&mut d, 0, 1);
         spawn(&mut d, 0, 2);
         for i in 0..20 {

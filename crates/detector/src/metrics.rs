@@ -42,13 +42,12 @@ impl RaceDetector {
     pub fn metrics(&self) -> DetectorMetrics {
         use std::mem::size_of;
         let vc_map_bytes = |m: &std::collections::HashMap<u64, crate::vc::VectorClock>| {
-            m.iter()
-                .map(|(_, v)| size_of::<u64>() + size_of::<crate::vc::VectorClock>() + v.approx_bytes())
+            m.values()
+                .map(|v| size_of::<u64>() + size_of::<crate::vc::VectorClock>() + v.approx_bytes())
                 .sum::<usize>()
         };
         DetectorMetrics {
-            shadow_bytes: self
-                .shadow_iter_bytes(),
+            shadow_bytes: self.shadow_iter_bytes(),
             thread_vc_bytes: self
                 .thread_vcs()
                 .iter()
@@ -58,8 +57,8 @@ impl RaceDetector {
                 + vc_map_bytes(self.cv_vcs())
                 + self
                     .barrier_vcs()
-                    .iter()
-                    .map(|(_, v)| size_of::<(u64, u64)>() + v.approx_bytes())
+                    .values()
+                    .map(|v| size_of::<(u64, u64)>() + v.approx_bytes())
                     .sum::<usize>()
                 + vc_map_bytes(self.sem_vcs()),
             atomic_bytes: vc_map_bytes(self.atomic_vcs()),

@@ -2,10 +2,10 @@
 //! races survive the suppression) and completeness (the installed edges
 //! are transitive enough for barriers and lock chains).
 
+use spinrace_detector::{DetectorConfig, MsmMode, RaceDetector};
 use spinrace_spinfind::SpinFinder;
 use spinrace_synclib::lower_to_spinlib;
 use spinrace_tir::{Module, ModuleBuilder};
-use spinrace_detector::{DetectorConfig, MsmMode, RaceDetector};
 use spinrace_vm::{run_module, VmConfig};
 
 fn analyze(m: &Module, cfg: DetectorConfig, seed: Option<u64>) -> RaceDetector {

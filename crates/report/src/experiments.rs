@@ -302,8 +302,7 @@ pub fn f1_memory() -> Experiment {
     }
     Experiment {
         id: "F1",
-        title: "detector memory consumption (paper: minor overhead for the spin feature)"
-            .into(),
+        title: "detector memory consumption (paper: minor overhead for the spin feature)".into(),
         rendered: t.render(),
         json: json!({ "rows": rows_json }),
     }
@@ -362,8 +361,7 @@ pub fn f2_runtime() -> Experiment {
     }
     Experiment {
         id: "F2",
-        title: "runtime overhead vs uninstrumented execution (paper: slight overhead)"
-            .into(),
+        title: "runtime overhead vs uninstrumented execution (paper: slight overhead)".into(),
         rendered: t.render(),
         json: json!({ "rows": rows_json }),
     }

@@ -21,6 +21,6 @@ pub mod experiments;
 
 pub use ascii::AsciiTable;
 pub use experiments::{
-    f1_memory, f2_runtime, t1_drt, t2_window_sweep, t3_characteristics, t4_no_adhoc,
-    t5_with_adhoc, t6_universal, Experiment,
+    f1_memory, f2_runtime, t1_drt, t2_window_sweep, t3_characteristics, t4_no_adhoc, t5_with_adhoc,
+    t6_universal, Experiment,
 };

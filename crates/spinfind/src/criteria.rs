@@ -2,10 +2,10 @@
 //! loop and produces the instrumentation side table.
 
 use crate::summary::{summarize_functions, FnSummary};
-use spinrace_cfg::{backward_slice, find_candidate_loops, Cfg, Dominators, NaturalLoop, SliceInput};
-use spinrace_tir::{
-    AddrExpr, FuncId, Instr, Module, Pc, SpinLoopId, SpinLoopInfo, SpinTable,
+use spinrace_cfg::{
+    backward_slice, find_candidate_loops, Cfg, Dominators, NaturalLoop, SliceInput,
 };
+use spinrace_tir::{AddrExpr, FuncId, Instr, Module, Pc, SpinLoopId, SpinLoopInfo, SpinTable};
 use std::collections::BTreeSet;
 
 /// Tunable knobs of the detection (paper defaults in parentheses).
@@ -340,9 +340,16 @@ impl SpinFinder {
 pub fn may_alias(a: &AddrExpr, b: &AddrExpr) -> bool {
     use AddrExpr::*;
     match (a, b) {
-        (Global { global: g1, disp: d1 }, Global { global: g2, disp: d2 }) => {
-            g1 == g2 && d1 == d2
-        }
+        (
+            Global {
+                global: g1,
+                disp: d1,
+            },
+            Global {
+                global: g2,
+                disp: d2,
+            },
+        ) => g1 == g2 && d1 == d2,
         (Global { global: g1, .. }, GlobalIndexed { global: g2, .. })
         | (GlobalIndexed { global: g1, .. }, Global { global: g2, .. })
         | (GlobalIndexed { global: g1, .. }, GlobalIndexed { global: g2, .. }) => g1 == g2,

@@ -144,7 +144,11 @@ fn flag_handoff(name: &str, weight: u32, atomic: bool, readers: u32) -> Module {
             for (i, &p) in pads.iter().enumerate() {
                 f.switch_to(p);
                 f.yield_();
-                let next = if i + 1 < pads.len() { pads[i + 1] } else { head };
+                let next = if i + 1 < pads.len() {
+                    pads[i + 1]
+                } else {
+                    head
+                };
                 f.jump(next);
             }
         }

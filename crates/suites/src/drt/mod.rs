@@ -157,7 +157,13 @@ mod tests {
     fn every_case_runs_to_completion_round_robin() {
         for c in all_cases() {
             let r = run_module(&c.module, VmConfig::round_robin(), &mut NullSink);
-            assert!(r.is_ok(), "case {} ({}) failed: {:?}", c.id, c.name, r.err());
+            assert!(
+                r.is_ok(),
+                "case {} ({}) failed: {:?}",
+                c.id,
+                c.name,
+                r.err()
+            );
         }
     }
 

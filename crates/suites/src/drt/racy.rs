@@ -412,7 +412,7 @@ fn racy_atomic_ordered(variant: u32) -> Module {
         _ => MemOrder::AcqRel,
     };
     let first = mb.function("first", 1, |f| {
-        if variant % 2 == 0 {
+        if variant.is_multiple_of(2) {
             f.store(victim.at(0), 1);
         } else {
             let v = f.load(victim.at(0));

@@ -75,7 +75,12 @@ pub fn all_programs() -> Vec<ParsecProgram> {
             threads: 4,
             size: 16,
             obscure_nolib: false,
-            paper: PaperRow { lib: 0.0, lib_spin: 0.0, nolib_spin: 0.0, drd: 0.0 },
+            paper: PaperRow {
+                lib: 0.0,
+                lib_spin: 0.0,
+                nolib_spin: 0.0,
+                drd: 0.0,
+            },
             build: programs_a::blackscholes,
         },
         ParsecProgram {
@@ -89,7 +94,12 @@ pub fn all_programs() -> Vec<ParsecProgram> {
             threads: 4,
             size: 16,
             obscure_nolib: false,
-            paper: PaperRow { lib: 0.0, lib_spin: 0.0, nolib_spin: 0.0, drd: 0.0 },
+            paper: PaperRow {
+                lib: 0.0,
+                lib_spin: 0.0,
+                nolib_spin: 0.0,
+                drd: 0.0,
+            },
             build: programs_a::swaptions,
         },
         ParsecProgram {
@@ -103,7 +113,12 @@ pub fn all_programs() -> Vec<ParsecProgram> {
             threads: 4,
             size: 12,
             obscure_nolib: false,
-            paper: PaperRow { lib: 0.0, lib_spin: 0.0, nolib_spin: 0.0, drd: 0.0 },
+            paper: PaperRow {
+                lib: 0.0,
+                lib_spin: 0.0,
+                nolib_spin: 0.0,
+                drd: 0.0,
+            },
             build: programs_a::fluidanimate,
         },
         ParsecProgram {
@@ -117,7 +132,12 @@ pub fn all_programs() -> Vec<ParsecProgram> {
             threads: 4,
             size: 16,
             obscure_nolib: false,
-            paper: PaperRow { lib: 0.0, lib_spin: 0.0, nolib_spin: 0.0, drd: 0.0 },
+            paper: PaperRow {
+                lib: 0.0,
+                lib_spin: 0.0,
+                nolib_spin: 0.0,
+                drd: 0.0,
+            },
             build: programs_a::canneal,
         },
         ParsecProgram {
@@ -131,7 +151,12 @@ pub fn all_programs() -> Vec<ParsecProgram> {
             threads: 4,
             size: 24,
             obscure_nolib: false,
-            paper: PaperRow { lib: 153.4, lib_spin: 2.0, nolib_spin: 2.0, drd: 1000.0 },
+            paper: PaperRow {
+                lib: 153.4,
+                lib_spin: 2.0,
+                nolib_spin: 2.0,
+                drd: 1000.0,
+            },
             build: programs_a::freqmine,
         },
         ParsecProgram {
@@ -145,7 +170,12 @@ pub fn all_programs() -> Vec<ParsecProgram> {
             threads: 3,
             size: 16,
             obscure_nolib: false,
-            paper: PaperRow { lib: 50.8, lib_spin: 0.0, nolib_spin: 0.0, drd: 858.6 },
+            paper: PaperRow {
+                lib: 50.8,
+                lib_spin: 0.0,
+                nolib_spin: 0.0,
+                drd: 858.6,
+            },
             build: programs_a::vips,
         },
         ParsecProgram {
@@ -159,7 +189,12 @@ pub fn all_programs() -> Vec<ParsecProgram> {
             threads: 4,
             size: 8,
             obscure_nolib: true,
-            paper: PaperRow { lib: 36.8, lib_spin: 3.6, nolib_spin: 32.4, drd: 34.6 },
+            paper: PaperRow {
+                lib: 36.8,
+                lib_spin: 3.6,
+                nolib_spin: 32.4,
+                drd: 34.6,
+            },
             build: programs_a::bodytrack,
         },
         ParsecProgram {
@@ -173,7 +208,12 @@ pub fn all_programs() -> Vec<ParsecProgram> {
             threads: 4,
             size: 20,
             obscure_nolib: false,
-            paper: PaperRow { lib: 113.8, lib_spin: 0.0, nolib_spin: 0.0, drd: 1000.0 },
+            paper: PaperRow {
+                lib: 113.8,
+                lib_spin: 0.0,
+                nolib_spin: 0.0,
+                drd: 1000.0,
+            },
             build: programs_b::facesim,
         },
         ParsecProgram {
@@ -187,7 +227,12 @@ pub fn all_programs() -> Vec<ParsecProgram> {
             threads: 4,
             size: 12,
             obscure_nolib: true,
-            paper: PaperRow { lib: 111.0, lib_spin: 2.0, nolib_spin: 47.0, drd: 214.6 },
+            paper: PaperRow {
+                lib: 111.0,
+                lib_spin: 2.0,
+                nolib_spin: 47.0,
+                drd: 214.6,
+            },
             build: programs_b::ferret,
         },
         ParsecProgram {
@@ -201,7 +246,12 @@ pub fn all_programs() -> Vec<ParsecProgram> {
             threads: 4,
             size: 10,
             obscure_nolib: true,
-            paper: PaperRow { lib: 1000.0, lib_spin: 19.0, nolib_spin: 28.0, drd: 1000.0 },
+            paper: PaperRow {
+                lib: 1000.0,
+                lib_spin: 19.0,
+                nolib_spin: 28.0,
+                drd: 1000.0,
+            },
             build: programs_b::x264,
         },
         ParsecProgram {
@@ -215,7 +265,12 @@ pub fn all_programs() -> Vec<ParsecProgram> {
             threads: 3,
             size: 16,
             obscure_nolib: true,
-            paper: PaperRow { lib: 1000.0, lib_spin: 0.0, nolib_spin: 2.0, drd: 0.0 },
+            paper: PaperRow {
+                lib: 1000.0,
+                lib_spin: 0.0,
+                nolib_spin: 2.0,
+                drd: 0.0,
+            },
             build: programs_b::dedup,
         },
         ParsecProgram {
@@ -229,7 +284,12 @@ pub fn all_programs() -> Vec<ParsecProgram> {
             threads: 4,
             size: 16,
             obscure_nolib: true,
-            paper: PaperRow { lib: 4.0, lib_spin: 0.0, nolib_spin: 1.0, drd: 1000.0 },
+            paper: PaperRow {
+                lib: 4.0,
+                lib_spin: 0.0,
+                nolib_spin: 1.0,
+                drd: 1000.0,
+            },
             build: programs_b::streamcluster,
         },
         ParsecProgram {
@@ -243,7 +303,12 @@ pub fn all_programs() -> Vec<ParsecProgram> {
             threads: 4,
             size: 16,
             obscure_nolib: false,
-            paper: PaperRow { lib: 106.4, lib_spin: 0.0, nolib_spin: 0.0, drd: 1000.0 },
+            paper: PaperRow {
+                lib: 106.4,
+                lib_spin: 0.0,
+                nolib_spin: 0.0,
+                drd: 1000.0,
+            },
             build: programs_b::raytrace,
         },
     ]

@@ -275,11 +275,17 @@ pub fn vips(_threads: u32, size: u32) -> Module {
         let done = f.new_block();
         f.jump(test);
         f.switch_to(test);
-        let v = f.load(spinrace_tir::AddrExpr::Based { base: f.param(0), disp: 0 });
+        let v = f.load(spinrace_tir::AddrExpr::Based {
+            base: f.param(0),
+            disp: 0,
+        });
         f.branch(v, test, try_b);
         f.switch_to(try_b);
         let old = f.cas(
-            spinrace_tir::AddrExpr::Based { base: f.param(0), disp: 0 },
+            spinrace_tir::AddrExpr::Based {
+                base: f.param(0),
+                disp: 0,
+            },
             0,
             1,
             MemOrder::AcqRel,
@@ -290,7 +296,10 @@ pub fn vips(_threads: u32, size: u32) -> Module {
     });
     let glib_unlock = mb.function("glib_unlock", 1, |f| {
         f.store(
-            spinrace_tir::AddrExpr::Based { base: f.param(0), disp: 0 },
+            spinrace_tir::AddrExpr::Based {
+                base: f.param(0),
+                disp: 0,
+            },
             0,
         );
         f.ret(None);

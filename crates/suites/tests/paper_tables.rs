@@ -72,7 +72,12 @@ fn table2_window_sweep_shape() {
     let fa: Vec<usize> = table.rows.iter().map(|r| r.false_alarms).collect();
     // Paper: 24, 23, 8, 8 — a small drop from 3→6, a cliff at 7, flat after.
     assert!(fa[0] > fa[1], "spin(3) {} > spin(6) {}", fa[0], fa[1]);
-    assert!(fa[1] > fa[2] + 5, "cliff at window 7: {} vs {}", fa[1], fa[2]);
+    assert!(
+        fa[1] > fa[2] + 5,
+        "cliff at window 7: {} vs {}",
+        fa[1],
+        fa[2]
+    );
     assert_eq!(fa[2], fa[3], "windows 7 and 8 identical");
 }
 
@@ -96,9 +101,9 @@ fn table45_parsec_shape() {
             table.cells[i][3].mean_contexts
         );
     }
-    let cell = |prog: &str, tool: usize| table.cells
-        [table.programs.iter().position(|p| p == prog).unwrap()][tool]
-        .mean_contexts;
+    let cell = |prog: &str, tool: usize| {
+        table.cells[table.programs.iter().position(|p| p == prog).unwrap()][tool].mean_contexts
+    };
 
     // Programs without ad-hoc sync: silent everywhere (paper rows 1-4).
     for prog in ["blackscholes", "swaptions", "fluidanimate", "canneal"] {
@@ -134,7 +139,14 @@ fn table45_parsec_shape() {
     }
     // DRD: clean on atomics-based dedup, floods on plain-store programs.
     assert_eq!(cell("dedup", 3), 0.0);
-    for prog in ["vips", "facesim", "x264", "streamcluster", "raytrace", "freqmine"] {
+    for prog in [
+        "vips",
+        "facesim",
+        "x264",
+        "streamcluster",
+        "raytrace",
+        "freqmine",
+    ] {
         assert!(cell(prog, 3) > cell(prog, 1), "{prog} DRD floods");
     }
 }

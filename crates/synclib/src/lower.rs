@@ -8,9 +8,7 @@
 //! loops alone, which is the paper's *universal race detector*.
 
 use crate::primitives::{LibStyle, SpinLib};
-use spinrace_tir::{
-    validate, AddrExpr, BinOp, Instr, Module, Operand, Reg, ValidationError,
-};
+use spinrace_tir::{validate, AddrExpr, BinOp, Instr, Module, Operand, Reg, ValidationError};
 use std::fmt;
 
 /// Lowering failures.

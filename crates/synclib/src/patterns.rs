@@ -66,7 +66,11 @@ pub fn spin_until_nonzero_sized(f: &mut FunctionBuilder, addr: AddrExpr, blocks:
         for (i, &p) in pads.iter().enumerate() {
             f.switch_to(p);
             f.nop();
-            let next = if i + 1 < pads.len() { pads[i + 1] } else { head };
+            let next = if i + 1 < pads.len() {
+                pads[i + 1]
+            } else {
+                head
+            };
             f.jump(next);
         }
     }

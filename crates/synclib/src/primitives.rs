@@ -5,9 +5,7 @@
 //! performed by CAS/RMW *outside* that loop — the exact shape the paper's
 //! instrumentation phase detects. See the crate docs for object layouts.
 
-use spinrace_tir::{
-    AddrExpr, FuncId, Function, FunctionBuilder, MemOrder, Operand, Reg, RmwOp,
-};
+use spinrace_tir::{AddrExpr, FuncId, Function, FunctionBuilder, MemOrder, Operand, Reg, RmwOp};
 
 /// The function ids of the spin library inside a lowered module.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -127,7 +125,10 @@ fn based(p: Reg, disp: i64) -> AddrExpr {
 
 fn finish(fb: FunctionBuilder) -> Function {
     let (f, strings) = fb.finish_standalone().expect("synclib function");
-    assert!(strings.is_empty(), "synclib functions use no assert strings");
+    assert!(
+        strings.is_empty(),
+        "synclib functions use no assert strings"
+    );
     f
 }
 

@@ -8,9 +8,7 @@
 //! validates the result.
 
 use crate::ids::{BlockId, FuncId, GlobalId, Reg, StrId};
-use crate::instr::{
-    AddrExpr, Atomicity, BinOp, Instr, MemOrder, Operand, RmwOp, Terminator, UnOp,
-};
+use crate::instr::{AddrExpr, Atomicity, BinOp, Instr, MemOrder, Operand, RmwOp, Terminator, UnOp};
 use crate::module::{BasicBlock, Function, GlobalDecl, Module};
 use crate::validate::{validate, ValidationError};
 use std::collections::HashMap;
@@ -147,10 +145,7 @@ impl FunctionBuilder {
         let name = &self.name;
         let cur = self.cur;
         let blk = &mut self.blocks[cur];
-        assert!(
-            blk.term.is_none(),
-            "{name}: block b{cur} terminated twice"
-        );
+        assert!(blk.term.is_none(), "{name}: block b{cur} terminated twice");
         blk.term = Some(t);
     }
 
@@ -181,13 +176,7 @@ impl FunctionBuilder {
     }
 
     /// Binary operation writing an existing register.
-    pub fn bin_into(
-        &mut self,
-        dst: Reg,
-        op: BinOp,
-        a: impl Into<Operand>,
-        b: impl Into<Operand>,
-    ) {
+    pub fn bin_into(&mut self, dst: Reg, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) {
         self.push(Instr::Bin {
             op,
             dst,
@@ -490,9 +479,9 @@ impl FunctionBuilder {
     fn finish(self) -> Result<(Function, Vec<String>), String> {
         let mut blocks = Vec::with_capacity(self.blocks.len());
         for (i, b) in self.blocks.into_iter().enumerate() {
-            let term = b.term.ok_or_else(|| {
-                format!("function `{}`: block b{} not terminated", self.name, i)
-            })?;
+            let term = b
+                .term
+                .ok_or_else(|| format!("function `{}`: block b{} not terminated", self.name, i))?;
             blocks.push(BasicBlock {
                 instrs: b.instrs,
                 term,

@@ -69,7 +69,12 @@ impl DisplayCtx<'_> {
                 format!("{dst} = load{} {}", atom(atomic), self.addr(addr))
             }
             Instr::Store { src, addr, atomic } => {
-                format!("store{} {} <- {}", atom(atomic), self.addr(addr), self.op(src))
+                format!(
+                    "store{} {} <- {}",
+                    atom(atomic),
+                    self.addr(addr),
+                    self.op(src)
+                )
             }
             Instr::Cas {
                 dst,
@@ -238,11 +243,7 @@ impl fmt::Display for Module {
                         .spin
                         .as_ref()
                         .map(|s| {
-                            let pc = crate::Pc::new(
-                                crate::FuncId(fi as u32),
-                                bi,
-                                ii as u32,
-                            );
+                            let pc = crate::Pc::new(crate::FuncId(fi as u32), bi, ii as u32);
                             if s.tagged_loads.contains_key(&pc) {
                                 "   ; [spin-read]"
                             } else {

@@ -123,7 +123,10 @@ mod tests {
     #[test]
     fn ids_format_compactly() {
         assert_eq!(format!("{:?}", Reg(3)), "r3");
-        assert_eq!(format!("{:?}", Pc::new(FuncId(1), BlockId(2), 3)), "f1:b2:3");
+        assert_eq!(
+            format!("{:?}", Pc::new(FuncId(1), BlockId(2), 3)),
+            "f1:b2:3"
+        );
     }
 
     #[test]

@@ -117,11 +117,17 @@ pub enum MemOrder {
 impl MemOrder {
     /// Whether a load with this ordering has acquire semantics.
     pub fn acquires(self) -> bool {
-        matches!(self, MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst)
+        matches!(
+            self,
+            MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst
+        )
     }
     /// Whether a store with this ordering has release semantics.
     pub fn releases(self) -> bool {
-        matches!(self, MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst)
+        matches!(
+            self,
+            MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst
+        )
     }
 }
 
@@ -215,7 +221,11 @@ pub enum Instr {
     /// `dst = <op> a`
     Un { op: UnOp, dst: Reg, a: Operand },
     /// `dst = address-of(global) + disp` — materialize a pointer.
-    AddrOf { dst: Reg, global: GlobalId, disp: i64 },
+    AddrOf {
+        dst: Reg,
+        global: GlobalId,
+        disp: i64,
+    },
     /// `dst = mem[addr]`
     Load {
         dst: Reg,
@@ -274,7 +284,11 @@ pub enum Instr {
 
     // ---- threads & calls ----
     /// Start a new thread running `func(arg)`; `dst` receives its id.
-    Spawn { dst: Reg, func: FuncId, arg: Operand },
+    Spawn {
+        dst: Reg,
+        func: FuncId,
+        arg: Operand,
+    },
     /// Block until the thread whose id is in `tid` terminates.
     Join { tid: Operand },
     /// Direct call; `args` are bound to the callee's parameter registers.
@@ -339,7 +353,10 @@ impl Instr {
                 addr.regs(out);
             }
             Instr::Cas {
-                addr, expected, new, ..
+                addr,
+                expected,
+                new,
+                ..
             } => {
                 addr.regs(out);
                 op(expected, out);
@@ -596,7 +613,11 @@ mod tests {
 
     #[test]
     fn purity_classification() {
-        assert!(Instr::Const { dst: r(0), value: 1 }.is_pure());
+        assert!(Instr::Const {
+            dst: r(0),
+            value: 1
+        }
+        .is_pure());
         assert!(!Instr::Load {
             dst: r(0),
             addr: AddrExpr::Global {

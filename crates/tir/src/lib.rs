@@ -77,10 +77,6 @@ pub mod validate;
 
 pub use builder::{FunctionBuilder, GlobalRef, ModuleBuilder};
 pub use ids::{BlockId, FuncId, GlobalId, Pc, Reg, SpinLoopId, StrId};
-pub use instr::{
-    AddrExpr, Atomicity, BinOp, Instr, MemOrder, Operand, RmwOp, Terminator, UnOp,
-};
-pub use module::{
-    BasicBlock, Function, GlobalDecl, Module, SpinLoopInfo, SpinTable,
-};
+pub use instr::{AddrExpr, Atomicity, BinOp, Instr, MemOrder, Operand, RmwOp, Terminator, UnOp};
+pub use module::{BasicBlock, Function, GlobalDecl, Module, SpinLoopInfo, SpinTable};
 pub use validate::{validate, ValidationError};

@@ -282,14 +282,8 @@ mod tests {
     #[test]
     fn global_at_inverts_layout() {
         let m = tiny_module();
-        assert_eq!(
-            m.global_at(Module::GLOBAL_BASE + 1),
-            Some((GlobalId(0), 1))
-        );
-        assert_eq!(
-            m.global_at(Module::GLOBAL_BASE + 4),
-            Some((GlobalId(1), 2))
-        );
+        assert_eq!(m.global_at(Module::GLOBAL_BASE + 1), Some((GlobalId(0), 1)));
+        assert_eq!(m.global_at(Module::GLOBAL_BASE + 4), Some((GlobalId(1), 2)));
         assert_eq!(m.global_at(Module::GLOBAL_BASE + 5), None);
         assert_eq!(m.global_at(0), None);
     }

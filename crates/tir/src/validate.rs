@@ -19,9 +19,17 @@ pub enum ValidationError {
     /// Entry function must take no parameters.
     EntryHasParams,
     /// A terminator targets a block that does not exist.
-    BadBlockTarget { func: FuncId, from: BlockId, to: BlockId },
+    BadBlockTarget {
+        func: FuncId,
+        from: BlockId,
+        to: BlockId,
+    },
     /// A register index is `>= num_regs`.
-    BadRegister { func: FuncId, block: BlockId, reg: Reg },
+    BadRegister {
+        func: FuncId,
+        block: BlockId,
+        reg: Reg,
+    },
     /// A call/spawn names a function that does not exist.
     BadFunctionRef { func: FuncId, target: u32 },
     /// Call argument count differs from callee parameter count.
@@ -78,7 +86,10 @@ impl fmt::Display for ValidationError {
                 write!(f, "{func:?}: assert references missing string")
             }
             ValidationError::Recursion { func } => {
-                write!(f, "call graph cycle through {func:?} (recursion unsupported)")
+                write!(
+                    f,
+                    "call graph cycle through {func:?} (recursion unsupported)"
+                )
             }
             ValidationError::BadSpinTag { pc } => {
                 write!(f, "spin table tags non-load instruction at {pc:?}")
@@ -176,13 +187,11 @@ fn check_instr_refs(
         }
     }
     match instr {
-        Instr::AddrOf { global, .. } => {
-            if global.0 >= nglobals {
-                return Err(ValidationError::BadGlobalRef {
-                    func: fid,
-                    global: global.0,
-                });
-            }
+        Instr::AddrOf { global, .. } if global.0 >= nglobals => {
+            return Err(ValidationError::BadGlobalRef {
+                func: fid,
+                global: global.0,
+            });
         }
         Instr::MutexLock { addr }
         | Instr::MutexUnlock { addr }
@@ -253,10 +262,8 @@ fn check_instr_refs(
                 });
             }
         }
-        Instr::Assert { msg, .. } => {
-            if msg.0 >= nstrings {
-                return Err(ValidationError::BadStringRef { func: fid });
-            }
+        Instr::Assert { msg, .. } if msg.0 >= nstrings => {
+            return Err(ValidationError::BadStringRef { func: fid });
         }
         _ => {}
     }

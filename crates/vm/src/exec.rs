@@ -685,7 +685,10 @@ impl<'m> Vm<'m> {
                 let mua = self.addr(t, mutex);
                 self.release_mutex(t, mua, sink)?;
                 self.sync.cond(cva).waiters.push_back(tid);
-                self.threads[t].state = ThreadState::BlockedCond { cv: cva, mutex: mua };
+                self.threads[t].state = ThreadState::BlockedCond {
+                    cv: cva,
+                    mutex: mua,
+                };
                 // ip not advanced: completion happens via grant_mutex.
             }
             Instr::BarrierInit { addr, count } => {
@@ -847,7 +850,11 @@ impl<'m> Vm<'m> {
                 }
                 let actions = self.spin_rt.on_block_entry(&mut root, BlockId(0));
                 self.threads.push(Thread::new(child, root));
-                sink.on_event(&Event::Spawn { parent: tid, child, pc });
+                sink.on_event(&Event::Spawn {
+                    parent: tid,
+                    child,
+                    pc,
+                });
                 self.emit_spin_actions(child, actions, sink);
                 self.set_reg(t, *dst, child as i64);
                 self.advance(t);

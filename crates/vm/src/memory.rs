@@ -38,7 +38,7 @@ impl Memory {
     /// Allocate `words` fresh zeroed heap words, returning the base address.
     pub fn alloc(&mut self, words: u64) -> u64 {
         let base = self.heap_base + self.heap.len() as u64;
-        self.heap.extend(std::iter::repeat(0).take(words as usize));
+        self.heap.extend(std::iter::repeat_n(0, words as usize));
         base
     }
 

@@ -27,10 +27,7 @@ impl Scheduler for RoundRobin {
             None => 0,
             Some(last) => {
                 // First runnable thread with id > last, else wrap to 0.
-                runnable
-                    .iter()
-                    .position(|&t| t > last)
-                    .unwrap_or(0)
+                runnable.iter().position(|&t| t > last).unwrap_or(0)
             }
         };
         self.last = Some(runnable[idx]);
@@ -94,7 +91,7 @@ mod tests {
     fn round_robin_skips_blocked() {
         let mut rr = RoundRobin::default();
         assert_eq!(rr.pick(&[0, 1, 2]), 0); // runs 0
-        // thread 1 blocked now
+                                            // thread 1 blocked now
         let r = [0, 2];
         assert_eq!(r[rr.pick(&r)], 2); // next after 0 is 2
         assert_eq!(r[rr.pick(&r)], 0); // wraps

@@ -133,12 +133,16 @@ mod tests {
         let a = rt.on_block_entry(&mut frame, BlockId(1));
         assert_eq!(a, vec![SpinAction::Enter(SpinLoopId(0))]);
         // record a read, move to body, back to header: reads reset
-        frame.spins[0].reads.push((0x1000, Pc::new(FuncId(0), BlockId(1), 0)));
+        frame.spins[0]
+            .reads
+            .push((0x1000, Pc::new(FuncId(0), BlockId(1), 0)));
         assert!(rt.on_block_entry(&mut frame, BlockId(2)).is_empty());
         assert!(rt.on_block_entry(&mut frame, BlockId(1)).is_empty());
         assert!(frame.spins[0].reads.is_empty(), "iteration reset");
         // final iteration reads
-        frame.spins[0].reads.push((0x1001, Pc::new(FuncId(0), BlockId(1), 0)));
+        frame.spins[0]
+            .reads
+            .push((0x1001, Pc::new(FuncId(0), BlockId(1), 0)));
         // leave to block 3: exit with final reads
         let a = rt.on_block_entry(&mut frame, BlockId(3));
         match &a[..] {

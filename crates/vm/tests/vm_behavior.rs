@@ -4,9 +4,7 @@
 
 use spinrace_spinfind::SpinFinder;
 use spinrace_tir::{MemOrder, Module, ModuleBuilder, Operand, RmwOp};
-use spinrace_vm::{
-    run_module, Event, NullSink, RecordingSink, RunSummary, VmConfig, VmError,
-};
+use spinrace_vm::{run_module, Event, NullSink, RecordingSink, RunSummary, VmConfig, VmError};
 
 fn run(m: &Module, cfg: VmConfig) -> (RunSummary, Vec<Event>) {
     let mut sink = RecordingSink::default();
@@ -117,7 +115,11 @@ fn spawn_join_passes_argument() {
         f.ret(None);
     });
     let m = mb.finish().unwrap();
-    for cfg in [VmConfig::round_robin(), VmConfig::random(1), VmConfig::random(99)] {
+    for cfg in [
+        VmConfig::round_robin(),
+        VmConfig::random(1),
+        VmConfig::random(99),
+    ] {
         assert_eq!(outputs(&m, cfg), vec![107]);
     }
 }
@@ -139,9 +141,14 @@ fn join_emits_event_even_for_already_finished_thread() {
     });
     let m = mb.finish().unwrap();
     let (_, events) = run(&m, VmConfig::round_robin());
-    assert!(events
-        .iter()
-        .any(|e| matches!(e, Event::Join { parent: 0, child: 1, .. })));
+    assert!(events.iter().any(|e| matches!(
+        e,
+        Event::Join {
+            parent: 0,
+            child: 1,
+            ..
+        }
+    )));
 }
 
 /// Two threads increment a counter under a mutex; the result must be exact
@@ -254,9 +261,7 @@ fn condvar_handoff() {
         assert_eq!(outputs(&m, VmConfig::random(seed)), vec![33], "seed {seed}");
     }
     let (_, events) = run(&m, VmConfig::round_robin());
-    assert!(events
-        .iter()
-        .any(|e| matches!(e, Event::CondSignal { .. })));
+    assert!(events.iter().any(|e| matches!(e, Event::CondSignal { .. })));
     // The consumer either saw ready=1 without sleeping or got a
     // CondWaitReturn; in the round-robin interleaving the consumer runs
     // first and must sleep.
@@ -465,7 +470,11 @@ fn rmw_and_cas_are_atomic_steps() {
     });
     let m = mb.finish().unwrap();
     for seed in 0..5 {
-        assert_eq!(outputs(&m, VmConfig::random(seed)), vec![100], "seed {seed}");
+        assert_eq!(
+            outputs(&m, VmConfig::random(seed)),
+            vec![100],
+            "seed {seed}"
+        );
     }
 }
 

@@ -39,7 +39,11 @@ fn main() {
     println!(
         "instrumented: {} spinning read loop(s), {} tagged load(s)\n",
         analysis.accepted(),
-        module.spin.as_ref().map(|s| s.tagged_loads.len()).unwrap_or(0)
+        module
+            .spin
+            .as_ref()
+            .map(|s| s.tagged_loads.len())
+            .unwrap_or(0)
     );
 
     let mut sink = RecordingSink::default();

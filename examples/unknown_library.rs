@@ -72,7 +72,11 @@ fn main() {
             "{:<26} racy contexts: {}  (program output: {:?})",
             tool.label(),
             out.contexts,
-            out.summary.outputs.iter().map(|(_, v)| *v).collect::<Vec<_>>()
+            out.summary
+                .outputs
+                .iter()
+                .map(|(_, v)| *v)
+                .collect::<Vec<_>>()
         );
     }
     println!();

@@ -31,6 +31,6 @@ pub use spinrace_synclib as synclib;
 pub use spinrace_tir as tir;
 pub use spinrace_vm as vm;
 
-pub use spinrace_core::{Analyzer, AnalysisOutcome};
+pub use spinrace_core::{AnalysisOutcome, Analyzer};
 pub use spinrace_detector::{DetectorConfig, DetectorKind, RaceReport};
 pub use spinrace_tir::{Module, ModuleBuilder};

@@ -47,8 +47,7 @@ fn msm_short_vs_long_sensitivity() {
         "short MSM reports the first unordered pair"
     );
     assert!(
-        long.analyze(&one_shot).unwrap().contexts
-            <= short.analyze(&one_shot).unwrap().contexts,
+        long.analyze(&one_shot).unwrap().contexts <= short.analyze(&one_shot).unwrap().contexts,
         "long MSM is never more sensitive"
     );
     assert!(

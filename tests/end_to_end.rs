@@ -80,7 +80,13 @@ fn outputs_agree_across_tools() {
     let mut outputs = Vec::new();
     for tool in Tool::paper_lineup() {
         let out = Analyzer::tool(tool).analyze(&m).unwrap();
-        outputs.push(out.summary.outputs.iter().map(|(_, v)| *v).collect::<Vec<_>>());
+        outputs.push(
+            out.summary
+                .outputs
+                .iter()
+                .map(|(_, v)| *v)
+                .collect::<Vec<_>>(),
+        );
     }
     for o in &outputs {
         assert_eq!(o, &vec![23], "all pipelines compute the same result");
@@ -170,7 +176,10 @@ fn atomic_adhoc_tool_matrix() {
     });
     let m = mb.finish().unwrap();
 
-    assert!(!Analyzer::tool(Tool::HelgrindLib).analyze(&m).unwrap().is_clean());
+    assert!(!Analyzer::tool(Tool::HelgrindLib)
+        .analyze(&m)
+        .unwrap()
+        .is_clean());
     assert!(Analyzer::tool(Tool::HelgrindLibSpin { window: 7 })
         .analyze(&m)
         .unwrap()

@@ -14,9 +14,9 @@ fn nolib_is_clean_on_every_lib_sync_case() {
         .iter()
         .filter(|c| matches!(c.category, Category::LibSync))
     {
-        let out = nolib.analyze(&case.module).unwrap_or_else(|e| {
-            panic!("case {} ({}) failed to run: {e}", case.id, case.name)
-        });
+        let out = nolib
+            .analyze(&case.module)
+            .unwrap_or_else(|e| panic!("case {} ({}) failed to run: {e}", case.id, case.name));
         assert!(
             out.is_clean(),
             "case {} ({}): universal detector reported {:?}",

@@ -1,0 +1,233 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the API surface this workspace's benches use —
+//! `benchmark_group`, `sample_size`, `throughput`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `criterion_group!`, `criterion_main!` —
+//! with a simple wall-clock measurement loop instead of criterion's
+//! statistical machinery. Each benchmark runs a short warm-up, then
+//! `sample_size` timed samples, and prints mean/min per iteration (plus
+//! derived throughput when configured).
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Units for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level harness handle, passed to every bench function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let group = self.benchmark_group(name.to_string());
+        let mut b = Bencher::default();
+        f(&mut b);
+        group.report(name, &b);
+        group.finish();
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            ..Bencher::default()
+        };
+        f(&mut b, input);
+        self.report(&id.name, &b);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            ..Bencher::default()
+        };
+        f(&mut b);
+        self.report(&id.name, &b);
+        self
+    }
+
+    fn report(&self, bench_name: &str, b: &Bencher) {
+        let mean = b.mean_ns();
+        let min = b.min_ns();
+        let mut line = format!(
+            "{}/{}: mean {} min {} ({} samples)",
+            self.name,
+            bench_name,
+            fmt_ns(mean),
+            fmt_ns(min),
+            b.sample_times_ns.len()
+        );
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            if mean > 0.0 {
+                let per_sec = count as f64 / (mean * 1e-9);
+                line.push_str(&format!(" — {per_sec:.3e} {unit}"));
+            }
+        }
+        println!("{line}");
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Measurement driver handed to the bench closure.
+#[derive(Default)]
+pub struct Bencher {
+    samples: usize,
+    sample_times_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time the closure: a warm-up call, then `samples` timed runs.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let samples = self.samples.max(1);
+        self.sample_times_ns = (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed().as_secs_f64() * 1e9
+            })
+            .collect();
+    }
+
+    fn mean_ns(&self) -> f64 {
+        if self.sample_times_ns.is_empty() {
+            return 0.0;
+        }
+        self.sample_times_ns.iter().sum::<f64>() / self.sample_times_ns.len() as f64
+    }
+
+    fn min_ns(&self) -> f64 {
+        self.sample_times_ns
+            .iter()
+            .copied()
+            .fold(f64::MAX, f64::min)
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("count", 1), &5u64, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        group.finish();
+        // one warm-up + three samples
+        assert_eq!(runs, 4);
+    }
+}

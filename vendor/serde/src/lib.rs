@@ -1,0 +1,590 @@
+//! Offline shim for [serde](https://serde.rs).
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate reimplements the *subset* of serde the workspace uses, with
+//! the same import paths (`use serde::{Serialize, Deserialize};` plus the
+//! derive macros of the same names).
+//!
+//! Instead of serde's visitor-based zero-copy data model, values are
+//! serialized through a small self-describing tree, [`Content`]. The
+//! companion `serde_json` shim renders/parses `Content` as JSON and
+//! re-exports it as `serde_json::Value`. Encoding conventions (chosen for
+//! lossless round-trips, the only property the workspace relies on):
+//!
+//! * named structs → `Map` keyed by field-name strings, in field order;
+//! * tuple structs → `Seq` of the fields;
+//! * unit structs → `Null`;
+//! * enums → externally tagged: unit variants are a bare `Str`, payload
+//!   variants a single-entry `Map` from the variant name to a `Seq`
+//!   (tuple variants) or `Map` (struct variants);
+//! * maps (`HashMap`/`BTreeMap`) → `Seq` of two-element `Seq` pairs, so
+//!   non-string keys survive the trip through JSON text unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A self-describing serialized value: the data model of this shim.
+#[derive(Clone, Debug)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(Content, Content)>),
+}
+
+/// Numeric equality across the signed/unsigned split (JSON text has one
+/// number syntax, so `I64(1)` and `U64(1)` must compare equal — matching
+/// real `serde_json::Value` semantics).
+impl PartialEq for Content {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Content::Null, Content::Null) => true,
+            (Content::Bool(a), Content::Bool(b)) => a == b,
+            (Content::I64(a), Content::I64(b)) => a == b,
+            (Content::U64(a), Content::U64(b)) => a == b,
+            (Content::I64(a), Content::U64(b)) | (Content::U64(b), Content::I64(a)) => {
+                *a >= 0 && *a as u64 == *b
+            }
+            (Content::F64(a), Content::F64(b)) => a == b,
+            (Content::Str(a), Content::Str(b)) => a == b,
+            (Content::Seq(a), Content::Seq(b)) => a == b,
+            (Content::Map(a), Content::Map(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Deserialization error: a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialize into the [`Content`] tree (the shim's analogue of
+/// `serde::Serialize`).
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Reconstruct from a [`Content`] tree (the shim's analogue of
+/// `serde::Deserialize`).
+pub trait Deserialize: Sized {
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Content accessors (serde_json re-exports Content as Value, so the usual
+// Value inspection API lives here to satisfy the orphan rule).
+// ---------------------------------------------------------------------------
+
+static NULL: Content = Content::Null;
+
+impl Content {
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `serde_json::Value::as_array` compatible accessor.
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(v) => Some(*v),
+            Content::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::I64(v) => Some(*v),
+            Content::U64(v) if *v <= i64::MAX as u64 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::F64(v) => Some(*v),
+            Content::I64(v) => Some(*v as f64),
+            Content::U64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// Object-style lookup (maps with string keys); `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_map().and_then(|m| {
+            m.iter()
+                .find(|(k, _)| matches!(k, Content::Str(s) if s == key))
+                .map(|(_, v)| v)
+        })
+    }
+}
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+    fn index(&self, i: usize) -> &Content {
+        match self {
+            Content::Seq(s) => s.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Compact JSON rendering (the `Display` that `serde_json::to_string`
+/// builds on; kept here because `Content` is defined here).
+impl fmt::Display for Content {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Content::Null => f.write_str("null"),
+            Content::Bool(b) => write!(f, "{b}"),
+            Content::I64(v) => write!(f, "{v}"),
+            Content::U64(v) => write!(f, "{v}"),
+            Content::F64(v) => {
+                if !v.is_finite() {
+                    // JSON has no NaN/Infinity; serde_json emits null.
+                    f.write_str("null")
+                } else if v.trunc() == *v && v.abs() < 1e15 {
+                    // Keep whole-valued floats float-typed in the text
+                    // ("2.0", not "2"), like real serde_json, so parsing
+                    // the output back preserves the number's type.
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Content::Str(s) => write_json_string(f, s),
+            Content::Seq(items) => {
+                f.write_str("[")?;
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{it}")?;
+                }
+                f.write_str("]")
+            }
+            Content::Map(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    match k {
+                        Content::Str(s) => write_json_string(f, s)?,
+                        other => write_json_string(f, &other.to_string())?,
+                    }
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_json_string(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the generated derive code.
+// ---------------------------------------------------------------------------
+
+/// Look up a struct field by name in a `Map` payload.
+pub fn field<'a>(m: &'a [(Content, Content)], key: &str) -> Option<&'a Content> {
+    m.iter()
+        .find(|(k, _)| matches!(k, Content::Str(s) if s == key))
+        .map(|(_, v)| v)
+}
+
+/// Deserialize a struct field by name, with a missing-field error.
+pub fn from_field<T: Deserialize>(m: &[(Content, Content)], key: &str) -> Result<T, DeError> {
+    match field(m, key) {
+        Some(v) => T::from_content(v),
+        None => Err(DeError(format!("missing field `{key}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive and container impls.
+// ---------------------------------------------------------------------------
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = c.as_u64().ok_or_else(|| {
+                    DeError(format!(concat!("expected ", stringify!($t), ", got {:?}"), c))
+                })?;
+                <$t>::try_from(v).map_err(|_| DeError(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = c.as_i64().ok_or_else(|| {
+                    DeError(format!(concat!("expected ", stringify!($t), ", got {:?}"), c))
+                })?;
+                <$t>::try_from(v).map_err(|_| DeError(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_f64()
+            .ok_or_else(|| DeError(format!("expected f64, got {c:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(f64::from_content(c)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_bool()
+            .ok_or_else(|| DeError(format!("expected bool, got {c:?}")))
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError(format!("expected string, got {c:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = String::from_content(c)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(DeError(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError(format!("expected sequence, got {c:?}")))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(Box::new(T::from_content(c)?))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let s = c
+                    .as_seq()
+                    .ok_or_else(|| DeError(format!("expected tuple sequence, got {c:?}")))?;
+                let expected = [$($n,)+].len();
+                if s.len() != expected {
+                    return Err(DeError(format!(
+                        "expected {expected}-tuple, got {} elements",
+                        s.len()
+                    )));
+                }
+                Ok(($($t::from_content(&s[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        Content::Seq(
+            self.iter()
+                .map(|(k, v)| Content::Seq(vec![k.to_content(), v.to_content()]))
+                .collect(),
+        )
+    }
+}
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = c
+            .as_seq()
+            .ok_or_else(|| DeError(format!("expected map pair sequence, got {c:?}")))?;
+        let mut out = HashMap::with_capacity_and_hasher(s.len(), S::default());
+        for pair in s {
+            let p = pair
+                .as_seq()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| DeError(format!("expected [key, value] pair, got {pair:?}")))?;
+            out.insert(K::from_content(&p[0])?, V::from_content(&p[1])?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Seq(
+            self.iter()
+                .map(|(k, v)| Content::Seq(vec![k.to_content(), v.to_content()]))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = c
+            .as_seq()
+            .ok_or_else(|| DeError(format!("expected map pair sequence, got {c:?}")))?;
+        let mut out = BTreeMap::new();
+        for pair in s {
+            let p = pair
+                .as_seq()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| DeError(format!("expected [key, value] pair, got {pair:?}")))?;
+            out.insert(K::from_content(&p[0])?, V::from_content(&p[1])?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_content(&42u32.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content(&(-7i64).to_content()).unwrap(), -7);
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u8>::from_content(&Content::Null).unwrap(),
+            None::<u8>
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u64, 2i64), (3, 4)];
+        assert_eq!(Vec::<(u64, i64)>::from_content(&v.to_content()).unwrap(), v);
+        let mut m = HashMap::new();
+        m.insert(5u32, "five".to_string());
+        assert_eq!(
+            HashMap::<u32, String>::from_content(&m.to_content()).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn display_renders_json() {
+        let c = Content::Map(vec![
+            (
+                Content::Str("a".into()),
+                Content::Seq(vec![Content::U64(1), Content::Null]),
+            ),
+            (Content::Str("b".into()), Content::Bool(true)),
+        ]);
+        assert_eq!(c.to_string(), r#"{"a":[1,null],"b":true}"#);
+    }
+}

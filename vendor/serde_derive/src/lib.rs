@@ -1,0 +1,401 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shim `serde` crate without depending on `syn`/`quote` (unavailable in
+//! this build environment). The input item is parsed by hand from the raw
+//! token stream — which is tractable because only the *shape* of the type
+//! matters (field and variant names); field types never need to be parsed
+//! since the generated code just recurses through the `Serialize` /
+//! `Deserialize` traits.
+//!
+//! Supported shapes: non-generic structs (named / tuple / unit) and enums
+//! whose variants are unit, tuple, or struct-like. `#[serde(...)]`
+//! attributes are not supported (the workspace uses none).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::str::FromStr;
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    TokenStream::from_str(&format!("compile_error!({msg:?});")).unwrap()
+}
+
+/// Skip attributes (`#[...]`, which is also how doc comments arrive) and a
+/// visibility qualifier (`pub`, optionally followed by `(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a token slice at top-level commas, tracking `<...>` nesting so
+/// commas inside generic arguments (e.g. `HashMap<Pc, SpinLoopId>`) do not
+/// split. Groups are single tokens, so parens/brackets/braces nest for free.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            // The '>' of an `->` (fn-pointer return type) is not a closing
+            // angle bracket; it always follows a '-' punct.
+            let after_dash =
+                matches!(cur.last(), Some(TokenTree::Punct(prev)) if prev.as_char() == '-');
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' if !after_dash => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parse the field names of a named-fields body (`{ a: T, b: U }`).
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for field in split_top_level_commas(tokens) {
+        let i = skip_attrs_and_vis(&field, 0);
+        match field.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            None => continue,
+            other => return Err(format!("unexpected token in field position: {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the serde shim derive does not support generic types ({name})"
+        ));
+    }
+    if kind == "struct" {
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Fields::Named(parse_named_fields(&inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Fields::Tuple(split_top_level_commas(&inner).len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            None => Fields::Unit,
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        };
+        return Ok(Item {
+            name,
+            shape: Shape::Struct(fields),
+        });
+    }
+    // enum
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => return Err(format!("expected enum body, found {other:?}")),
+    };
+    let body_tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    for vtokens in split_top_level_commas(&body_tokens) {
+        let mut j = skip_attrs_and_vis(&vtokens, 0);
+        let vname = match vtokens.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => continue,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        j += 1;
+        let fields = match vtokens.get(j) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Fields::Tuple(split_top_level_commas(&inner).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Fields::Named(parse_named_fields(&inner)?)
+            }
+            // unit variant, possibly with an explicit discriminant.
+            _ => Fields::Unit,
+        };
+        variants.push(Variant {
+            name: vname,
+            fields,
+        });
+    }
+    Ok(Item {
+        name,
+        shape: Shape::Enum(variants),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::serde::Content::Str({f:?}.to_string()), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", entries.join(", "))
+        }
+        Shape::Struct(Fields::Unit) => "::serde::Content::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Content::Str({vname:?}.to_string()),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Content::Map(vec![\
+                                 (::serde::Content::Str({vname:?}.to_string()), \
+                                 ::serde::Content::Seq(vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::serde::Content::Str({f:?}.to_string()), \
+                                         ::serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(vec![\
+                                 (::serde::Content::Str({vname:?}.to_string()), \
+                                 ::serde::Content::Map(vec![{entries}]))]),",
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_named_ctor(path: &str, fields: &[String], map_expr: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::from_field({map_expr}, {f:?})?"))
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let ctor = gen_named_ctor(name, fields, "__m");
+            format!(
+                "let __m = __c.as_map().ok_or_else(|| \
+                 ::serde::DeError::msg(concat!(\"expected map for struct \", {name:?})))?;\n\
+                 Ok({ctor})"
+            )
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let args: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __c.as_seq().ok_or_else(|| \
+                 ::serde::DeError::msg(concat!(\"expected seq for struct \", {name:?})))?;\n\
+                 if __s.len() != {n} {{ return Err(::serde::DeError::msg(\
+                 format!(\"expected {n} fields for {name}, got {{}}\", __s.len()))); }}\n\
+                 Ok({name}({args}))",
+                args = args.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Unit) => format!("let _ = __c; Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("{vn:?} => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(n) => {
+                            let args: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                 let __s = __payload.as_seq().ok_or_else(|| \
+                                 ::serde::DeError::msg(concat!(\"expected seq payload for \", {vn:?})))?;\n\
+                                 if __s.len() != {n} {{ return Err(::serde::DeError::msg(\
+                                 format!(\"expected {n} fields for {name}::{vn}, got {{}}\", __s.len()))); }}\n\
+                                 Ok({name}::{vn}({args}))\n\
+                                 }}",
+                                args = args.join(", ")
+                            ))
+                        }
+                        Fields::Named(fields) => {
+                            let ctor = gen_named_ctor(&format!("{name}::{vn}"), fields, "__m");
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                 let __m = __payload.as_map().ok_or_else(|| \
+                                 ::serde::DeError::msg(concat!(\"expected map payload for \", {vn:?})))?;\n\
+                                 Ok({ctor})\n\
+                                 }}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {units}\n\
+                 __other => Err(::serde::DeError::msg(format!(\
+                 \"unknown unit variant {{__other}} for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag_c, __payload) = &__entries[0];\n\
+                 let __tag = __tag_c.as_str().ok_or_else(|| \
+                 ::serde::DeError::msg(\"expected string variant tag\"))?;\n\
+                 match __tag {{\n\
+                 {payloads}\n\
+                 __other => Err(::serde::DeError::msg(format!(\
+                 \"unknown variant {{__other}} for {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => Err(::serde::DeError::msg(format!(\
+                 \"unexpected content for enum {name}: {{__other:?}}\"))),\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                payloads = payload_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let src = gen_serialize(&item);
+            TokenStream::from_str(&src)
+                .unwrap_or_else(|e| compile_error(&format!("serde shim codegen error: {e:?}")))
+        }
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let src = gen_deserialize(&item);
+            TokenStream::from_str(&src)
+                .unwrap_or_else(|e| compile_error(&format!("serde shim codegen error: {e:?}")))
+        }
+        Err(e) => compile_error(&e),
+    }
+}

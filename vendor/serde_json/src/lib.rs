@@ -1,0 +1,465 @@
+//! Offline shim for `serde_json`, built on the shim `serde` crate's
+//! [`Content`](serde::Content) data model (re-exported here as [`Value`]).
+//!
+//! Provides the subset the workspace uses: [`to_string`],
+//! [`to_string_pretty`], [`from_str`], [`to_value`], the [`json!`] macro,
+//! and `Value` inspection (`as_array`, `as_u64`, indexing, `Display`) via
+//! the inherent methods on `Content`.
+
+pub use serde::Content as Value;
+use serde::{DeError, Deserialize, Serialize};
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serialize a value to its `Content`/`Value` tree. Infallible in the shim
+/// data model, so the plain value is returned (call sites in this
+/// workspace use the result directly, not as a `Result`).
+pub fn to_value<T: ?Sized + Serialize>(v: &T) -> Value {
+    v.to_content()
+}
+
+/// Deserialize a typed value back out of a `Value` tree.
+pub fn from_value<T: Deserialize>(v: &Value) -> Result<T, Error> {
+    Ok(T::from_content(v)?)
+}
+
+/// Render a value as compact JSON.
+pub fn to_string<T: ?Sized + Serialize>(v: &T) -> Result<String, Error> {
+    Ok(v.to_content().to_string())
+}
+
+/// Render a value as 2-space-indented JSON.
+pub fn to_string_pretty<T: ?Sized + Serialize>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render_pretty(&v.to_content(), 0, &mut out);
+    Ok(out)
+}
+
+fn render_pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, it) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                render_pretty(it, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in entries.iter().enumerate() {
+                out.push_str(&pad_in);
+                let key = match k {
+                    Value::Str(s) => s.clone(),
+                    other => other.to_string(),
+                };
+                out.push_str(&Value::Str(key).to_string());
+                out.push_str(": ");
+                render_pretty(val, indent + 1, out);
+                if i + 1 < entries.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+/// Parse JSON text into a typed value.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse_value(s)?;
+    Ok(T::from_content(&v)?)
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(Error(format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        other => {
+                            return Err(Error(format!(
+                                "expected ',' or ']' at byte {}, found {:?}",
+                                self.pos,
+                                other.map(|c| c as char)
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let k = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let v = self.value()?;
+                    entries.push((Value::Str(k), v));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        other => {
+                            return Err(Error(format!(
+                                "expected ',' or '}}' at byte {}, found {:?}",
+                                self.pos,
+                                other.map(|c| c as char)
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            other => Err(Error(format!(
+                "unexpected byte {:?} at {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    /// Read four hex digits starting at byte offset `at`.
+    fn hex4(&self, at: usize) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(at..at + 4)
+            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+        u32::from_str_radix(
+            std::str::from_utf8(hex).map_err(|_| Error("bad \\u escape".into()))?,
+            16,
+        )
+        .map_err(|_| Error("bad \\u escape".into()))
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let code = self.hex4(self.pos + 1)?;
+                            self.pos += 4;
+                            let code = if (0xD800..0xDC00).contains(&code) {
+                                // High surrogate: JSON escapes non-BMP chars
+                                // as a \uXXXX\uXXXX pair.
+                                if self.bytes.get(self.pos + 1..self.pos + 3)
+                                    != Some(b"\\u".as_slice())
+                                {
+                                    return Err(Error(
+                                        "high surrogate not followed by \\u escape".into(),
+                                    ));
+                                }
+                                let low = self.hex4(self.pos + 3)?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(Error(format!("invalid low surrogate {low:#06x}")));
+                                }
+                                self.pos += 6;
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                code
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("bad \\u code point".into()))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error(format!("bad escape {:?}", other.map(|c| c as char))))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error("invalid UTF-8".into()))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error("unterminated string".into())),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|e| Error(format!("bad number {text:?}: {e}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|e| Error(format!("bad number {text:?}: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|e| Error(format!("bad number {text:?}: {e}")))
+        }
+    }
+}
+
+/// Build a [`Value`] from JSON-like syntax. Supports object and array
+/// literals, `null`, and arbitrary serializable expressions in value
+/// position (the subset real `serde_json::json!` usage in this workspace
+/// exercises).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($items:tt)* ]) => { $crate::json_array!([] $($items)*) };
+    ({ $($body:tt)* }) => { $crate::json_object!([] $($body)*) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_array {
+    ([$(($done:expr))*]) => { $crate::Value::Seq(vec![ $($done),* ]) };
+    ([$(($done:expr))*] { $($obj:tt)* } , $($rest:tt)*) => {
+        $crate::json_array!([$(($done))* ($crate::json!({ $($obj)* }))] $($rest)*)
+    };
+    ([$(($done:expr))*] { $($obj:tt)* }) => {
+        $crate::json_array!([$(($done))* ($crate::json!({ $($obj)* }))])
+    };
+    ([$(($done:expr))*] $item:expr , $($rest:tt)*) => {
+        $crate::json_array!([$(($done))* ($crate::to_value(&$item))] $($rest)*)
+    };
+    ([$(($done:expr))*] $item:expr) => {
+        $crate::json_array!([$(($done))* ($crate::to_value(&$item))])
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object {
+    ([$(($k:expr, $v:expr))*]) => {
+        $crate::Value::Map(vec![ $( ($crate::Value::Str($k.to_string()), $v) ),* ])
+    };
+    ([$(($dk:expr, $dv:expr))*] $key:literal : { $($obj:tt)* } , $($rest:tt)*) => {
+        $crate::json_object!([$(($dk, $dv))* ($key, $crate::json!({ $($obj)* }))] $($rest)*)
+    };
+    ([$(($dk:expr, $dv:expr))*] $key:literal : { $($obj:tt)* }) => {
+        $crate::json_object!([$(($dk, $dv))* ($key, $crate::json!({ $($obj)* }))])
+    };
+    ([$(($dk:expr, $dv:expr))*] $key:literal : [ $($arr:tt)* ] , $($rest:tt)*) => {
+        $crate::json_object!([$(($dk, $dv))* ($key, $crate::json!([ $($arr)* ]))] $($rest)*)
+    };
+    ([$(($dk:expr, $dv:expr))*] $key:literal : [ $($arr:tt)* ]) => {
+        $crate::json_object!([$(($dk, $dv))* ($key, $crate::json!([ $($arr)* ]))])
+    };
+    ([$(($dk:expr, $dv:expr))*] $key:literal : null , $($rest:tt)*) => {
+        $crate::json_object!([$(($dk, $dv))* ($key, $crate::Value::Null)] $($rest)*)
+    };
+    ([$(($dk:expr, $dv:expr))*] $key:literal : null) => {
+        $crate::json_object!([$(($dk, $dv))* ($key, $crate::Value::Null)])
+    };
+    ([$(($dk:expr, $dv:expr))*] $key:literal : $val:expr , $($rest:tt)*) => {
+        $crate::json_object!([$(($dk, $dv))* ($key, $crate::to_value(&$val))] $($rest)*)
+    };
+    ([$(($dk:expr, $dv:expr))*] $key:literal : $val:expr) => {
+        $crate::json_object!([$(($dk, $dv))* ($key, $crate::to_value(&$val))])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_text() {
+        let v = json!({
+            "name": "x",
+            "n": 3u32,
+            "nested": { "flag": true, "xs": [1, 2, 3] },
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+        assert_eq!(v["nested"]["xs"].as_array().unwrap().len(), 3);
+        assert_eq!(v["n"].as_u64(), Some(3));
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn parses_escapes_and_negatives() {
+        let v: Value = from_str(r#"{"s": "a\nbA", "i": -5, "f": 1.5}"#).unwrap();
+        assert_eq!(v["s"].as_str(), Some("a\nbA"));
+        assert_eq!(v["i"].as_i64(), Some(-5));
+        assert_eq!(v["f"].as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn whole_valued_floats_stay_floats_in_text() {
+        let v = json!({ "mean": 2.0f64, "frac": 153.4f64 });
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, r#"{"mean":2.0,"frac":153.4}"#);
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back["mean"], Value::F64(2.0));
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_parse() {
+        let v: Value = from_str(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        assert!(
+            from_str::<Value>(r#""\ud83d""#).is_err(),
+            "lone high surrogate"
+        );
+        assert!(
+            from_str::<Value>(r#""\ud83dA""#).is_err(),
+            "high surrogate + non-low-surrogate"
+        );
+    }
+
+    #[test]
+    fn pretty_is_reparseable() {
+        let v = json!({ "rows": [{ "a": 1 }, { "a": 2 }] });
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+}
