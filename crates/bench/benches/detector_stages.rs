@@ -1,9 +1,19 @@
 //! Per-event cost of the detector configurations on a recorded event
-//! stream (isolates detector overhead from interpretation).
+//! stream (isolates detector overhead from interpretation), plus targeted
+//! microbenches that pin the two shadow-representation regimes separately:
+//!
+//! * `detector_paths/epoch-fastpath` — race-free single-owner traffic:
+//!   every access takes the O(1) exclusive/same-epoch exits (no clone, no
+//!   allocation). A regression here means the fast path grew work.
+//! * `detector_paths/promoted-readers` — many mutually concurrent readers
+//!   on shared words: every read maintains the promoted `Shared` read
+//!   vector (the full-vector regime). A regression here means the
+//!   promoted path (retain/push, vector scans) got slower.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use spinrace_detector::{DetectorConfig, MsmMode, RaceDetector};
 use spinrace_suites::all_programs;
+use spinrace_tir::{BlockId, FuncId, Pc};
 use spinrace_vm::{run_module, Event, EventSink, RecordingSink, VmConfig};
 
 fn recorded_stream() -> Vec<Event> {
@@ -17,6 +27,104 @@ fn recorded_stream() -> Vec<Event> {
     sink.events
 }
 
+fn pc(n: u32) -> Pc {
+    Pc::new(FuncId(0), BlockId(0), n)
+}
+
+/// Race-free single-owner traffic: two spawned workers each read/write
+/// their own disjoint words. Exercises the exclusive-read overwrite and
+/// the write fast path exclusively (zero reports, zero promotions).
+fn epoch_fastpath_stream(events: usize) -> Vec<Event> {
+    let mut evs = vec![
+        Event::Spawn {
+            parent: 0,
+            child: 1,
+            pc: pc(0),
+        },
+        Event::Spawn {
+            parent: 0,
+            child: 2,
+            pc: pc(0),
+        },
+    ];
+    let mut i = 0u64;
+    while evs.len() < events {
+        let tid = 1 + (i % 2) as u32;
+        let addr = 0x1000 + 0x800 * tid as u64 + (i / 2) % 32;
+        if i.is_multiple_of(3) {
+            evs.push(Event::Write {
+                tid,
+                addr,
+                value: 1,
+                pc: pc(1),
+                stack: 0,
+                atomic: None,
+            });
+        } else {
+            evs.push(Event::Read {
+                tid,
+                addr,
+                value: 0,
+                pc: pc(2),
+                stack: 0,
+                atomic: None,
+                spin: None,
+            });
+        }
+        i += 1;
+    }
+    evs
+}
+
+/// Mutually concurrent readers over a small shared set: after one ordered
+/// initialization write, four workers only read. Every read runs the
+/// promoted `Shared` read-vector maintenance; no races are reported
+/// (write-before-spawn is ordered), so report costs stay out of the loop.
+fn promoted_readers_stream(events: usize) -> Vec<Event> {
+    let mut evs = Vec::new();
+    for addr in 0..8u64 {
+        evs.push(Event::Write {
+            tid: 0,
+            addr: 0x1000 + addr,
+            value: 1,
+            pc: pc(0),
+            stack: 0,
+            atomic: None,
+        });
+    }
+    for child in 1..=4u32 {
+        evs.push(Event::Spawn {
+            parent: 0,
+            child,
+            pc: pc(0),
+        });
+    }
+    let mut i = 0u64;
+    while evs.len() < events {
+        let tid = 1 + (i % 4) as u32;
+        let addr = 0x1000 + (i / 4) % 8;
+        evs.push(Event::Read {
+            tid,
+            addr,
+            value: 1,
+            pc: pc(3),
+            stack: 0,
+            atomic: None,
+            spin: None,
+        });
+        i += 1;
+    }
+    evs
+}
+
+fn replay_contexts(cfg: DetectorConfig, evs: &[Event]) -> usize {
+    let mut det = RaceDetector::new(cfg);
+    for e in evs {
+        det.on_event(e);
+    }
+    det.racy_contexts()
+}
+
 fn detector_stages(c: &mut Criterion) {
     let events = recorded_stream();
     let configs = [
@@ -28,17 +136,30 @@ fn detector_stages(c: &mut Criterion) {
     group.throughput(Throughput::Elements(events.len() as u64));
     for (name, cfg) in configs {
         group.bench_with_input(BenchmarkId::from_parameter(name), &events, |b, evs| {
-            b.iter(|| {
-                let mut det = RaceDetector::new(cfg);
-                for e in evs {
-                    det.on_event(e);
-                }
-                det.racy_contexts()
-            })
+            b.iter(|| replay_contexts(cfg, evs))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, detector_stages);
+fn detector_paths(c: &mut Criterion) {
+    let cfg = DetectorConfig::helgrind_lib(MsmMode::Long);
+    let streams = [
+        ("epoch-fastpath", epoch_fastpath_stream(40_000)),
+        ("promoted-readers", promoted_readers_stream(40_000)),
+    ];
+    let mut group = c.benchmark_group("detector_paths");
+    for (name, evs) in &streams {
+        // Both streams are race-free by construction; assert it so the
+        // bench can't silently start measuring report paths.
+        assert_eq!(replay_contexts(cfg, evs), 0, "{name} must stay race-free");
+        group.throughput(Throughput::Elements(evs.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(*name), evs, |b, evs| {
+            b.iter(|| replay_contexts(cfg, evs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, detector_stages, detector_paths);
 criterion_main!(benches);

@@ -1,0 +1,247 @@
+//! `perf` — detector throughput and shadow-memory benchmark.
+//!
+//! Replays the bench programs' recorded event streams through every tool's
+//! detector configuration and measures:
+//!
+//! * **events/sec** of the production [`RaceDetector`] (epoch fast paths,
+//!   paged shadow memory);
+//! * **events/sec** of the retained [`ReferenceDetector`] (slow full-VC
+//!   baseline) — the speedup column is recomputed, never quoted;
+//! * **shadow bytes** retained by each after a full replay (pages and
+//!   cells never shrink, so the final figure is the peak).
+//!
+//! Results land in `BENCH_detector.json` at the repo root — the perf
+//! trajectory the CI `perf-smoke` step guards.
+//!
+//! ```text
+//! cargo run --release -p spinrace-bench --bin perf            # full run
+//! cargo run --release -p spinrace-bench --bin perf -- --quick # CI smoke
+//! ```
+//!
+//! `--quick` measures a reduced matrix with shorter timing windows and
+//! **fails** (exit 1) if any configuration drops more than 5× below
+//! [`FLOOR_EVENTS_PER_SEC`]. The floor is deliberately far under current
+//! numbers: it catches algorithmic regressions (an accidental clone or
+//! hash-table slip on the hot path), not CI-machine noise.
+
+use spinrace_bench::bench_tools;
+use spinrace_core::Tool;
+use spinrace_detector::{DetectorConfig, MsmMode, RaceDetector, ReferenceDetector};
+use spinrace_spinfind::{SpinCriteria, SpinFinder};
+use spinrace_synclib::{lower_to_spinlib_styled, LibStyle};
+use spinrace_vm::{run_module, Event, EventSink, RecordingSink, VmConfig};
+use std::time::Instant;
+
+/// Checked-in floor for the production detector, in events/sec. The CI
+/// smoke fails when measured throughput is more than 5× below this. Set
+/// from a ~13 M ev/s release-mode measurement; /5 leaves room for slow
+/// shared runners while still catching order-of-magnitude regressions.
+const FLOOR_EVENTS_PER_SEC: f64 = 10_000_000.0;
+
+/// One (program, tool) measurement.
+struct Row {
+    program: &'static str,
+    tool: String,
+    events: usize,
+    events_per_sec: f64,
+    ref_events_per_sec: f64,
+    shadow_bytes: usize,
+    ref_shadow_bytes: usize,
+    contexts: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(default_out_path);
+    // Timing window per measurement. Quick mode trades precision for CI
+    // latency; the 5× floor margin absorbs the extra noise.
+    let min_secs = if quick { 0.12 } else { 0.6 };
+    // Scale the kernels up so per-replay constants (detector construction)
+    // amortize away and events/sec measures the steady-state hot path.
+    let programs = perf_programs(16);
+    let programs: Vec<_> = if quick {
+        programs.into_iter().filter(|(n, _)| *n == "vips").collect()
+    } else {
+        programs
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, module) in &programs {
+        for (_, tool) in bench_tools() {
+            let events = record_stream(tool, module);
+            let cfg = detector_config(tool);
+
+            let eps = measure(&events, min_secs, || RaceDetector::new(cfg));
+            let ref_eps = measure(&events, min_secs, || ReferenceDetector::new(cfg));
+
+            // One more replay of each to read retained state.
+            let mut det = RaceDetector::new(cfg);
+            replay(&events, &mut det);
+            let mut rdet = ReferenceDetector::new(cfg);
+            replay(&events, &mut rdet);
+            assert_eq!(
+                det.racy_contexts(),
+                rdet.racy_contexts(),
+                "fast and reference detectors disagree on {name}/{}",
+                tool.label()
+            );
+
+            println!(
+                "{name:>14} {:<24} {:>8} events  {:>7.2} M ev/s  (ref {:>6.2} M ev/s, {:>4.1}x)  shadow {} B (ref {} B)",
+                tool.label(),
+                events.len(),
+                eps / 1e6,
+                ref_eps / 1e6,
+                eps / ref_eps,
+                det.metrics().shadow_bytes,
+                rdet.shadow_bytes(),
+            );
+            rows.push(Row {
+                program: name,
+                tool: tool.label(),
+                events: events.len(),
+                events_per_sec: eps,
+                ref_events_per_sec: ref_eps,
+                shadow_bytes: det.metrics().shadow_bytes,
+                ref_shadow_bytes: rdet.shadow_bytes(),
+                contexts: det.racy_contexts(),
+            });
+        }
+    }
+
+    let min_eps = rows
+        .iter()
+        .map(|r| r.events_per_sec)
+        .fold(f64::INFINITY, f64::min);
+    let geomean_speedup = (rows
+        .iter()
+        .map(|r| (r.events_per_sec / r.ref_events_per_sec).ln())
+        .sum::<f64>()
+        / rows.len() as f64)
+        .exp();
+    println!(
+        "min {:.2} M ev/s, geomean speedup over reference {geomean_speedup:.2}x",
+        min_eps / 1e6
+    );
+
+    write_json(&out_path, quick, &rows, min_eps, geomean_speedup);
+    println!("wrote {out_path}");
+
+    if quick && min_eps < FLOOR_EVENTS_PER_SEC / 5.0 {
+        eprintln!(
+            "PERF REGRESSION: min {min_eps:.0} ev/s is more than 5x below the checked-in floor \
+             of {FLOOR_EVENTS_PER_SEC:.0} ev/s"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// `BENCH_detector.json` at the repo root, resolved relative to this
+/// crate so the binary works from any working directory.
+fn default_out_path() -> String {
+    format!("{}/../../BENCH_detector.json", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The Criterion bench programs, scaled `scale`× for longer event streams.
+fn perf_programs(scale: u32) -> Vec<(&'static str, spinrace_tir::Module)> {
+    spinrace_suites::all_programs()
+        .into_iter()
+        .filter(|p| matches!(p.name, "blackscholes" | "vips" | "dedup"))
+        .map(|p| (p.name, (p.build)(p.threads, p.size * scale)))
+        .collect()
+}
+
+/// The detector configuration a tool runs (long MSM — integration mode,
+/// as in the PARSEC experiments and the Criterion benches).
+fn detector_config(tool: Tool) -> DetectorConfig {
+    match tool {
+        Tool::HelgrindLib => DetectorConfig::helgrind_lib(MsmMode::Long),
+        Tool::HelgrindLibSpin { .. } => DetectorConfig::helgrind_lib_spin(MsmMode::Long),
+        Tool::HelgrindNolibSpin { .. } => DetectorConfig::helgrind_nolib_spin(MsmMode::Long),
+        Tool::Drd => DetectorConfig::drd(),
+    }
+}
+
+/// Record the event stream a tool's detector would see: same preparation
+/// steps as `Analyzer::analyze` (nolib lowering, spin instrumentation),
+/// then one deterministic round-robin run.
+fn record_stream(tool: Tool, module: &spinrace_tir::Module) -> Vec<Event> {
+    let mut prepared = match tool {
+        Tool::HelgrindNolibSpin { .. } => {
+            lower_to_spinlib_styled(module, LibStyle::Textbook).expect("lowering")
+        }
+        _ => module.clone(),
+    };
+    match tool {
+        Tool::HelgrindLibSpin { window } | Tool::HelgrindNolibSpin { window } => {
+            let finder = SpinFinder::new(SpinCriteria::with_window(window));
+            finder.instrument(&mut prepared);
+        }
+        _ => {}
+    }
+    let mut sink = RecordingSink::default();
+    run_module(&prepared, VmConfig::round_robin(), &mut sink).expect("vm run");
+    sink.events
+}
+
+fn replay(events: &[Event], sink: &mut impl EventSink) {
+    for e in events {
+        sink.on_event(e);
+    }
+}
+
+/// Replay `events` into fresh `mk()` sinks until `min_secs` elapsed;
+/// returns events/sec.
+fn measure<S: EventSink>(events: &[Event], min_secs: f64, mut mk: impl FnMut() -> S) -> f64 {
+    // Warm-up replay (page in code and allocator state).
+    let mut warm = mk();
+    replay(events, &mut warm);
+    drop(warm);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        let mut d = mk();
+        replay(events, &mut d);
+        iters += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= min_secs {
+            return events.len() as f64 * iters as f64 / elapsed;
+        }
+    }
+}
+
+fn write_json(path: &str, quick: bool, rows: &[Row], min_eps: f64, geomean_speedup: f64) {
+    let results: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "program": r.program,
+                "tool": r.tool.as_str(),
+                "events": r.events as u64,
+                "events_per_sec": r.events_per_sec,
+                "ref_events_per_sec": r.ref_events_per_sec,
+                "speedup_vs_reference": r.events_per_sec / r.ref_events_per_sec,
+                "shadow_bytes": r.shadow_bytes as u64,
+                "ref_shadow_bytes": r.ref_shadow_bytes as u64,
+                "contexts": r.contexts as u64,
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "schema": "spinrace-perf-v1",
+        "quick": quick,
+        "floor_events_per_sec": FLOOR_EVENTS_PER_SEC,
+        "results": serde_json::Value::Seq(results),
+        "summary": {
+            "min_events_per_sec": min_eps,
+            "geomean_speedup_vs_reference": geomean_speedup,
+        },
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("render json");
+    std::fs::write(path, text + "\n").expect("write BENCH_detector.json");
+}

@@ -1,15 +1,28 @@
 //! The race detector: an [`EventSink`] implementing pure happens-before
 //! (DRD), the hybrid lockset + HB algorithm (Helgrind+), and the paper's
 //! spin-loop happens-before augmentation.
+//!
+//! # Hot-path design (epoch fast paths)
+//!
+//! `on_plain_read`/`on_plain_write` are FastTrack-shaped: the race check
+//! against the last write is a single epoch compare against the accessing
+//! thread's *borrowed* vector clock, the read history is the adaptive
+//! [`ReadState`] (inline epoch until genuinely concurrent readers appear),
+//! and shadow state lives in the flat paged [`ShadowTable`]. The race-free
+//! fast paths perform **no `VectorClock` clone and no heap allocation**;
+//! the racy slow path reuses a persistent scratch buffer. Semantics are
+//! bit-for-bit those of the retained [`crate::ReferenceDetector`] — the
+//! differential proptest in `tests/epoch_equivalence.rs` holds the two to
+//! identical reports.
 
 use crate::config::{DetectorConfig, MsmMode};
 use crate::lockset::{LocksetId, LocksetTable};
 use crate::report::{AccessSummary, RaceKind, RaceReport, ReportCollector};
-use crate::shadow::{AccessRecord, ShadowCell};
+use crate::shadow::{AccessRecord, ReadState, ShadowTable};
 use crate::vc::{Epoch, VectorClock};
+use fxhash::FxHashMap;
 use spinrace_tir::{MemOrder, Pc};
 use spinrace_vm::{Event, EventSink, ThreadId};
-use std::collections::HashMap;
 
 /// Dynamic race detector. Feed it a VM event stream (it implements
 /// [`EventSink`]) and read the results from [`RaceDetector::reports`].
@@ -22,17 +35,19 @@ pub struct RaceDetector {
     held_ids: Vec<LocksetId>,
     locksets: LocksetTable,
     /// Release clocks of library sync objects.
-    mutex_vc: HashMap<u64, VectorClock>,
-    cv_vc: HashMap<u64, VectorClock>,
-    barrier_vc: HashMap<(u64, u64), VectorClock>,
-    sem_vc: HashMap<u64, VectorClock>,
+    mutex_vc: FxHashMap<u64, VectorClock>,
+    cv_vc: FxHashMap<u64, VectorClock>,
+    barrier_vc: FxHashMap<(u64, u64), VectorClock>,
+    sem_vc: FxHashMap<u64, VectorClock>,
     /// Release clocks of atomic locations (DRD machine-atomics model).
-    atomic_vc: HashMap<u64, VectorClock>,
+    atomic_vc: FxHashMap<u64, VectorClock>,
     /// Release clocks of *promoted* spin-condition locations — the memory
     /// cost of the paper's feature, reported by the memory figure.
-    sync_loc: HashMap<u64, VectorClock>,
-    /// Shadow memory.
-    shadow: HashMap<u64, ShadowCell>,
+    sync_loc: FxHashMap<u64, VectorClock>,
+    /// Shadow memory: flat paged/sharded direct map.
+    shadow: ShadowTable,
+    /// Racy-write slow-path scratch (kept to avoid per-event allocation).
+    read_scratch: Vec<AccessRecord>,
     reports: ReportCollector,
     events_seen: u64,
 }
@@ -46,13 +61,14 @@ impl RaceDetector {
             locks_held: vec![Vec::new()],
             held_ids: vec![LocksetId::EMPTY],
             locksets: LocksetTable::default(),
-            mutex_vc: HashMap::new(),
-            cv_vc: HashMap::new(),
-            barrier_vc: HashMap::new(),
-            sem_vc: HashMap::new(),
-            atomic_vc: HashMap::new(),
-            sync_loc: HashMap::new(),
-            shadow: HashMap::new(),
+            mutex_vc: FxHashMap::default(),
+            cv_vc: FxHashMap::default(),
+            barrier_vc: FxHashMap::default(),
+            sem_vc: FxHashMap::default(),
+            atomic_vc: FxHashMap::default(),
+            sync_loc: FxHashMap::default(),
+            shadow: ShadowTable::new(),
+            read_scratch: Vec::new(),
             reports: ReportCollector::new(cfg.context_cap),
             events_seen: 0,
         }
@@ -90,35 +106,37 @@ impl RaceDetector {
         &self.vcs
     }
     /// Mutex release clocks (metrics).
-    pub fn mutex_vcs(&self) -> &HashMap<u64, VectorClock> {
+    pub fn mutex_vcs(&self) -> &FxHashMap<u64, VectorClock> {
         &self.mutex_vc
     }
     /// Condvar release clocks (metrics).
-    pub fn cv_vcs(&self) -> &HashMap<u64, VectorClock> {
+    pub fn cv_vcs(&self) -> &FxHashMap<u64, VectorClock> {
         &self.cv_vc
     }
     /// Barrier generation clocks (metrics).
-    pub fn barrier_vcs(&self) -> &HashMap<(u64, u64), VectorClock> {
+    pub fn barrier_vcs(&self) -> &FxHashMap<(u64, u64), VectorClock> {
         &self.barrier_vc
     }
     /// Semaphore release clocks (metrics).
-    pub fn sem_vcs(&self) -> &HashMap<u64, VectorClock> {
+    pub fn sem_vcs(&self) -> &FxHashMap<u64, VectorClock> {
         &self.sem_vc
     }
     /// Atomic-location clocks (metrics).
-    pub fn atomic_vcs(&self) -> &HashMap<u64, VectorClock> {
+    pub fn atomic_vcs(&self) -> &FxHashMap<u64, VectorClock> {
         &self.atomic_vc
     }
     /// Promoted spin locations (metrics).
-    pub fn sync_locs(&self) -> &HashMap<u64, VectorClock> {
+    pub fn sync_locs(&self) -> &FxHashMap<u64, VectorClock> {
         &self.sync_loc
     }
-    /// Total shadow bytes (metrics).
+    /// Total shadow bytes (metrics): probe tables, page slabs, and
+    /// promoted read vectors — the honest cost of the paged layout.
     pub fn shadow_iter_bytes(&self) -> usize {
-        self.shadow
-            .values()
-            .map(|c| std::mem::size_of::<u64>() + c.approx_bytes())
-            .sum()
+        self.shadow.approx_bytes()
+    }
+    /// Allocated shadow pages (diagnostics).
+    pub fn shadow_pages(&self) -> usize {
+        self.shadow.page_count()
     }
     /// Lockset table bytes (metrics).
     pub fn lockset_table_bytes(&self) -> usize {
@@ -134,10 +152,6 @@ impl RaceDetector {
         }
     }
 
-    fn epoch(&self, t: ThreadId) -> u32 {
-        self.vcs[t as usize].get(t)
-    }
-
     /// Promote `addr` to a synchronization location, seeding its release
     /// clock with the last writer's epoch (the partial edge for writes
     /// that happened before promotion).
@@ -146,7 +160,7 @@ impl RaceDetector {
             return;
         }
         let mut vc = VectorClock::new();
-        if let Some(cell) = self.shadow.get(&addr) {
+        if let Some(cell) = self.shadow.get(addr) {
             if let Some(w) = &cell.last_write {
                 vc.set(w.tid, w.clock);
             }
@@ -171,7 +185,7 @@ impl RaceDetector {
         is_write: bool,
     ) -> bool {
         if let Some(MsmMode::Long) = self.cfg.msm() {
-            let cell = self.shadow.entry(addr).or_default();
+            let cell = self.shadow.cell(addr);
             cell.suspicions = cell.suspicions.saturating_add(1);
             if cell.suspicions < 2 {
                 return false;
@@ -202,110 +216,194 @@ impl RaceDetector {
     }
 
     fn on_plain_read(&mut self, tid: ThreadId, addr: u64, pc: Pc, stack: u64) {
-        let clock = self.epoch(tid);
-        // Race check: unordered prior write.
-        let prior = self
-            .shadow
-            .get(&addr)
-            .and_then(|c| c.last_write)
-            .filter(|w| !self.vcs[tid as usize].covers(Epoch::new(w.tid, w.clock)));
-        if let Some(w) = prior {
-            self.report_hb(addr, w, true, tid, pc, stack, false);
-        }
-        // Update the concurrent-read set.
-        let vc = self.vcs[tid as usize].clone();
-        let cell = self.shadow.entry(addr).or_default();
-        cell.reads
-            .retain(|r| !vc.covers(Epoch::new(r.tid, r.clock)));
-        cell.reads.push(AccessRecord {
+        let ti = tid as usize;
+        let rec = AccessRecord {
             tid,
-            clock,
+            clock: self.vcs[ti].get(tid),
             pc,
             stack,
-        });
+        };
+        let vc = &self.vcs[ti];
+        let cell = self.shadow.cell(addr);
+        // Race check: unordered prior write — one epoch compare against
+        // the *borrowed* thread clock, never a clone.
+        let racy_write = cell
+            .last_write
+            .filter(|w| !vc.covers(Epoch::new(w.tid, w.clock)));
+        match racy_write {
+            // Fast path (race-free read): fold into the adaptive state.
+            None => push_read(&mut cell.reads, rec, vc),
+            // Racy read: report first (the reference's order), then update.
+            Some(w) => {
+                self.report_hb(addr, w, true, tid, pc, stack, false);
+                let vc = &self.vcs[ti];
+                push_read(&mut self.shadow.cell(addr).reads, rec, vc);
+            }
+        }
     }
 
     fn on_plain_write(&mut self, tid: ThreadId, addr: u64, pc: Pc, stack: u64) {
-        let clock = self.epoch(tid);
-        let vc = self.vcs[tid as usize].clone();
-        let (prior_write, concurrent_reads) = match self.shadow.get(&addr) {
-            Some(c) => {
-                let pw = c
-                    .last_write
-                    .filter(|w| !vc.covers(Epoch::new(w.tid, w.clock)));
-                let rs: Vec<AccessRecord> = c
-                    .reads
-                    .iter()
-                    .copied()
-                    .filter(|r| r.tid != tid && !vc.covers(Epoch::new(r.tid, r.clock)))
-                    .collect();
-                (pw, rs)
-            }
-            None => (None, Vec::new()),
-        };
-        let mut hb_reported = false;
-        if let Some(w) = prior_write {
-            hb_reported |= self.report_hb(addr, w, true, tid, pc, stack, true);
-        }
-        for r in concurrent_reads {
-            hb_reported |= self.report_hb(addr, r, false, tid, pc, stack, true);
-        }
-
-        // Eraser stage (hybrid only): intersect locksets over lock-holding
-        // writers; an empty intersection across distinct threads is a lock
-        // discipline violation even if this interleaving ordered them.
-        if self.cfg.has_lockset() && !hb_reported && !self.locks_held[tid as usize].is_empty() {
-            let cur = self.held_ids[tid as usize];
-            let prev = self.shadow.get(&addr).and_then(|c| c.write_lockset);
-            let new_state = match prev {
-                None => (cur, tid, pc, stack),
-                Some((prev_id, prev_tid, prev_pc, prev_stack)) => {
-                    let inter = self.locksets.intersect(prev_id, cur);
-                    if prev_tid != tid && self.locksets.is_empty(inter) {
-                        self.reports.record(RaceReport {
-                            addr,
-                            prior: AccessSummary {
-                                tid: prev_tid,
-                                pc: prev_pc,
-                                stack: prev_stack,
-                                is_write: true,
-                            },
-                            current: AccessSummary {
-                                tid,
-                                pc,
-                                stack,
-                                is_write: true,
-                            },
-                            kind: RaceKind::LocksetViolation,
-                        });
-                    }
-                    (inter, tid, pc, stack)
-                }
-            };
-            self.shadow.entry(addr).or_default().write_lockset = Some(new_state);
-        }
-
-        let cell = self.shadow.entry(addr).or_default();
-        cell.last_write = Some(AccessRecord {
+        let ti = tid as usize;
+        let rec = AccessRecord {
             tid,
-            clock,
+            clock: self.vcs[ti].get(tid),
             pc,
             stack,
-        });
+        };
+        let vc = &self.vcs[ti];
+        let has_lockset = self.cfg.has_lockset() && !self.locks_held[ti].is_empty();
+        let cell = self.shadow.cell(addr);
+        let racy_write = cell
+            .last_write
+            .filter(|w| !vc.covers(Epoch::new(w.tid, w.clock)));
+        let any_racy_read = cell
+            .reads
+            .as_slice()
+            .iter()
+            .any(|r| r.tid != tid && !vc.covers(Epoch::new(r.tid, r.clock)));
+
+        if racy_write.is_none() && !any_racy_read {
+            // Fast path (race-free write, including the same-epoch and
+            // write-exclusive cases): no clones, no allocation, and at
+            // most one page lookup.
+            if has_lockset {
+                let cur = self.held_ids[ti];
+                eraser_update(
+                    &mut self.locksets,
+                    &mut self.reports,
+                    &mut cell.write_lockset,
+                    addr,
+                    cur,
+                    tid,
+                    pc,
+                    stack,
+                );
+            }
+            cell.last_write = Some(rec);
+            cell.reads.clear();
+            return;
+        }
+
+        // Slow path: copy the racy candidates into the persistent scratch
+        // (no per-event allocation once warmed), report in the reference
+        // detector's order, then update.
+        self.read_scratch.clear();
+        for r in cell.reads.as_slice() {
+            if r.tid != tid && !vc.covers(Epoch::new(r.tid, r.clock)) {
+                self.read_scratch.push(*r);
+            }
+        }
+        let mut hb_reported = false;
+        if let Some(w) = racy_write {
+            hb_reported |= self.report_hb(addr, w, true, tid, pc, stack, true);
+        }
+        let scratch = std::mem::take(&mut self.read_scratch);
+        for &r in &scratch {
+            hb_reported |= self.report_hb(addr, r, false, tid, pc, stack, true);
+        }
+        self.read_scratch = scratch;
+
+        let cell = self.shadow.cell(addr);
+        if has_lockset && !hb_reported {
+            let cur = self.held_ids[ti];
+            eraser_update(
+                &mut self.locksets,
+                &mut self.reports,
+                &mut cell.write_lockset,
+                addr,
+                cur,
+                tid,
+                pc,
+                stack,
+            );
+        }
+        cell.last_write = Some(rec);
         cell.reads.clear();
     }
 
     /// Release into a promoted location: accumulate the writer's clock.
     fn release_sync_loc(&mut self, tid: ThreadId, addr: u64) {
-        let vc = self.vcs[tid as usize].clone();
-        self.sync_loc.get_mut(&addr).expect("promoted").join(&vc);
+        let vc = &self.vcs[tid as usize];
+        self.sync_loc.get_mut(&addr).expect("promoted").join(vc);
         self.vcs[tid as usize].tick(tid);
     }
 
     fn acquire_sync_loc(&mut self, tid: ThreadId, addr: u64) {
         if let Some(lvc) = self.sync_loc.get(&addr) {
-            let lvc = lvc.clone();
-            self.vcs[tid as usize].join(&lvc);
+            self.vcs[tid as usize].join(lvc);
+        }
+    }
+}
+
+/// Eraser stage of a plain write (hybrid only): intersect the cell's
+/// running write lockset with the writer's current one; an empty
+/// intersection across distinct threads is a lock-discipline violation
+/// even if this interleaving happened to order the writes. Shared by the
+/// fast and slow write paths so the two can never diverge.
+#[allow(clippy::too_many_arguments)]
+fn eraser_update(
+    locksets: &mut LocksetTable,
+    reports: &mut ReportCollector,
+    write_lockset: &mut Option<(LocksetId, u32, Pc, u64)>,
+    addr: u64,
+    cur: LocksetId,
+    tid: ThreadId,
+    pc: Pc,
+    stack: u64,
+) {
+    let new_state = match *write_lockset {
+        None => (cur, tid, pc, stack),
+        Some((prev_id, prev_tid, prev_pc, prev_stack)) => {
+            let inter = locksets.intersect(prev_id, cur);
+            if prev_tid != tid && locksets.set_is_empty(inter) {
+                reports.record(RaceReport {
+                    addr,
+                    prior: AccessSummary {
+                        tid: prev_tid,
+                        pc: prev_pc,
+                        stack: prev_stack,
+                        is_write: true,
+                    },
+                    current: AccessSummary {
+                        tid,
+                        pc,
+                        stack,
+                        is_write: true,
+                    },
+                    kind: RaceKind::LocksetViolation,
+                });
+            }
+            (inter, tid, pc, stack)
+        }
+    };
+    *write_lockset = Some(new_state);
+}
+
+/// Fold a race-free read into the adaptive read state, preserving the
+/// reference detector's `retain`-then-`push` list semantics:
+///
+/// * `None` → the reader owns the cell (`Exclusive`);
+/// * `Exclusive` whose record is ordered before the new read (same thread,
+///   or covered by the reader's clock) → overwrite in place, O(1);
+/// * `Exclusive` genuinely concurrent with the new read → promote to the
+///   `Shared` vector (the only allocating transition);
+/// * `Shared` → prune covered entries, append (exactly the reference).
+#[inline]
+fn push_read(reads: &mut ReadState, rec: AccessRecord, vc: &VectorClock) {
+    match reads {
+        ReadState::None => *reads = ReadState::Exclusive(rec),
+        ReadState::Exclusive(r) => {
+            if *r == rec {
+                // Same epoch, same site: nothing changes.
+            } else if r.tid == rec.tid || vc.covers(Epoch::new(r.tid, r.clock)) {
+                *r = rec;
+            } else {
+                *reads = ReadState::Shared(vec![*r, rec]);
+            }
+        }
+        ReadState::Shared(v) => {
+            v.retain(|r| !vc.covers(Epoch::new(r.tid, r.clock)));
+            v.push(rec);
         }
     }
 }
@@ -361,8 +459,7 @@ impl EventSink for RaceDetector {
                     if let Some(ord) = atomic {
                         if ord.acquires() {
                             if let Some(avc) = self.atomic_vc.get(&addr) {
-                                let avc = avc.clone();
-                                self.vcs[tid as usize].join(&avc);
+                                self.vcs[tid as usize].join(avc);
                             }
                         }
                         return;
@@ -388,8 +485,8 @@ impl EventSink for RaceDetector {
                 if self.cfg.atomics_sync {
                     if let Some(ord) = atomic {
                         if ord.releases() {
-                            let vc = self.vcs[tid as usize].clone();
-                            self.atomic_vc.entry(addr).or_default().join(&vc);
+                            let vc = &self.vcs[tid as usize];
+                            self.atomic_vc.entry(addr).or_default().join(vc);
                             self.vcs[tid as usize].tick(tid);
                         }
                         return;
@@ -414,10 +511,10 @@ impl EventSink for RaceDetector {
                     return;
                 }
                 if self.cfg.atomics_sync {
-                    let avc = self.atomic_vc.entry(addr).or_default().clone();
-                    self.vcs[tid as usize].join(&avc);
-                    let vc = self.vcs[tid as usize].clone();
-                    self.atomic_vc.entry(addr).or_default().join(&vc);
+                    // Acquire + release through one map probe.
+                    let avc = self.atomic_vc.entry(addr).or_default();
+                    self.vcs[tid as usize].join(avc);
+                    avc.join(&self.vcs[tid as usize]);
                     self.vcs[tid as usize].tick(tid);
                     return;
                 }
@@ -432,36 +529,37 @@ impl EventSink for RaceDetector {
                 self.ensure_thread(tid);
                 if self.cfg.lib {
                     if let Some(mvc) = self.mutex_vc.get(&mutex) {
-                        let mvc = mvc.clone();
-                        self.vcs[tid as usize].join(&mvc);
+                        self.vcs[tid as usize].join(mvc);
                     }
                     let held = &mut self.locks_held[tid as usize];
                     if let Err(i) = held.binary_search(&mutex) {
                         held.insert(i, mutex);
                     }
-                    self.held_ids[tid as usize] =
-                        self.locksets.intern(&self.locks_held[tid as usize]);
+                    self.held_ids[tid as usize] = self
+                        .locksets
+                        .intern_presorted(&self.locks_held[tid as usize]);
                 }
             }
             Event::MutexUnlock { tid, mutex, .. } => {
                 self.ensure_thread(tid);
                 if self.cfg.lib {
-                    let vc = self.vcs[tid as usize].clone();
-                    self.mutex_vc.entry(mutex).or_default().join(&vc);
+                    let vc = &self.vcs[tid as usize];
+                    self.mutex_vc.entry(mutex).or_default().join(vc);
                     self.vcs[tid as usize].tick(tid);
                     let held = &mut self.locks_held[tid as usize];
                     if let Ok(i) = held.binary_search(&mutex) {
                         held.remove(i);
                     }
-                    self.held_ids[tid as usize] =
-                        self.locksets.intern(&self.locks_held[tid as usize]);
+                    self.held_ids[tid as usize] = self
+                        .locksets
+                        .intern_presorted(&self.locks_held[tid as usize]);
                 }
             }
             Event::CondSignal { tid, cv, .. } | Event::CondBroadcast { tid, cv, .. } => {
                 self.ensure_thread(tid);
                 if self.cfg.lib {
-                    let vc = self.vcs[tid as usize].clone();
-                    self.cv_vc.entry(cv).or_default().join(&vc);
+                    let vc = &self.vcs[tid as usize];
+                    self.cv_vc.entry(cv).or_default().join(vc);
                     self.vcs[tid as usize].tick(tid);
                 }
             }
@@ -469,8 +567,7 @@ impl EventSink for RaceDetector {
                 self.ensure_thread(tid);
                 if self.cfg.lib {
                     if let Some(cvc) = self.cv_vc.get(&cv) {
-                        let cvc = cvc.clone();
-                        self.vcs[tid as usize].join(&cvc);
+                        self.vcs[tid as usize].join(cvc);
                     }
                 }
             }
@@ -479,8 +576,8 @@ impl EventSink for RaceDetector {
             } => {
                 self.ensure_thread(tid);
                 if self.cfg.lib {
-                    let vc = self.vcs[tid as usize].clone();
-                    self.barrier_vc.entry((barrier, gen)).or_default().join(&vc);
+                    let vc = &self.vcs[tid as usize];
+                    self.barrier_vc.entry((barrier, gen)).or_default().join(vc);
                     self.vcs[tid as usize].tick(tid);
                 }
             }
@@ -490,16 +587,15 @@ impl EventSink for RaceDetector {
                 self.ensure_thread(tid);
                 if self.cfg.lib {
                     if let Some(bvc) = self.barrier_vc.get(&(barrier, gen)) {
-                        let bvc = bvc.clone();
-                        self.vcs[tid as usize].join(&bvc);
+                        self.vcs[tid as usize].join(bvc);
                     }
                 }
             }
             Event::SemPost { tid, sem, .. } => {
                 self.ensure_thread(tid);
                 if self.cfg.lib {
-                    let vc = self.vcs[tid as usize].clone();
-                    self.sem_vc.entry(sem).or_default().join(&vc);
+                    let vc = &self.vcs[tid as usize];
+                    self.sem_vc.entry(sem).or_default().join(vc);
                     self.vcs[tid as usize].tick(tid);
                 }
             }
@@ -507,8 +603,7 @@ impl EventSink for RaceDetector {
                 self.ensure_thread(tid);
                 if self.cfg.lib {
                     if let Some(svc) = self.sem_vc.get(&sem) {
-                        let svc = svc.clone();
-                        self.vcs[tid as usize].join(&svc);
+                        self.vcs[tid as usize].join(svc);
                     }
                 }
             }

@@ -33,6 +33,7 @@ pub mod config;
 pub mod detector;
 pub mod lockset;
 pub mod metrics;
+pub mod reference;
 pub mod report;
 pub mod shadow;
 pub mod vc;
@@ -41,5 +42,6 @@ pub use config::{DetectorConfig, DetectorKind, MsmMode};
 pub use detector::RaceDetector;
 pub use lockset::{LocksetId, LocksetTable};
 pub use metrics::DetectorMetrics;
+pub use reference::ReferenceDetector;
 pub use report::{AccessSummary, RaceKind, RaceReport, ReportCollector};
 pub use vc::{Epoch, VectorClock};

@@ -5,7 +5,7 @@
 //! design Eraser used to keep shadow memory small, and a visible chunk of
 //! the detector's memory footprint in the paper's memory figure.
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 /// Interned lockset id. Id 0 is always the empty lockset.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -20,16 +20,16 @@ impl LocksetId {
 #[derive(Clone, Debug)]
 pub struct LocksetTable {
     sets: Vec<Vec<u64>>,
-    index: HashMap<Vec<u64>, LocksetId>,
-    intersect_memo: HashMap<(LocksetId, LocksetId), LocksetId>,
+    index: FxHashMap<Vec<u64>, LocksetId>,
+    intersect_memo: FxHashMap<(LocksetId, LocksetId), LocksetId>,
 }
 
 impl Default for LocksetTable {
     fn default() -> Self {
         let mut t = LocksetTable {
             sets: Vec::new(),
-            index: HashMap::new(),
-            intersect_memo: HashMap::new(),
+            index: FxHashMap::default(),
+            intersect_memo: FxHashMap::default(),
         };
         let id = t.intern_sorted(Vec::new());
         debug_assert_eq!(id, LocksetId::EMPTY);
@@ -44,6 +44,18 @@ impl LocksetTable {
         v.sort_unstable();
         v.dedup();
         self.intern_sorted(v)
+    }
+
+    /// Intern a lockset the caller guarantees is sorted and deduplicated
+    /// (the detector's per-thread held-lock vectors are maintained that
+    /// way). Allocation-free on the hit path: `Vec<u64>: Borrow<[u64]>`
+    /// lets the index be probed with the bare slice.
+    pub fn intern_presorted(&mut self, locks: &[u64]) -> LocksetId {
+        debug_assert!(locks.windows(2).all(|w| w[0] < w[1]), "not sorted/deduped");
+        if let Some(&id) = self.index.get(locks) {
+            return id;
+        }
+        self.intern_sorted(locks.to_vec())
     }
 
     fn intern_sorted(&mut self, v: Vec<u64>) -> LocksetId {
@@ -61,8 +73,8 @@ impl LocksetTable {
         &self.sets[id.0 as usize]
     }
 
-    /// Is the set empty?
-    pub fn is_empty(&self, id: LocksetId) -> bool {
+    /// Is the interned set `id` empty?
+    pub fn set_is_empty(&self, id: LocksetId) -> bool {
         self.sets[id.0 as usize].is_empty()
     }
 
@@ -95,16 +107,14 @@ impl LocksetTable {
     }
 
     /// Number of distinct interned sets.
-    // `is_empty(&self, id)` above is a per-set predicate, not the
-    // table-level counterpart clippy expects next to `len`.
-    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
         self.sets.len()
     }
 
-    /// Always false — the empty set is pre-interned.
-    pub fn is_empty_table(&self) -> bool {
-        false
+    /// Is the table empty? (Never true after `default()`, which pre-interns
+    /// the empty lockset as id 0.)
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
     }
 
     /// Approximate retained bytes (memory metrics).
@@ -126,7 +136,9 @@ mod tests {
     fn empty_set_is_id_zero() {
         let mut t = LocksetTable::default();
         assert_eq!(t.intern(&[]), LocksetId::EMPTY);
-        assert!(t.is_empty(LocksetId::EMPTY));
+        assert!(t.set_is_empty(LocksetId::EMPTY));
+        assert!(!t.is_empty(), "empty lockset is pre-interned");
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

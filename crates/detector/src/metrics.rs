@@ -41,7 +41,7 @@ impl RaceDetector {
     /// Measure retained state.
     pub fn metrics(&self) -> DetectorMetrics {
         use std::mem::size_of;
-        let vc_map_bytes = |m: &std::collections::HashMap<u64, crate::vc::VectorClock>| {
+        let vc_map_bytes = |m: &fxhash::FxHashMap<u64, crate::vc::VectorClock>| {
             m.values()
                 .map(|v| size_of::<u64>() + size_of::<crate::vc::VectorClock>() + v.approx_bytes())
                 .sum::<usize>()

@@ -1,8 +1,8 @@
 //! Race reports, racy-context deduplication, and the report cap.
 
+use fxhash::FxHashSet;
 use serde::{Deserialize, Serialize};
 use spinrace_tir::Pc;
-use std::collections::HashSet;
 
 /// One side of a race.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -66,7 +66,7 @@ impl RaceReport {
 #[derive(Clone, Debug)]
 pub struct ReportCollector {
     reports: Vec<RaceReport>,
-    contexts: HashSet<((Pc, u64), (Pc, u64))>,
+    contexts: FxHashSet<((Pc, u64), (Pc, u64))>,
     cap: usize,
     dropped: usize,
 }
@@ -76,7 +76,7 @@ impl ReportCollector {
     pub fn new(cap: usize) -> ReportCollector {
         ReportCollector {
             reports: Vec::new(),
-            contexts: HashSet::new(),
+            contexts: FxHashSet::default(),
             cap,
             dropped: 0,
         }

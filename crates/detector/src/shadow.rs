@@ -1,4 +1,20 @@
 //! Shadow memory: per-address access history.
+//!
+//! Two representation choices keep the per-access hot path allocation-free
+//! and cache-friendly:
+//!
+//! * **Adaptive read state** ([`ReadState`]) — FastTrack's insight that
+//!   most locations are only ever read by one thread at a time (or by
+//!   threads that are ordered). Such locations keep a single inline
+//!   [`AccessRecord`]; only a *genuinely concurrent* second reader promotes
+//!   the cell to a heap-allocated read vector.
+//! * **Paged, sharded table** ([`ShadowTable`]) — instead of one SipHash
+//!   `HashMap<addr, cell>` lookup per access, addresses map to 64-cell
+//!   pages; pages live in per-shard arenas indexed by a flat open-addressed
+//!   probe table keyed on the page number, fronted by a one-entry hot-page
+//!   cache (spatial locality makes consecutive accesses hit the same page).
+//!   Sharding by low page bits keeps probe tables small and is the seam a
+//!   future parallel-replay PR will split work along.
 
 use crate::lockset::LocksetId;
 use spinrace_tir::Pc;
@@ -16,14 +32,68 @@ pub struct AccessRecord {
     pub stack: u64,
 }
 
+/// Reads since the last write that are still concurrent-relevant.
+///
+/// `Exclusive` is the epoch fast path: one inline record, overwritten in
+/// place while successive readers are ordered. The first pair of genuinely
+/// concurrent reads promotes to `Shared`, which behaves exactly like the
+/// reference detector's read vector (covered entries pruned lazily).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum ReadState {
+    /// No reads since the last write.
+    #[default]
+    None,
+    /// All reads so far were ordered: only the latest matters.
+    Exclusive(AccessRecord),
+    /// Concurrent readers: the full vector (in arrival order).
+    Shared(Vec<AccessRecord>),
+}
+
+impl ReadState {
+    /// The live records, oldest first (the reference detector's `reads`
+    /// vector, whatever the representation).
+    #[inline]
+    pub fn as_slice(&self) -> &[AccessRecord] {
+        match self {
+            ReadState::None => &[],
+            ReadState::Exclusive(r) => std::slice::from_ref(r),
+            ReadState::Shared(v) => v,
+        }
+    }
+
+    /// Drop all records. A promoted cell keeps its vector's capacity (the
+    /// location proved it attracts concurrent readers once already).
+    #[inline]
+    pub fn clear(&mut self) {
+        match self {
+            ReadState::None => {}
+            ReadState::Exclusive(_) => *self = ReadState::None,
+            ReadState::Shared(v) => v.clear(),
+        }
+    }
+
+    /// Is the state promoted to a read vector?
+    pub fn is_shared(&self) -> bool {
+        matches!(self, ReadState::Shared(_))
+    }
+
+    /// Heap bytes retained beyond the inline enum (memory metrics).
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            ReadState::Shared(v) => v.capacity() * std::mem::size_of::<AccessRecord>(),
+            _ => 0,
+        }
+    }
+}
+
 /// The shadow cell of one memory word.
 #[derive(Clone, Debug, Default)]
 pub struct ShadowCell {
     /// Most recent write.
     pub last_write: Option<AccessRecord>,
-    /// Reads since the last write that are still concurrent-relevant
-    /// (reads covered by the current accessor's clock are pruned lazily).
-    pub reads: Vec<AccessRecord>,
+    /// Reads since the last write (adaptive representation).
+    pub reads: ReadState,
     /// Eraser stage: intersection of locksets over lock-holding writes,
     /// with the last such writer, site, and stack context.
     pub write_lockset: Option<(LocksetId, u32, Pc, u64)>,
@@ -32,10 +102,221 @@ pub struct ShadowCell {
 }
 
 impl ShadowCell {
-    /// Approximate retained bytes (memory metrics).
+    /// Approximate retained bytes (memory metrics): inline size plus any
+    /// promoted read vector.
     pub fn approx_bytes(&self) -> usize {
-        std::mem::size_of::<ShadowCell>()
-            + self.reads.capacity() * std::mem::size_of::<AccessRecord>()
+        std::mem::size_of::<ShadowCell>() + self.reads.heap_bytes()
+    }
+
+    /// Has this cell recorded anything at all?
+    pub fn is_untouched(&self) -> bool {
+        self.last_write.is_none()
+            && matches!(self.reads, ReadState::None)
+            && self.write_lockset.is_none()
+            && self.suspicions == 0
+    }
+}
+
+/// Cells per page (one 64-word span of the VM's word-granular address
+/// space — globals and heap allocations are dense, so pages fill up).
+pub const PAGE_CELLS: usize = 64;
+const PAGE_BITS: u32 = PAGE_CELLS.trailing_zeros();
+
+/// Number of shards (low page-number bits pick the shard).
+const NUM_SHARDS: usize = 8;
+const SHARD_MASK: u64 = (NUM_SHARDS as u64) - 1;
+
+/// Initial probe-table capacity per shard (slots; power of two).
+const INITIAL_SLOTS: usize = 16;
+
+/// One shadow page: the cells of 64 consecutive addresses.
+#[derive(Clone, Debug)]
+pub struct Page {
+    /// The cells, indexed by `addr & (PAGE_CELLS - 1)`.
+    pub cells: Box<[ShadowCell]>,
+}
+
+impl Page {
+    fn new() -> Page {
+        Page {
+            cells: (0..PAGE_CELLS).map(|_| ShadowCell::default()).collect(),
+        }
+    }
+
+    /// Retained bytes of this page (slab plus promoted read vectors).
+    pub fn approx_bytes(&self) -> usize {
+        self.cells.len() * std::mem::size_of::<ShadowCell>()
+            + self
+                .cells
+                .iter()
+                .map(|c| c.reads.heap_bytes())
+                .sum::<usize>()
+    }
+}
+
+/// One shard: a flat open-addressed index (page number → arena slot) plus
+/// the page arena itself.
+#[derive(Clone, Debug, Default)]
+struct Shard {
+    /// Probe keys: `page_number + 1`, 0 marks an empty slot. Power-of-two
+    /// length, linear probing, grown at 75% load.
+    keys: Vec<u64>,
+    /// Parallel to `keys`: arena index of the page.
+    slots: Vec<u32>,
+    /// Page arena (never shrinks; insertion order).
+    pages: Vec<Page>,
+}
+
+/// Fibonacci-style multiplicative mix spreading sequential page numbers
+/// across the probe table.
+#[inline]
+fn mix(page: u64) -> usize {
+    (page.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize
+}
+
+impl Shard {
+    /// Slot of `page` in the probe table: its current position, or the
+    /// empty position where it would be inserted.
+    #[inline]
+    fn probe(&self, page: u64) -> usize {
+        let mask = self.keys.len() - 1;
+        let key = page + 1;
+        let mut i = mix(page) & mask;
+        loop {
+            let k = self.keys[i];
+            if k == 0 || k == key {
+                return i;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn find(&self, page: u64) -> Option<u32> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        let i = self.probe(page);
+        (self.keys[i] != 0).then(|| self.slots[i])
+    }
+
+    fn find_or_insert(&mut self, page: u64) -> u32 {
+        if self.keys.is_empty() {
+            self.keys = vec![0; INITIAL_SLOTS];
+            self.slots = vec![0; INITIAL_SLOTS];
+        } else if (self.pages.len() + 1) * 4 > self.keys.len() * 3 {
+            self.grow();
+        }
+        let i = self.probe(page);
+        if self.keys[i] != 0 {
+            return self.slots[i];
+        }
+        let slot = self.pages.len() as u32;
+        self.pages.push(Page::new());
+        self.keys[i] = page + 1;
+        self.slots[i] = slot;
+        slot
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_len]);
+        let old_slots = std::mem::replace(&mut self.slots, vec![0; new_len]);
+        for (k, s) in old_keys.into_iter().zip(old_slots) {
+            if k != 0 {
+                let i = self.probe(k - 1);
+                self.keys[i] = k;
+                self.slots[i] = s;
+            }
+        }
+    }
+}
+
+/// The flat, sharded shadow table: address → page of cells.
+#[derive(Clone, Debug)]
+pub struct ShadowTable {
+    shards: Vec<Shard>,
+    /// Hot-page cache: page number of the most recently used page
+    /// (`u64::MAX` = none) and its (shard, arena slot).
+    cache_page: u64,
+    cache_shard: u32,
+    cache_slot: u32,
+}
+
+impl Default for ShadowTable {
+    fn default() -> Self {
+        ShadowTable::new()
+    }
+}
+
+impl ShadowTable {
+    /// Empty table; nothing is allocated until the first access.
+    pub fn new() -> ShadowTable {
+        ShadowTable {
+            shards: (0..NUM_SHARDS).map(|_| Shard::default()).collect(),
+            cache_page: u64::MAX,
+            cache_shard: 0,
+            cache_slot: 0,
+        }
+    }
+
+    /// The cell of `addr`, creating its page on demand. The common case —
+    /// another access to the most recently used page — is two compares and
+    /// an index.
+    #[inline]
+    pub fn cell(&mut self, addr: u64) -> &mut ShadowCell {
+        let page = addr >> PAGE_BITS;
+        let off = (addr as usize) & (PAGE_CELLS - 1);
+        if page == self.cache_page {
+            return &mut self.shards[self.cache_shard as usize].pages[self.cache_slot as usize]
+                .cells[off];
+        }
+        self.cell_cold(page, off)
+    }
+
+    #[cold]
+    fn cell_cold(&mut self, page: u64, off: usize) -> &mut ShadowCell {
+        let si = (page & SHARD_MASK) as usize;
+        let slot = self.shards[si].find_or_insert(page);
+        self.cache_page = page;
+        self.cache_shard = si as u32;
+        self.cache_slot = slot;
+        &mut self.shards[si].pages[slot as usize].cells[off]
+    }
+
+    /// The cell of `addr` if its page exists (no creation).
+    #[inline]
+    pub fn get(&self, addr: u64) -> Option<&ShadowCell> {
+        let page = addr >> PAGE_BITS;
+        let off = (addr as usize) & (PAGE_CELLS - 1);
+        if page == self.cache_page {
+            return Some(
+                &self.shards[self.cache_shard as usize].pages[self.cache_slot as usize].cells[off],
+            );
+        }
+        let si = (page & SHARD_MASK) as usize;
+        let slot = self.shards[si].find(page)?;
+        Some(&self.shards[si].pages[slot as usize].cells[off])
+    }
+
+    /// Number of allocated pages.
+    pub fn page_count(&self) -> usize {
+        self.shards.iter().map(|s| s.pages.len()).sum()
+    }
+
+    /// Retained bytes: probe tables, arena headers, page slabs, and
+    /// promoted read vectors — the honest cost of the paged layout
+    /// (untouched cells inside an allocated page are real memory too).
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.shards
+            .iter()
+            .map(|s| {
+                s.keys.capacity() * size_of::<u64>()
+                    + s.slots.capacity() * size_of::<u32>()
+                    + s.pages.capacity() * size_of::<Page>()
+                    + s.pages.iter().map(|p| p.approx_bytes()).sum::<usize>()
+            })
+            .sum()
     }
 }
 
@@ -44,24 +325,96 @@ mod tests {
     use super::*;
     use spinrace_tir::{BlockId, FuncId};
 
+    fn rec(tid: u32, clock: u32) -> AccessRecord {
+        AccessRecord {
+            tid,
+            clock,
+            pc: Pc::new(FuncId(0), BlockId(0), 0),
+            stack: 0,
+        }
+    }
+
     #[test]
     fn default_cell_is_empty() {
         let c = ShadowCell::default();
         assert!(c.last_write.is_none());
-        assert!(c.reads.is_empty());
+        assert!(c.reads.as_slice().is_empty());
         assert_eq!(c.suspicions, 0);
+        assert!(c.is_untouched());
     }
 
     #[test]
-    fn bytes_grow_with_reads() {
+    fn bytes_grow_on_promotion_only() {
         let mut c = ShadowCell::default();
-        let before = c.approx_bytes();
-        c.reads.push(AccessRecord {
-            tid: 0,
-            clock: 1,
-            pc: Pc::new(FuncId(0), BlockId(0), 0),
-            stack: 0,
-        });
-        assert!(c.approx_bytes() > before);
+        let inline = c.approx_bytes();
+        c.reads = ReadState::Exclusive(rec(0, 1));
+        assert_eq!(c.approx_bytes(), inline, "exclusive read is inline");
+        c.reads = ReadState::Shared(vec![rec(0, 1), rec(1, 1)]);
+        assert!(c.approx_bytes() > inline, "promotion costs heap");
+    }
+
+    #[test]
+    fn read_state_clear_keeps_shared_capacity() {
+        let mut r = ReadState::Shared(vec![rec(0, 1), rec(1, 1)]);
+        r.clear();
+        assert!(r.as_slice().is_empty());
+        assert!(r.is_shared(), "promoted cells stay promoted");
+        let mut e = ReadState::Exclusive(rec(0, 1));
+        e.clear();
+        assert_eq!(e, ReadState::None);
+    }
+
+    #[test]
+    fn table_round_trips_cells() {
+        let mut t = ShadowTable::new();
+        assert!(t.get(0x1000).is_none());
+        t.cell(0x1000).suspicions = 7;
+        assert_eq!(t.get(0x1000).unwrap().suspicions, 7);
+        // same page, different cell
+        t.cell(0x1001).suspicions = 9;
+        assert_eq!(t.get(0x1000).unwrap().suspicions, 7);
+        assert_eq!(t.get(0x1001).unwrap().suspicions, 9);
+        assert_eq!(t.page_count(), 1);
+        // different page
+        t.cell(0x2000).suspicions = 3;
+        assert_eq!(t.page_count(), 2);
+        assert_eq!(t.get(0x2000).unwrap().suspicions, 3);
+        assert!(t.get(0x3000).is_none(), "get never creates");
+    }
+
+    #[test]
+    fn table_survives_many_pages_and_growth() {
+        let mut t = ShadowTable::new();
+        // 1000 pages spread over all shards force several grow() rounds.
+        for i in 0..1000u64 {
+            let addr = i * PAGE_CELLS as u64;
+            t.cell(addr).suspicions = (i % 250) as u8;
+        }
+        assert_eq!(t.page_count(), 1000);
+        for i in 0..1000u64 {
+            let addr = i * PAGE_CELLS as u64;
+            assert_eq!(
+                t.get(addr).unwrap().suspicions,
+                (i % 250) as u8,
+                "page {i} lost"
+            );
+        }
+        assert!(t.approx_bytes() > 1000 * PAGE_CELLS * std::mem::size_of::<ShadowCell>());
+    }
+
+    #[test]
+    fn adversarial_page_numbers_collide_safely() {
+        // Same low bits (same shard), same mixed prefix patterns.
+        let mut t = ShadowTable::new();
+        let pages = [0u64, 8, 16, 1 << 20, (1 << 20) + 8, 1 << 40, u64::MAX >> 7];
+        for (i, p) in pages.iter().enumerate() {
+            t.cell(p * PAGE_CELLS as u64).suspicions = i as u8 + 1;
+        }
+        for (i, p) in pages.iter().enumerate() {
+            assert_eq!(
+                t.get(p * PAGE_CELLS as u64).unwrap().suspicions,
+                i as u8 + 1
+            );
+        }
     }
 }

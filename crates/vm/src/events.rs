@@ -158,6 +158,14 @@ impl Event {
 }
 
 /// Consumer of the VM's event stream.
+///
+/// Delivery contract: the interpreter synthesizes each [`Event`] once, on
+/// its stack, and hands it to the sink **by reference, synchronously** —
+/// there is no per-event queue or buffering copy between the VM and a
+/// detector. Sinks that need to retain events must copy them explicitly
+/// ([`RecordingSink`] is the canonical buffering sink); a detector reads
+/// the fields it needs and keeps nothing, which is what makes the
+/// replay-from-recording path of the benches equivalent to live runs.
 pub trait EventSink {
     /// Called for every event, in execution order.
     fn on_event(&mut self, ev: &Event);

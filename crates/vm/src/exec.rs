@@ -216,18 +216,23 @@ impl<'m> Vm<'m> {
     /// past the call), the leaf contributes its function id, so the same
     /// library code reached from different call sites yields different
     /// contexts.
+    ///
+    /// O(1): every frame carries the fold over its callers (`Frame::ctx`,
+    /// extended at `Call`/`Spawn` time — caller positions are frozen while
+    /// a callee runs), so only the leaf's contribution remains. Memory
+    /// events are the VM's hottest path; the old per-event walk over the
+    /// frame stack was its dominant cost on call-heavy programs.
     fn stack_of(&self, t: usize) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let frames = &self.threads[t].frames;
-        for (i, f) in frames.iter().enumerate() {
-            let v = if i + 1 == frames.len() {
-                f.func.0 as u64
-            } else {
-                ((f.func.0 as u64) << 32) | ((f.block.0 as u64) << 16) | f.ip as u64
-            };
-            h = (h ^ v).wrapping_mul(0x1000_0000_01b3);
-        }
-        h
+        let f = self.threads[t].frame();
+        (f.ctx ^ f.func.0 as u64).wrapping_mul(crate::machine::STACK_HASH_PRIME)
+    }
+
+    /// The call-chain prefix for a frame called from the current top frame
+    /// of `t` (whose `ip` must already point past the call instruction).
+    fn callee_ctx(&self, t: usize) -> u64 {
+        let caller = self.threads[t].frame();
+        let v = ((caller.func.0 as u64) << 32) | ((caller.block.0 as u64) << 16) | caller.ip as u64;
+        (caller.ctx ^ v).wrapping_mul(crate::machine::STACK_HASH_PRIME)
     }
 
     fn advance(&mut self, t: usize) {
@@ -885,6 +890,7 @@ impl<'m> Vm<'m> {
                 // Caller resumes after the call once the callee returns.
                 self.advance(t);
                 let mut frame = Frame::new(*func, callee.num_regs, *dst);
+                frame.ctx = self.callee_ctx(t);
                 for (i, v) in argv.into_iter().enumerate() {
                     frame.regs[i] = v;
                 }

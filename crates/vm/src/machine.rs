@@ -53,6 +53,12 @@ pub struct ActiveSpin {
     pub reads: Vec<(u64, Pc)>,
 }
 
+/// Seed of the incremental call-chain hash (FNV-1a offset basis).
+pub const STACK_HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Multiplier of the incremental call-chain hash (FNV-1a prime).
+pub const STACK_HASH_PRIME: u64 = 0x1000_0000_01b3;
+
 /// One call frame.
 #[derive(Clone, Debug)]
 pub struct Frame {
@@ -69,10 +75,17 @@ pub struct Frame {
     pub ret_to: Option<Reg>,
     /// Active spin-loop instances (innermost last).
     pub spins: Vec<ActiveSpin>,
+    /// Call-chain hash prefix: the fold over every frame *below* this one
+    /// (each contributing its call-site position, frozen while the callee
+    /// runs). The full Helgrind-style stack context of a memory event is
+    /// `(ctx ^ func) * STACK_HASH_PRIME` — O(1) per event instead of a
+    /// walk over the frame stack. Root frames carry the seed.
+    pub ctx: u64,
 }
 
 impl Frame {
-    /// Fresh frame at the entry block of `func`.
+    /// Fresh frame at the entry block of `func`. `ctx` starts at the root
+    /// seed; `Call` sites overwrite it with the caller's extended prefix.
     pub fn new(func: FuncId, num_regs: u16, ret_to: Option<Reg>) -> Frame {
         Frame {
             func,
@@ -81,6 +94,7 @@ impl Frame {
             regs: vec![0; num_regs as usize],
             ret_to,
             spins: Vec::new(),
+            ctx: STACK_HASH_SEED,
         }
     }
 

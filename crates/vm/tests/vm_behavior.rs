@@ -99,6 +99,56 @@ fn call_and_return_value() {
 }
 
 #[test]
+fn stack_context_distinguishes_call_sites() {
+    // The same library function touching the same address from two
+    // different call sites must yield distinct Helgrind-style stack
+    // hashes, while repeated events from one site agree — the contract
+    // the O(1) incremental `Frame::ctx` hash must uphold.
+    let mut mb = ModuleBuilder::new("stacks");
+    let g = mb.global("g", 1);
+    let lib = mb.function("lib", 1, |f| {
+        let v = f.load(g.at(0));
+        let v2 = f.add(v, 1);
+        f.store(g.at(0), v2);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        f.call(lib, &[Operand::Imm(0)]);
+        f.call(lib, &[Operand::Imm(0)]);
+        let v = f.load(g.at(0));
+        f.output(v);
+        f.ret(None);
+    });
+    let m = mb.finish().unwrap();
+    let (_, events) = run(&m, VmConfig::round_robin());
+    let lib_reads: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Read { stack, .. } => Some(*stack),
+            _ => None,
+        })
+        .collect();
+    // Two lib-internal reads (one per call site) and the main-frame read.
+    assert_eq!(lib_reads.len(), 3);
+    assert_ne!(
+        lib_reads[0], lib_reads[1],
+        "distinct call sites must hash differently"
+    );
+    assert_ne!(lib_reads[0], lib_reads[2]);
+    // Within one call, the read and the write share the frame context.
+    let lib_writes: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Write { stack, .. } => Some(*stack),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(lib_writes.len(), 2);
+    assert_eq!(lib_reads[0], lib_writes[0]);
+    assert_eq!(lib_reads[1], lib_writes[1]);
+}
+
+#[test]
 fn spawn_join_passes_argument() {
     let mut mb = ModuleBuilder::new("spawn");
     let g = mb.global("g", 1);

@@ -1,0 +1,129 @@
+//! Offline shim of `fxhash` — the Firefox/rustc fast non-cryptographic
+//! hash, vendored because crates.io is unreachable in this build
+//! environment.
+//!
+//! The detector's sync-object maps are keyed by small integers (object
+//! addresses, interned ids): SipHash's per-lookup cost dominates there,
+//! while Fx's single multiply-rotate round is enough — these tables are
+//! internal, never fed attacker-controlled keys, so HashDoS resistance is
+//! not needed.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx multiply constant (64-bit golden-ratio-derived, as in rustc).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// One round: rotate, xor the word in, multiply.
+#[inline]
+fn combine(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED)
+}
+
+/// The Fx hasher: word-at-a-time multiply-rotate, no finalization.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.hash = combine(self.hash, u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.hash = combine(self.hash, u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.hash = combine(self.hash, n as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.hash = combine(self.hash, n as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.hash = combine(self.hash, n as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.hash = combine(self.hash, n);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.hash = combine(self.hash, n as u64);
+    }
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.hash = combine(combine(self.hash, n as u64), (n >> 64) as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+
+/// Hash one hashable value with Fx (convenience mirroring `fxhash::hash64`).
+pub fn hash64<T: std::hash::Hash + ?Sized>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_sets_work() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 0x1000, i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 0x1000)), Some(&(i as u32)));
+        }
+        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
+        assert!(s.insert((1, 2)));
+        assert!(!s.insert((1, 2)));
+    }
+
+    #[test]
+    fn hashes_are_stable_and_spread() {
+        assert_eq!(hash64(&42u64), hash64(&42u64));
+        assert_ne!(hash64(&1u64), hash64(&2u64));
+        // sequential keys must not collapse to sequential buckets only
+        let hashes: Vec<u64> = (0..64u64).map(|i| hash64(&i)).collect();
+        let distinct: std::collections::HashSet<_> = hashes.iter().collect();
+        assert_eq!(distinct.len(), 64);
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_for_exact_words() {
+        let mut a = FxHasher::default();
+        a.write(&7u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(7);
+        assert_eq!(a.finish(), b.finish());
+    }
+}
