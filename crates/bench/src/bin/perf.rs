@@ -1,10 +1,15 @@
 //! `perf` — detector throughput and shadow-memory benchmark.
 //!
-//! Replays the bench programs' recorded event streams through every tool's
-//! detector configuration and measures:
+//! Records each bench program once per tool through the session pipeline
+//! (`Session::prepare → execute`, yielding a [`Trace`]) and replays the
+//! stream through every tool's detector configuration, measuring:
 //!
 //! * **events/sec** of the production [`RaceDetector`] (epoch fast paths,
-//!   paged shadow memory);
+//!   paged shadow memory) over the raw event slice;
+//! * **replay events/sec** of the same detector fed through the
+//!   [`Trace::replay`] artifact path — pure detector throughput as the
+//!   session API's detect fan-out exercises it, isolated from VM
+//!   interpretation entirely;
 //! * **events/sec** of the retained [`ReferenceDetector`] (slow full-VC
 //!   baseline) — the speedup column is recomputed, never quoted;
 //! * **shadow bytes** retained by each after a full replay (pages and
@@ -25,11 +30,9 @@
 //! hash-table slip on the hot path), not CI-machine noise.
 
 use spinrace_bench::bench_tools;
-use spinrace_core::Tool;
+use spinrace_core::{Session, Tool};
 use spinrace_detector::{DetectorConfig, MsmMode, RaceDetector, ReferenceDetector};
-use spinrace_spinfind::{SpinCriteria, SpinFinder};
-use spinrace_synclib::{lower_to_spinlib_styled, LibStyle};
-use spinrace_vm::{run_module, Event, EventSink, RecordingSink, VmConfig};
+use spinrace_vm::{Event, EventSink, Trace};
 use std::time::Instant;
 
 /// Checked-in floor for the production detector, in events/sec. The CI
@@ -44,6 +47,7 @@ struct Row {
     tool: String,
     events: usize,
     events_per_sec: f64,
+    replay_events_per_sec: f64,
     ref_events_per_sec: f64,
     shadow_bytes: usize,
     ref_shadow_bytes: usize,
@@ -73,17 +77,22 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     for (name, module) in &programs {
         for (_, tool) in bench_tools() {
-            let events = record_stream(tool, module);
+            let trace = record_trace(tool, module);
+            let events = &trace.events;
             let cfg = detector_config(tool);
 
-            let eps = measure(&events, min_secs, || RaceDetector::new(cfg));
-            let ref_eps = measure(&events, min_secs, || ReferenceDetector::new(cfg));
+            let eps = measure(events, min_secs, || RaceDetector::new(cfg));
+            let ref_eps = measure(events, min_secs, || ReferenceDetector::new(cfg));
+            // Detector-only throughput through the Trace artifact itself
+            // (`Trace::replay`) — the series the session API's fan-out
+            // paths actually exercise.
+            let replay_eps = measure_trace(&trace, min_secs, || RaceDetector::new(cfg));
 
             // One more replay of each to read retained state.
             let mut det = RaceDetector::new(cfg);
-            replay(&events, &mut det);
+            replay(events, &mut det);
             let mut rdet = ReferenceDetector::new(cfg);
-            replay(&events, &mut rdet);
+            replay(events, &mut rdet);
             assert_eq!(
                 det.racy_contexts(),
                 rdet.racy_contexts(),
@@ -92,10 +101,11 @@ fn main() {
             );
 
             println!(
-                "{name:>14} {:<24} {:>8} events  {:>7.2} M ev/s  (ref {:>6.2} M ev/s, {:>4.1}x)  shadow {} B (ref {} B)",
+                "{name:>14} {:<24} {:>8} events  {:>7.2} M ev/s  (trace replay {:>6.2} M, ref {:>6.2} M ev/s, {:>4.1}x)  shadow {} B (ref {} B)",
                 tool.label(),
                 events.len(),
                 eps / 1e6,
+                replay_eps / 1e6,
                 ref_eps / 1e6,
                 eps / ref_eps,
                 det.metrics().shadow_bytes,
@@ -106,6 +116,7 @@ fn main() {
                 tool: tool.label(),
                 events: events.len(),
                 events_per_sec: eps,
+                replay_events_per_sec: replay_eps,
                 ref_events_per_sec: ref_eps,
                 shadow_bytes: det.metrics().shadow_bytes,
                 ref_shadow_bytes: rdet.shadow_bytes(),
@@ -118,6 +129,10 @@ fn main() {
         .iter()
         .map(|r| r.events_per_sec)
         .fold(f64::INFINITY, f64::min);
+    let replay_min_eps = rows
+        .iter()
+        .map(|r| r.replay_events_per_sec)
+        .fold(f64::INFINITY, f64::min);
     let geomean_speedup = (rows
         .iter()
         .map(|r| (r.events_per_sec / r.ref_events_per_sec).ln())
@@ -125,17 +140,35 @@ fn main() {
         / rows.len() as f64)
         .exp();
     println!(
-        "min {:.2} M ev/s, geomean speedup over reference {geomean_speedup:.2}x",
-        min_eps / 1e6
+        "min {:.2} M ev/s (trace replay min {:.2} M), geomean speedup over reference {geomean_speedup:.2}x",
+        min_eps / 1e6,
+        replay_min_eps / 1e6,
     );
 
-    write_json(&out_path, quick, &rows, min_eps, geomean_speedup);
+    write_json(
+        &out_path,
+        quick,
+        &rows,
+        min_eps,
+        replay_min_eps,
+        geomean_speedup,
+    );
     println!("wrote {out_path}");
 
     if quick && min_eps < FLOOR_EVENTS_PER_SEC / 5.0 {
         eprintln!(
             "PERF REGRESSION: min {min_eps:.0} ev/s is more than 5x below the checked-in floor \
              of {FLOOR_EVENTS_PER_SEC:.0} ev/s"
+        );
+        std::process::exit(1);
+    }
+    // The Trace-artifact path must stay as fast as the raw-slice path: it
+    // is the same detector fed by the same borrowed events, so a gap here
+    // means an accidental copy crept into `Trace::replay`.
+    if quick && replay_min_eps < FLOOR_EVENTS_PER_SEC / 5.0 {
+        eprintln!(
+            "PERF REGRESSION: trace-replay min {replay_min_eps:.0} ev/s is more than 5x below \
+             the checked-in floor of {FLOOR_EVENTS_PER_SEC:.0} ev/s"
         );
         std::process::exit(1);
     }
@@ -159,34 +192,19 @@ fn perf_programs(scale: u32) -> Vec<(&'static str, spinrace_tir::Module)> {
 /// The detector configuration a tool runs (long MSM — integration mode,
 /// as in the PARSEC experiments and the Criterion benches).
 fn detector_config(tool: Tool) -> DetectorConfig {
-    match tool {
-        Tool::HelgrindLib => DetectorConfig::helgrind_lib(MsmMode::Long),
-        Tool::HelgrindLibSpin { .. } => DetectorConfig::helgrind_lib_spin(MsmMode::Long),
-        Tool::HelgrindNolibSpin { .. } => DetectorConfig::helgrind_nolib_spin(MsmMode::Long),
-        Tool::Drd => DetectorConfig::drd(),
-    }
+    tool.detector_config(MsmMode::Long, 1000)
 }
 
-/// Record the event stream a tool's detector would see: same preparation
-/// steps as `Analyzer::analyze` (nolib lowering, spin instrumentation),
-/// then one deterministic round-robin run.
-fn record_stream(tool: Tool, module: &spinrace_tir::Module) -> Vec<Event> {
-    let mut prepared = match tool {
-        Tool::HelgrindNolibSpin { .. } => {
-            lower_to_spinlib_styled(module, LibStyle::Textbook).expect("lowering")
-        }
-        _ => module.clone(),
-    };
-    match tool {
-        Tool::HelgrindLibSpin { window } | Tool::HelgrindNolibSpin { window } => {
-            let finder = SpinFinder::new(SpinCriteria::with_window(window));
-            finder.instrument(&mut prepared);
-        }
-        _ => {}
-    }
-    let mut sink = RecordingSink::default();
-    run_module(&prepared, VmConfig::round_robin(), &mut sink).expect("vm run");
-    sink.events
+/// Record the event stream a tool's detector would see, through the
+/// session pipeline: prepare (nolib lowering, spin instrumentation), then
+/// one deterministic round-robin execution captured as a [`Trace`].
+fn record_trace(tool: Tool, module: &spinrace_tir::Module) -> Trace {
+    Session::for_module(module)
+        .prepare(tool)
+        .expect("prepare")
+        .execute()
+        .expect("vm run")
+        .into_trace()
 }
 
 fn replay(events: &[Event], sink: &mut impl EventSink) {
@@ -215,7 +233,33 @@ fn measure<S: EventSink>(events: &[Event], min_secs: f64, mut mk: impl FnMut() -
     }
 }
 
-fn write_json(path: &str, quick: bool, rows: &[Row], min_eps: f64, geomean_speedup: f64) {
+/// Same, but through [`Trace::replay`] — the artifact path the session
+/// API's detect fan-out uses.
+fn measure_trace<S: EventSink>(trace: &Trace, min_secs: f64, mut mk: impl FnMut() -> S) -> f64 {
+    let mut warm = mk();
+    trace.replay(&mut warm);
+    drop(warm);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        let mut d = mk();
+        trace.replay(&mut d);
+        iters += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= min_secs {
+            return trace.events.len() as f64 * iters as f64 / elapsed;
+        }
+    }
+}
+
+fn write_json(
+    path: &str,
+    quick: bool,
+    rows: &[Row],
+    min_eps: f64,
+    replay_min_eps: f64,
+    geomean_speedup: f64,
+) {
     let results: Vec<serde_json::Value> = rows
         .iter()
         .map(|r| {
@@ -224,6 +268,7 @@ fn write_json(path: &str, quick: bool, rows: &[Row], min_eps: f64, geomean_speed
                 "tool": r.tool.as_str(),
                 "events": r.events as u64,
                 "events_per_sec": r.events_per_sec,
+                "replay_events_per_sec": r.replay_events_per_sec,
                 "ref_events_per_sec": r.ref_events_per_sec,
                 "speedup_vs_reference": r.events_per_sec / r.ref_events_per_sec,
                 "shadow_bytes": r.shadow_bytes as u64,
@@ -233,12 +278,13 @@ fn write_json(path: &str, quick: bool, rows: &[Row], min_eps: f64, geomean_speed
         })
         .collect();
     let doc = serde_json::json!({
-        "schema": "spinrace-perf-v1",
+        "schema": "spinrace-perf-v2",
         "quick": quick,
         "floor_events_per_sec": FLOOR_EVENTS_PER_SEC,
         "results": serde_json::Value::Seq(results),
         "summary": {
             "min_events_per_sec": min_eps,
+            "replay_min_events_per_sec": replay_min_eps,
             "geomean_speedup_vs_reference": geomean_speedup,
         },
     });

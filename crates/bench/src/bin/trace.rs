@@ -1,0 +1,415 @@
+//! `trace` — record, replay, and inspect serialized event traces.
+//!
+//! The trace artifact decouples execution from detection: record a
+//! workload once, then replay the stream under any detector configuration
+//! (identical results to a live run, without re-interpreting the
+//! program).
+//!
+//! ```text
+//! trace record --program <name> [--tool <TOOL>] [--seed N] [--obscure]
+//!              [--scale N] [--out FILE]        # default <name>.trace.json
+//! trace replay FILE [--tool <TOOL>] [--long-msm] [--cap N]
+//! trace inspect FILE [--events N]
+//! trace stats FILE
+//! ```
+//!
+//! `<TOOL>` accepts the table labels (`Helgrind+ lib+spin(7)`) and the
+//! short forms `lib`, `lib+spin[(W)]`, `nolib+spin[(W)]`, `drd`.
+//! `record` tees a trace recorder with the tool's own detector, so the
+//! recording run also prints its racy contexts; `replay` re-prepares the
+//! named program, checks the module fingerprint, and replays the parsed
+//! stream into a fresh detector.
+
+use spinrace_core::{ExecutedRun, Session, Tool};
+use spinrace_detector::MsmMode;
+use spinrace_suites::all_programs;
+use spinrace_synclib::LibStyle;
+use spinrace_vm::{Event, Trace};
+use std::collections::BTreeMap;
+use std::process::exit;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("record") => record(&args[1..]),
+        Some("replay") => replay(&args[1..]),
+        Some("inspect") => inspect(&args[1..]),
+        Some("stats") => stats(&args[1..]),
+        _ => {
+            eprintln!("usage: trace <record|replay|inspect|stats> ...  (see --help in source)");
+            2
+        }
+    };
+    exit(code);
+}
+
+/// `--flag value` lookup.
+fn opt(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// `--flag N` numeric lookup with a friendly parse error (no panics on
+/// typos), falling back to `default` when the flag is absent.
+fn num_opt<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match opt(args, flag) {
+        None => default,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("error: {flag} expects a number, got {s:?}");
+            exit(2);
+        }),
+    }
+}
+
+fn has(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn parse_tool(s: &str) -> Tool {
+    match s.parse::<Tool>() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(2);
+        }
+    }
+}
+
+fn load(path: &str) -> Trace {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            exit(1);
+        }
+    };
+    match Trace::from_json(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn record(args: &[String]) -> i32 {
+    let Some(name) = opt(args, "--program") else {
+        eprintln!("usage: trace record --program <name> [--tool T] [--seed N] [--obscure] [--scale N] [--out FILE]");
+        return 2;
+    };
+    let tool = parse_tool(&opt(args, "--tool").unwrap_or_else(|| "lib+spin".into()));
+    let scale: u32 = num_opt(args, "--scale", 1);
+    if !(1..=MAX_SCALE).contains(&scale) {
+        eprintln!("error: --scale must be in 1..={MAX_SCALE} (replay probes that range when rebinding the module)");
+        return 2;
+    }
+    let programs = all_programs();
+    let Some(prog) = programs.iter().find(|p| p.name == name) else {
+        eprintln!(
+            "error: unknown program {name:?}; available: {}",
+            programs
+                .iter()
+                .map(|p| p.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return 1;
+    };
+    let module = (prog.build)(prog.threads, prog.size * scale);
+    let mut session = Session::for_module(&module);
+    if opt(args, "--seed").is_some() {
+        session = session.seed(num_opt(args, "--seed", 0));
+    }
+    if has(args, "--obscure") || prog.obscure_nolib {
+        session = session.obscure_nolib();
+    }
+    let prepared = match session.prepare(tool) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: prepare failed: {e}");
+            return 1;
+        }
+    };
+    // One execution, two consumers: the trace recorder and the tool's own
+    // detector, teed on the same stream.
+    let (run, outcome) = match prepared.execute_detecting() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: execution failed: {e}");
+            return 1;
+        }
+    };
+    let out_path = opt(args, "--out").unwrap_or_else(|| format!("{name}.trace.json"));
+    let trace = run.trace();
+    std::fs::write(&out_path, trace.to_json() + "\n").expect("write trace");
+    println!(
+        "recorded {name} under {}: {} events, {} steps, fingerprint {:#018x}",
+        trace.header.tool_label,
+        trace.events.len(),
+        trace.summary.steps,
+        trace.header.module_fingerprint,
+    );
+    println!(
+        "live detection on the recording run: {} racy context(s), {} promoted location(s)",
+        outcome.contexts, outcome.promoted_locations
+    );
+    println!("wrote {out_path}");
+    0
+}
+
+fn replay(args: &[String]) -> i32 {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: trace replay FILE [--tool T] [--long-msm] [--cap N]");
+        return 2;
+    };
+    let trace = load(path);
+    let tool = match opt(args, "--tool") {
+        Some(s) => parse_tool(&s),
+        None if trace.header.tool_label.is_empty() => {
+            eprintln!("error: trace has no recorded tool label; pass --tool");
+            return 2;
+        }
+        None => parse_tool(&trace.header.tool_label),
+    };
+    let msm = if has(args, "--long-msm") {
+        MsmMode::Long
+    } else {
+        MsmMode::Short
+    };
+    let cap: usize = num_opt(args, "--cap", 1000);
+
+    // Rebuild a prepared module the trace matches, so reports resolve to
+    // source locations and the fingerprint check rejects stale traces.
+    // Try the *requested* tool's preparation first: when its fingerprint
+    // matches the header the replay is equivalent to a live run of that
+    // tool (e.g. lib and drd share the unmodified module). Otherwise fall
+    // back to the recording tool's preparation and say plainly that the
+    // results describe the recorded stream, not a live run of `tool`.
+    match rebuild_run(&trace, tool, msm, cap) {
+        Some(run) => {
+            let t0 = Instant::now();
+            let out = run.detect_as(tool);
+            let secs = t0.elapsed().as_secs_f64();
+            println!(
+                "replayed {} events under {}: {} racy context(s), {} promoted location(s) \
+                 ({:.2} M ev/s, detector only)",
+                trace.events.len(),
+                out.tool_label,
+                out.contexts,
+                out.promoted_locations,
+                trace.events.len() as f64 / secs.max(1e-9) / 1e6,
+            );
+            for r in out.reports.iter().take(10) {
+                println!(
+                    "  {:?} race on {} (t{} vs t{})",
+                    r.report.kind, r.location, r.report.prior.tid, r.report.current.tid
+                );
+            }
+            if out.reports.len() > 10 {
+                println!("  … {} more", out.reports.len() - 10);
+            }
+            0
+        }
+        None => {
+            eprintln!(
+                "note: could not rebuild module {:?} (unknown program or fingerprint drift); \
+                 replaying without source locations",
+                trace.header.module_name
+            );
+            let mut det = spinrace_detector::RaceDetector::new(tool.detector_config(msm, cap));
+            let t0 = Instant::now();
+            trace.replay(&mut det);
+            let secs = t0.elapsed().as_secs_f64();
+            println!(
+                "replayed {} events under {}: {} racy context(s), {} promoted location(s) \
+                 ({:.2} M ev/s, detector only)",
+                trace.events.len(),
+                tool.label(),
+                det.racy_contexts(),
+                det.promoted_locations(),
+                trace.events.len() as f64 / secs.max(1e-9) / 1e6,
+            );
+            for r in det.reports().reports().iter().take(10) {
+                println!(
+                    "  {:?} race at {:#x} (t{} vs t{})",
+                    r.kind, r.addr, r.prior.tid, r.current.tid
+                );
+            }
+            0
+        }
+    }
+}
+
+/// Largest `--scale` `record` accepts, and the last scale `replay` probes
+/// when rebinding a trace to its module.
+const MAX_SCALE: u32 = 32;
+
+/// Bind the trace to a freshly prepared module. Prefers the preparation
+/// of `tool` (a fingerprint match means the replay equals a live `tool`
+/// run); falls back to the recording tool's preparation with a warning.
+/// Returns `None` when the program is unknown or no probed scale
+/// reproduces the recorded module.
+fn rebuild_run(trace: &Trace, tool: Tool, msm: MsmMode, cap: usize) -> Option<ExecutedRun> {
+    if let Some(prepared) = prepared_matching(trace, tool, msm, cap) {
+        return ExecutedRun::from_trace(prepared, trace.clone()).ok();
+    }
+    let rec_tool: Tool = trace.header.tool_label.parse().ok()?;
+    if rec_tool == tool {
+        return None;
+    }
+    let prepared = prepared_matching(trace, rec_tool, msm, cap)?;
+    eprintln!(
+        "note: stream was recorded from the `{}` preparation; results show that stream under \
+         `{}`'s detector configuration, NOT what a live `{}` run would report",
+        rec_tool.label(),
+        tool.label(),
+        tool.label(),
+    );
+    ExecutedRun::from_trace(prepared, trace.clone()).ok()
+}
+
+/// Re-prepare the program named in the trace header under `prep_tool`,
+/// probing scales `1..=MAX_SCALE` (the header does not record the scale),
+/// and return the preparation whose fingerprint matches the recording.
+fn prepared_matching(
+    trace: &Trace,
+    prep_tool: Tool,
+    msm: MsmMode,
+    cap: usize,
+) -> Option<spinrace_core::PreparedModule> {
+    // Lowered (nolib) modules are renamed `<name>.nolib`.
+    let base = trace
+        .header
+        .module_name
+        .strip_suffix(".nolib")
+        .unwrap_or(&trace.header.module_name);
+    let programs = all_programs();
+    let prog = programs.iter().find(|p| p.name == base)?;
+    // The header records neither the scale nor the nolib library style
+    // (both are preparation inputs, not run configuration), so probe:
+    // every scale record accepts, and — for nolib tools, whose lowering
+    // is the only style-sensitive phase — both library styles.
+    let styles: &[LibStyle] = if matches!(prep_tool, Tool::HelgrindNolibSpin { .. }) {
+        &[LibStyle::Textbook, LibStyle::Obscure]
+    } else {
+        &[LibStyle::Textbook]
+    };
+    for scale in 1..=MAX_SCALE {
+        let module = (prog.build)(prog.threads, prog.size * scale);
+        for &style in styles {
+            let prepared = Session::for_module(&module)
+                .msm(msm)
+                .cap(cap)
+                .vm_config(trace.header.vm)
+                .nolib_style(style)
+                .prepare(prep_tool);
+            let Ok(prepared) = prepared else { continue };
+            if prepared.fingerprint() == trace.header.module_fingerprint {
+                return Some(prepared);
+            }
+        }
+    }
+    None
+}
+
+fn inspect(args: &[String]) -> i32 {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: trace inspect FILE [--events N]");
+        return 2;
+    };
+    let trace = load(path);
+    let n: usize = num_opt(args, "--events", 10);
+    let h = &trace.header;
+    println!("version:     {}", h.version);
+    println!("module:      {}", h.module_name);
+    println!("fingerprint: {:#018x}", h.module_fingerprint);
+    println!(
+        "tool:        {}",
+        if h.tool_label.is_empty() {
+            "-"
+        } else {
+            &h.tool_label
+        }
+    );
+    println!("scheduler:   {:?}", h.vm.sched);
+    println!("events:      {}", h.events);
+    println!(
+        "summary:     {} steps, {} threads, {} spin enter(s), {} spin exit(s), {} memory words",
+        trace.summary.steps,
+        trace.summary.threads_created,
+        trace.summary.spin_enters,
+        trace.summary.spin_exits,
+        trace.summary.memory_words,
+    );
+    println!("first {} event(s):", n.min(trace.events.len()));
+    for ev in trace.events.iter().take(n) {
+        println!("  {ev:?}");
+    }
+    0
+}
+
+fn stats(args: &[String]) -> i32 {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: trace stats FILE");
+        return 2;
+    };
+    let trace = load(path);
+    let mut kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut per_thread: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut plain = 0u64;
+    let mut addrs = std::collections::BTreeSet::new();
+    for ev in &trace.events {
+        *kinds.entry(kind_of(ev)).or_default() += 1;
+        *per_thread.entry(ev.tid()).or_default() += 1;
+        if ev.is_plain_access() {
+            plain += 1;
+        }
+        match ev {
+            Event::Read { addr, .. } | Event::Write { addr, .. } | Event::Update { addr, .. } => {
+                addrs.insert(*addr);
+            }
+            _ => {}
+        }
+    }
+    let total = trace.events.len() as u64;
+    println!("{total} events, {} distinct data addresses", addrs.len());
+    println!(
+        "plain (race-checked) accesses: {plain} ({:.1}%)",
+        100.0 * plain as f64 / total.max(1) as f64
+    );
+    println!("by kind:");
+    for (k, c) in &kinds {
+        println!("  {k:<16} {c:>10}");
+    }
+    println!("by thread:");
+    for (t, c) in &per_thread {
+        println!("  t{t:<15} {c:>10}");
+    }
+    0
+}
+
+fn kind_of(ev: &Event) -> &'static str {
+    match ev {
+        Event::Spawn { .. } => "Spawn",
+        Event::Join { .. } => "Join",
+        Event::ThreadEnd { .. } => "ThreadEnd",
+        Event::Read { .. } => "Read",
+        Event::Write { .. } => "Write",
+        Event::Update { .. } => "Update",
+        Event::Fence { .. } => "Fence",
+        Event::MutexLock { .. } => "MutexLock",
+        Event::MutexUnlock { .. } => "MutexUnlock",
+        Event::CondSignal { .. } => "CondSignal",
+        Event::CondBroadcast { .. } => "CondBroadcast",
+        Event::CondWaitReturn { .. } => "CondWaitReturn",
+        Event::BarrierEnter { .. } => "BarrierEnter",
+        Event::BarrierLeave { .. } => "BarrierLeave",
+        Event::SemPost { .. } => "SemPost",
+        Event::SemAcquired { .. } => "SemAcquired",
+        Event::SpinEnter { .. } => "SpinEnter",
+        Event::SpinExit { .. } => "SpinExit",
+        Event::Output { .. } => "Output",
+    }
+}

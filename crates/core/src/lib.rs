@@ -1,20 +1,15 @@
 //! # SpinRace core — the analysis pipeline
 //!
-//! One call runs the full stack of the paper for a single
-//! `(program, tool, schedule)` triple:
+//! The pipeline is staged around an explicit, replayable trace artifact
+//! (see [`session`]): **prepare** (lower/instrument), **execute** (one VM
+//! run, recorded as a [`spinrace_vm::Trace`]), **detect** (replay the
+//! trace under any number of detector configurations), **report**.
 //!
-//! 1. **Prepare** — for `nolib` tools, lower the module through
-//!    `spinrace-synclib` (library ops become spin-loop implementations);
-//!    for `+spin` tools, run the `spinrace-spinfind` instrumentation phase
-//!    with the configured basic-block window.
-//! 2. **Execute** — interpret the module in `spinrace-vm` under a
-//!    deterministic scheduler, streaming events.
-//! 3. **Detect** — feed the stream to a `spinrace-detector` configuration.
-//! 4. **Report** — racy contexts, per-report address descriptions, memory
-//!    metrics, and run statistics.
+//! The staged [`Session`] API is the primary interface — one execution
+//! fans out to many detections:
 //!
 //! ```
-//! use spinrace_core::{Analyzer, Tool};
+//! use spinrace_core::{Session, Tool};
 //! use spinrace_tir::ModuleBuilder;
 //!
 //! // A racy program: two threads increment without synchronization.
@@ -35,18 +30,40 @@
 //! });
 //! let m = mb.finish().unwrap();
 //!
-//! let outcome = Analyzer::tool(Tool::HelgrindLibSpin { window: 7 })
-//!     .analyze(&m)
+//! // Prepare once, execute once…
+//! let run = Session::for_module(&m)
+//!     .prepare(Tool::HelgrindLibSpin { window: 7 })
+//!     .unwrap()
+//!     .execute()
 //!     .unwrap();
-//! assert!(outcome.contexts >= 1);
+//!
+//! // …then detect as often as needed on the recorded trace: the default
+//! // configuration, a capped variant, even another tool that shares the
+//! // same prepared module.
+//! let out = run.detect();
+//! assert!(out.has_race_on("g"));
+//! let capped = run.detect_with(run.prepared().default_config().with_cap(1));
+//! assert_eq!(capped.contexts, 1);
+//!
+//! // The trace itself serializes; parsing it back replays identically.
+//! let json = run.trace().to_json();
+//! let parsed = spinrace_vm::Trace::from_json(&json).unwrap();
+//! assert_eq!(&parsed, run.trace());
 //! ```
+//!
+//! [`Analyzer`] remains as the one-call compatibility wrapper over a
+//! session (prepare → live detect, no recording).
 
-use spinrace_detector::{DetectorConfig, DetectorMetrics, MsmMode, RaceDetector, RaceReport};
-use spinrace_spinfind::{SpinCriteria, SpinFinder};
-use spinrace_synclib::{lower_to_spinlib_styled, LibStyle, LowerError};
+pub mod session;
+
+pub use session::{ExecutedRun, PreparedModule, Session};
+
+use spinrace_detector::{DetectorMetrics, MsmMode, RaceReport};
+use spinrace_synclib::{LibStyle, LowerError};
 use spinrace_tir::Module;
-use spinrace_vm::{run_module, RunSummary, VmConfig, VmError};
+use spinrace_vm::{RunSummary, VmConfig, VmError};
 use std::fmt;
+use std::str::FromStr;
 
 /// The four tool configurations of the paper's tables.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -71,12 +88,7 @@ pub enum Tool {
 impl Tool {
     /// Table label, e.g. `Helgrind+ lib+spin(7)`.
     pub fn label(&self) -> String {
-        match self {
-            Tool::HelgrindLib => "Helgrind+ lib".into(),
-            Tool::HelgrindLibSpin { window } => format!("Helgrind+ lib+spin({window})"),
-            Tool::HelgrindNolibSpin { window } => format!("Helgrind+ nolib+spin({window})"),
-            Tool::Drd => "DRD".into(),
-        }
+        self.to_string()
     }
 
     /// The paper's standard tool line-up with the default window.
@@ -88,9 +100,92 @@ impl Tool {
             Tool::Drd,
         ]
     }
+
+    /// The detector configuration this tool runs under `msm` with the
+    /// given racy-context cap — the single source of the tool→detector
+    /// mapping (sessions, CLIs, and benches all derive from here).
+    pub fn detector_config(&self, msm: MsmMode, cap: usize) -> spinrace_detector::DetectorConfig {
+        use spinrace_detector::DetectorConfig;
+        let cfg = match self {
+            Tool::HelgrindLib => DetectorConfig::helgrind_lib(msm),
+            Tool::HelgrindLibSpin { .. } => DetectorConfig::helgrind_lib_spin(msm),
+            Tool::HelgrindNolibSpin { .. } => DetectorConfig::helgrind_nolib_spin(msm),
+            Tool::Drd => DetectorConfig::drd(),
+        };
+        cfg.with_cap(cap)
+    }
 }
 
-/// A fully configured analysis pipeline.
+impl fmt::Display for Tool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tool::HelgrindLib => f.write_str("Helgrind+ lib"),
+            Tool::HelgrindLibSpin { window } => write!(f, "Helgrind+ lib+spin({window})"),
+            Tool::HelgrindNolibSpin { window } => write!(f, "Helgrind+ nolib+spin({window})"),
+            Tool::Drd => f.write_str("DRD"),
+        }
+    }
+}
+
+/// A tool name that [`Tool::from_str`] could not parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseToolError(pub String);
+
+impl fmt::Display for ParseToolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown tool {:?} (expected `lib`, `lib+spin[(W)]`, `nolib+spin[(W)]` or `drd`, \
+             optionally prefixed with `Helgrind+ `)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseToolError {}
+
+impl FromStr for Tool {
+    type Err = ParseToolError;
+
+    /// Parses the canonical table labels ([`Tool::label`]) and the short
+    /// forms used on command lines: `lib`, `lib+spin`, `lib+spin(5)`,
+    /// `nolib+spin`, `nolib+spin(5)`, `drd` (case-insensitive for `drd`;
+    /// the window defaults to the paper's 7 when omitted).
+    fn from_str(s: &str) -> Result<Tool, ParseToolError> {
+        let err = || ParseToolError(s.to_string());
+        let t = s.trim();
+        if t.eq_ignore_ascii_case("drd") {
+            return Ok(Tool::Drd);
+        }
+        let t = t
+            .strip_prefix("Helgrind+")
+            .map(str::trim_start)
+            .unwrap_or(t);
+        let (base, window) = match t.split_once('(') {
+            Some((base, rest)) => {
+                let digits = rest.strip_suffix(')').ok_or_else(err)?;
+                let w: u32 = digits.trim().parse().map_err(|_| err())?;
+                (base.trim_end(), Some(w))
+            }
+            None => (t, None),
+        };
+        match (base, window) {
+            ("lib", None) => Ok(Tool::HelgrindLib),
+            ("lib+spin", w) => Ok(Tool::HelgrindLibSpin {
+                window: w.unwrap_or(7),
+            }),
+            ("nolib+spin", w) => Ok(Tool::HelgrindNolibSpin {
+                window: w.unwrap_or(7),
+            }),
+            _ => Err(err()),
+        }
+    }
+}
+
+/// A fully configured analysis pipeline — the one-call compatibility
+/// wrapper over [`Session`]: `analyze` prepares and runs the detector
+/// live in a single pass (no trace recording). Use [`Session`] when one
+/// execution should fan out to several detections.
 #[derive(Clone, Copy, Debug)]
 pub struct Analyzer {
     /// The tool (detector + preparation steps).
@@ -150,56 +245,19 @@ impl Analyzer {
         self
     }
 
-    fn detector_config(&self) -> DetectorConfig {
-        let cfg = match self.tool {
-            Tool::HelgrindLib => DetectorConfig::helgrind_lib(self.msm),
-            Tool::HelgrindLibSpin { .. } => DetectorConfig::helgrind_lib_spin(self.msm),
-            Tool::HelgrindNolibSpin { .. } => DetectorConfig::helgrind_nolib_spin(self.msm),
-            Tool::Drd => DetectorConfig::drd(),
-        };
-        cfg.with_cap(self.context_cap)
+    /// The session this analyzer's knobs describe.
+    pub fn session<'m>(&self, module: &'m Module) -> Session<'m> {
+        Session::for_module(module)
+            .msm(self.msm)
+            .vm_config(self.vm)
+            .cap(self.context_cap)
+            .nolib_style(self.nolib_style)
     }
 
-    /// Run the full pipeline on `module`.
+    /// Run the full pipeline on `module`: prepare, then execute with the
+    /// detector attached live.
     pub fn analyze(&self, module: &Module) -> Result<AnalysisOutcome, AnalyzeError> {
-        // 1. Prepare.
-        let mut prepared = match self.tool {
-            Tool::HelgrindNolibSpin { .. } => lower_to_spinlib_styled(module, self.nolib_style)?,
-            _ => module.clone(),
-        };
-        let spin_loops_found = match self.tool {
-            Tool::HelgrindLibSpin { window } | Tool::HelgrindNolibSpin { window } => {
-                let finder = SpinFinder::new(SpinCriteria::with_window(window));
-                let analysis = finder.instrument(&mut prepared);
-                analysis.accepted()
-            }
-            _ => 0,
-        };
-
-        // 2 + 3. Execute with the detector attached.
-        let mut det = RaceDetector::new(self.detector_config());
-        let summary = run_module(&prepared, self.vm, &mut det)?;
-
-        // 4. Report.
-        let reports: Vec<DescribedReport> = det
-            .reports()
-            .reports()
-            .iter()
-            .map(|r| DescribedReport {
-                location: prepared.describe_addr(r.addr),
-                report: r.clone(),
-            })
-            .collect();
-        Ok(AnalysisOutcome {
-            module_name: module.name.clone(),
-            tool_label: self.tool.label(),
-            contexts: det.racy_contexts(),
-            reports,
-            metrics: det.metrics(),
-            promoted_locations: det.promoted_locations(),
-            spin_loops_found,
-            summary,
-        })
+        self.session(module).prepare(self.tool)?.detect_live()
     }
 }
 
@@ -259,6 +317,14 @@ pub enum AnalyzeError {
     Lower(LowerError),
     /// Execution failed (trap, deadlock, step limit).
     Vm(VmError),
+    /// A trace was offered for replay against a prepared module it was
+    /// not recorded from (fingerprints differ).
+    TraceMismatch {
+        /// Fingerprint in the trace header.
+        trace_fingerprint: u64,
+        /// Fingerprint of the prepared module.
+        module_fingerprint: u64,
+    },
 }
 
 impl fmt::Display for AnalyzeError {
@@ -266,6 +332,14 @@ impl fmt::Display for AnalyzeError {
         match self {
             AnalyzeError::Lower(e) => write!(f, "lowering failed: {e}"),
             AnalyzeError::Vm(e) => write!(f, "execution failed: {e}"),
+            AnalyzeError::TraceMismatch {
+                trace_fingerprint,
+                module_fingerprint,
+            } => write!(
+                f,
+                "trace fingerprint {trace_fingerprint:#018x} does not match prepared module \
+                 {module_fingerprint:#018x}"
+            ),
         }
     }
 }
@@ -406,5 +480,40 @@ mod tests {
             "Helgrind+ nolib+spin(3)"
         );
         assert_eq!(Tool::Drd.label(), "DRD");
+    }
+
+    #[test]
+    fn tool_labels_round_trip_through_from_str() {
+        // The paper lineup plus non-default windows: Display → FromStr is
+        // the identity, which is what lets CLIs take --tool arguments.
+        let mut tools = Tool::paper_lineup().to_vec();
+        tools.push(Tool::HelgrindLibSpin { window: 3 });
+        tools.push(Tool::HelgrindNolibSpin { window: 12 });
+        for tool in tools {
+            let label = tool.label();
+            assert_eq!(label.parse::<Tool>().unwrap(), tool, "{label}");
+        }
+    }
+
+    #[test]
+    fn tool_from_str_accepts_short_forms() {
+        assert_eq!("lib".parse::<Tool>().unwrap(), Tool::HelgrindLib);
+        assert_eq!(
+            "lib+spin".parse::<Tool>().unwrap(),
+            Tool::HelgrindLibSpin { window: 7 }
+        );
+        assert_eq!(
+            "lib+spin(5)".parse::<Tool>().unwrap(),
+            Tool::HelgrindLibSpin { window: 5 }
+        );
+        assert_eq!(
+            "nolib+spin(9)".parse::<Tool>().unwrap(),
+            Tool::HelgrindNolibSpin { window: 9 }
+        );
+        assert_eq!("drd".parse::<Tool>().unwrap(), Tool::Drd);
+        assert_eq!("DRD".parse::<Tool>().unwrap(), Tool::Drd);
+        for bad in ["", "lib+spin(", "lib+spin()", "helgrind", "spin(7)"] {
+            assert!(bad.parse::<Tool>().is_err(), "{bad:?} must not parse");
+        }
     }
 }

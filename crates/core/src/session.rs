@@ -1,0 +1,461 @@
+//! The staged session API: **prepare once, execute once, detect many**.
+//!
+//! [`Session`] holds the run configuration (MSM flavour, VM config,
+//! context cap, nolib library style) and stages the pipeline explicitly:
+//!
+//! 1. [`Session::prepare`] applies a tool's static phases (nolib lowering,
+//!    spin instrumentation) and yields a [`PreparedModule`];
+//! 2. [`PreparedModule::execute`] interprets the prepared module once and
+//!    records the event stream as a replayable [`Trace`] inside an
+//!    [`ExecutedRun`];
+//! 3. [`ExecutedRun::detect`] / [`ExecutedRun::detect_many`] /
+//!    [`ExecutedRun::detect_as`] replay the trace under any number of
+//!    detector configurations — each replay is equivalent to having run
+//!    that detector live (the VM hands events to sinks by reference,
+//!    synchronously, and detectors are deterministic).
+//!
+//! Because the VM is deterministic, two tools whose preparation produced
+//! the same module (same [`Module::fingerprint`]) see the same stream —
+//! e.g. `Helgrind+ lib` and `DRD` (neither rewrites the module), or two
+//! spin windows that accepted the same loops. Harnesses exploit this by
+//! caching [`ExecutedRun`]s per fingerprint and fanning detection out.
+
+use crate::{AnalysisOutcome, AnalyzeError, DescribedReport, Tool};
+use spinrace_detector::{DetectorConfig, MsmMode, RaceDetector};
+use spinrace_spinfind::{SpinCriteria, SpinFinder};
+use spinrace_synclib::{lower_to_spinlib_styled, LibStyle};
+use spinrace_tir::Module;
+use spinrace_vm::{run_module, RunSummary, Tee, Trace, TraceRecorder, VmConfig};
+
+/// A configured analysis session over one source module.
+#[derive(Clone, Copy, Debug)]
+pub struct Session<'m> {
+    module: &'m Module,
+    msm: MsmMode,
+    vm: VmConfig,
+    context_cap: usize,
+    nolib_style: LibStyle,
+}
+
+impl<'m> Session<'m> {
+    /// Session with the defaults of [`crate::Analyzer::tool`]: short MSM,
+    /// round-robin scheduling, cap 1000, textbook nolib primitives.
+    pub fn for_module(module: &'m Module) -> Session<'m> {
+        Session {
+            module,
+            msm: MsmMode::Short,
+            vm: VmConfig::round_robin(),
+            context_cap: 1000,
+            nolib_style: LibStyle::Textbook,
+        }
+    }
+
+    /// Select the memory state machine flavour (hybrid tools).
+    pub fn msm(mut self, msm: MsmMode) -> Self {
+        self.msm = msm;
+        self
+    }
+
+    /// Switch to the long-running MSM (integration-test mode).
+    pub fn long_msm(self) -> Self {
+        self.msm(MsmMode::Long)
+    }
+
+    /// Use a seeded random scheduler.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.vm = VmConfig::random(seed);
+        self
+    }
+
+    /// Override the VM configuration wholesale.
+    pub fn vm_config(mut self, vm: VmConfig) -> Self {
+        self.vm = vm;
+        self
+    }
+
+    /// Override the racy-context cap.
+    pub fn cap(mut self, cap: usize) -> Self {
+        self.context_cap = cap;
+        self
+    }
+
+    /// Library flavour used when lowering for `nolib` tools.
+    pub fn nolib_style(mut self, style: LibStyle) -> Self {
+        self.nolib_style = style;
+        self
+    }
+
+    /// Use the obscure library flavour for nolib lowering.
+    pub fn obscure_nolib(self) -> Self {
+        self.nolib_style(LibStyle::Obscure)
+    }
+
+    /// Run `tool`'s static phases: lower the module for `nolib` tools,
+    /// instrument spin loops for `+spin` tools.
+    pub fn prepare(&self, tool: Tool) -> Result<PreparedModule, AnalyzeError> {
+        let mut module = match tool {
+            Tool::HelgrindNolibSpin { .. } => {
+                lower_to_spinlib_styled(self.module, self.nolib_style)?
+            }
+            _ => self.module.clone(),
+        };
+        let spin_loops_found = match tool {
+            Tool::HelgrindLibSpin { window } | Tool::HelgrindNolibSpin { window } => {
+                let finder = SpinFinder::new(SpinCriteria::with_window(window));
+                finder.instrument(&mut module).accepted()
+            }
+            _ => 0,
+        };
+        let fingerprint = module.fingerprint();
+        Ok(PreparedModule {
+            original_name: self.module.name.clone(),
+            tool,
+            module,
+            fingerprint,
+            spin_loops_found,
+            msm: self.msm,
+            vm: self.vm,
+            context_cap: self.context_cap,
+        })
+    }
+}
+
+/// A module after a tool's static phases, ready to execute. Carries the
+/// session knobs so detection configurations can be derived later.
+#[derive(Clone, Debug)]
+pub struct PreparedModule {
+    original_name: String,
+    tool: Tool,
+    module: Module,
+    fingerprint: u64,
+    spin_loops_found: usize,
+    msm: MsmMode,
+    vm: VmConfig,
+    context_cap: usize,
+}
+
+impl PreparedModule {
+    /// The prepared (lowered/instrumented) module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The tool whose phases produced this module.
+    pub fn tool(&self) -> Tool {
+        self.tool
+    }
+
+    /// Spinning read loops accepted by the instrumentation phase.
+    pub fn spin_loops_found(&self) -> usize {
+        self.spin_loops_found
+    }
+
+    /// Structural fingerprint of the prepared module (computed once at
+    /// prepare time) — the sharing key for trace caches: prepared modules
+    /// with equal fingerprints produce identical event streams under the
+    /// same VM configuration.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The VM configuration the session selected.
+    pub fn vm_config(&self) -> VmConfig {
+        self.vm
+    }
+
+    /// Detector configuration for `tool` under this session's MSM flavour
+    /// and context cap.
+    pub fn config_for(&self, tool: Tool) -> DetectorConfig {
+        tool.detector_config(self.msm, self.context_cap)
+    }
+
+    /// Detector configuration for this module's own tool.
+    pub fn default_config(&self) -> DetectorConfig {
+        self.config_for(self.tool)
+    }
+
+    /// Interpret the module once, recording the full event stream.
+    pub fn execute(self) -> Result<ExecutedRun, AnalyzeError> {
+        let mut rec = TraceRecorder::new(&self.module, self.vm).labeled(self.tool.label());
+        let summary = run_module(&self.module, self.vm, &mut rec)?;
+        Ok(ExecutedRun {
+            trace: rec.finish(summary),
+            prepared: self,
+        })
+    }
+
+    /// Interpret the module once with the default detector attached
+    /// **live** — no event buffering. This is the classic `Analyzer`
+    /// single-shot path: use it when one detection per execution is all
+    /// that's needed (benches, overhead measurements).
+    pub fn detect_live(&self) -> Result<AnalysisOutcome, AnalyzeError> {
+        let mut det = RaceDetector::new(self.default_config());
+        let summary = run_module(&self.module, self.vm, &mut det)?;
+        Ok(self.assemble(self.tool.label(), det, summary))
+    }
+
+    /// Interpret the module once with the default detector attached live
+    /// **and** a trace recorder teed into the same stream: one run yields
+    /// both the outcome and a replayable [`Trace`] for further fan-out.
+    pub fn execute_detecting(self) -> Result<(ExecutedRun, AnalysisOutcome), AnalyzeError> {
+        let mut det = RaceDetector::new(self.default_config());
+        let rec = TraceRecorder::new(&self.module, self.vm).labeled(self.tool.label());
+        let mut tee = Tee::new(rec, &mut det);
+        let summary = run_module(&self.module, self.vm, &mut tee)?;
+        let (rec, _) = tee.into_inner();
+        let outcome = self.assemble(self.tool.label(), det, summary.clone());
+        Ok((
+            ExecutedRun {
+                trace: rec.finish(summary),
+                prepared: self,
+            },
+            outcome,
+        ))
+    }
+
+    /// Build the user-facing outcome from a finished detector.
+    fn assemble(
+        &self,
+        tool_label: String,
+        det: RaceDetector,
+        summary: RunSummary,
+    ) -> AnalysisOutcome {
+        let reports: Vec<DescribedReport> = det
+            .reports()
+            .reports()
+            .iter()
+            .map(|r| DescribedReport {
+                location: self.module.describe_addr(r.addr),
+                report: r.clone(),
+            })
+            .collect();
+        AnalysisOutcome {
+            module_name: self.original_name.clone(),
+            tool_label,
+            contexts: det.racy_contexts(),
+            reports,
+            metrics: det.metrics(),
+            promoted_locations: det.promoted_locations(),
+            spin_loops_found: self.spin_loops_found,
+            summary,
+        }
+    }
+}
+
+/// One recorded execution of a prepared module: the trace plus everything
+/// needed to interpret detector replays against it.
+#[derive(Clone, Debug)]
+pub struct ExecutedRun {
+    prepared: PreparedModule,
+    trace: Trace,
+}
+
+impl ExecutedRun {
+    /// Rebuild an executed run from a parsed [`Trace`] and the prepared
+    /// module it was recorded from. Fails when the trace's fingerprint
+    /// does not match `prepared` — replaying a stream against a different
+    /// program would silently misattribute every address and pc.
+    pub fn from_trace(prepared: PreparedModule, trace: Trace) -> Result<ExecutedRun, AnalyzeError> {
+        if trace.header.module_fingerprint != prepared.fingerprint() {
+            return Err(AnalyzeError::TraceMismatch {
+                trace_fingerprint: trace.header.module_fingerprint,
+                module_fingerprint: prepared.fingerprint(),
+            });
+        }
+        Ok(ExecutedRun { prepared, trace })
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Take the trace (e.g. to serialize it).
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// The prepared module this run executed.
+    pub fn prepared(&self) -> &PreparedModule {
+        &self.prepared
+    }
+
+    /// Statistics of the recorded run.
+    pub fn summary(&self) -> &RunSummary {
+        &self.trace.summary
+    }
+
+    /// Replay under this module's own tool with the session's defaults.
+    pub fn detect(&self) -> AnalysisOutcome {
+        self.detect_with(self.prepared.default_config())
+    }
+
+    /// Replay under an explicit detector configuration (labelled with this
+    /// module's own tool).
+    pub fn detect_with(&self, cfg: DetectorConfig) -> AnalysisOutcome {
+        self.replay_outcome(self.prepared.tool.label(), cfg)
+    }
+
+    /// Replay once per configuration: one execution, many detections.
+    pub fn detect_many(&self, cfgs: &[DetectorConfig]) -> Vec<AnalysisOutcome> {
+        cfgs.iter().map(|&cfg| self.detect_with(cfg)).collect()
+    }
+
+    /// Replay under *another tool's* detector configuration. Only valid
+    /// when that tool's preparation of the same source module yields a
+    /// prepared module with the same fingerprint (e.g. `Helgrind+ lib`
+    /// and `DRD`, which both run the unmodified module) — harnesses check
+    /// fingerprints before sharing.
+    pub fn detect_as(&self, tool: Tool) -> AnalysisOutcome {
+        self.replay_outcome(tool.label(), self.prepared.config_for(tool))
+    }
+
+    fn replay_outcome(&self, label: String, cfg: DetectorConfig) -> AnalysisOutcome {
+        let mut det = RaceDetector::new(cfg);
+        self.trace.replay(&mut det);
+        self.prepared
+            .assemble(label, det, self.trace.summary.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Analyzer;
+    use spinrace_tir::ModuleBuilder;
+
+    fn racy() -> Module {
+        let mut mb = ModuleBuilder::new("racy");
+        let g = mb.global("g", 1);
+        let w = mb.function("w", 1, |f| {
+            let v = f.load(g.at(0));
+            let v2 = f.add(v, 1);
+            f.store(g.at(0), v2);
+            f.ret(None);
+        });
+        mb.entry("main", |f| {
+            let t1 = f.spawn(w, 0);
+            let t2 = f.spawn(w, 1);
+            f.join(t1);
+            f.join(t2);
+            f.ret(None);
+        });
+        mb.finish().unwrap()
+    }
+
+    /// The tentpole equivalence: one recorded trace replayed under a
+    /// detector configuration yields byte-identical report lists and
+    /// contexts to the live `Analyzer` run, for every paper tool.
+    #[test]
+    fn replay_equals_live_for_every_tool() {
+        let m = racy();
+        for tool in Tool::paper_lineup() {
+            let live = Analyzer::tool(tool).analyze(&m).unwrap();
+            let run = Session::for_module(&m)
+                .prepare(tool)
+                .unwrap()
+                .execute()
+                .unwrap();
+            let replayed = run.detect();
+            assert_eq!(replayed.contexts, live.contexts, "{}", tool.label());
+            assert_eq!(replayed.reports.len(), live.reports.len());
+            for (a, b) in replayed.reports.iter().zip(&live.reports) {
+                assert_eq!(a.location, b.location);
+                assert_eq!(a.report, b.report);
+            }
+            assert_eq!(replayed.metrics, live.metrics);
+            assert_eq!(replayed.promoted_locations, live.promoted_locations);
+            assert_eq!(replayed.summary, live.summary);
+        }
+    }
+
+    #[test]
+    fn lib_and_drd_share_one_prepared_module() {
+        let m = racy();
+        let session = Session::for_module(&m);
+        let lib = session.prepare(Tool::HelgrindLib).unwrap();
+        let drd = session.prepare(Tool::Drd).unwrap();
+        assert_eq!(lib.fingerprint(), drd.fingerprint());
+        let run = lib.execute().unwrap();
+        let as_drd = run.detect_as(Tool::Drd);
+        let live_drd = Analyzer::tool(Tool::Drd).analyze(&m).unwrap();
+        assert_eq!(as_drd.contexts, live_drd.contexts);
+        assert_eq!(as_drd.tool_label, "DRD");
+    }
+
+    #[test]
+    fn detect_many_fans_out_configurations() {
+        let m = racy();
+        let run = Session::for_module(&m)
+            .prepare(Tool::HelgrindLib)
+            .unwrap()
+            .execute()
+            .unwrap();
+        let short = run.prepared().config_for(Tool::HelgrindLib);
+        let capped = short.with_cap(1);
+        let outs = run.detect_many(&[short, capped]);
+        assert_eq!(outs.len(), 2);
+        assert!(outs[0].contexts >= outs[1].contexts);
+        assert_eq!(outs[1].contexts, 1, "cap 1 clamps the context count");
+    }
+
+    #[test]
+    fn execute_detecting_tees_recorder_and_detector() {
+        let m = racy();
+        let prepared = Session::for_module(&m)
+            .prepare(Tool::HelgrindLibSpin { window: 7 })
+            .unwrap();
+        let (run, live) = prepared.execute_detecting().unwrap();
+        assert!(!live.is_clean());
+        let replayed = run.detect();
+        assert_eq!(replayed.contexts, live.contexts);
+        assert_eq!(replayed.reports.len(), live.reports.len());
+    }
+
+    #[test]
+    fn from_trace_rejects_foreign_traces() {
+        // A flag handoff: the spin tool instruments the waiter loop, so
+        // its prepared module differs from the uninstrumented one and the
+        // trace must be refused.
+        let mut mb = ModuleBuilder::new("handoff");
+        let flag = mb.global("flag", 1);
+        let waiter = mb.function("waiter", 1, |f| {
+            let head = f.new_block();
+            let done = f.new_block();
+            f.jump(head);
+            f.switch_to(head);
+            let v = f.load(flag.at(0));
+            f.branch(v, done, head);
+            f.switch_to(done);
+            f.ret(None);
+        });
+        mb.entry("main", |f| {
+            let t = f.spawn(waiter, 0);
+            f.store(flag.at(0), 1);
+            f.join(t);
+            f.ret(None);
+        });
+        let m = mb.finish().unwrap();
+        let session = Session::for_module(&m);
+        let run = session
+            .prepare(Tool::HelgrindLib)
+            .unwrap()
+            .execute()
+            .unwrap();
+        let other = session
+            .prepare(Tool::HelgrindLibSpin { window: 7 })
+            .unwrap();
+        assert_ne!(other.fingerprint(), run.prepared().fingerprint());
+        let err = ExecutedRun::from_trace(other, run.into_trace());
+        assert!(matches!(err, Err(AnalyzeError::TraceMismatch { .. })));
+
+        // And the matching prepared module is accepted.
+        let lib = session.prepare(Tool::HelgrindLib).unwrap();
+        let run2 = session
+            .prepare(Tool::HelgrindLib)
+            .unwrap()
+            .execute()
+            .unwrap();
+        assert!(ExecutedRun::from_trace(lib, run2.into_trace()).is_ok());
+    }
+}

@@ -1,9 +1,19 @@
 //! Classification harness: runs tools over the suites and aggregates the
 //! numbers behind every table of the paper.
+//!
+//! Since the session redesign the harness is **trace-centric**: for each
+//! case (and, for PARSEC, each seed) every tool's module is prepared, but
+//! the VM only runs once per *distinct prepared module* — the recorded
+//! [`spinrace_core::ExecutedRun`] is cached by module fingerprint and
+//! each tool's detector replays the shared trace. `Helgrind+ lib` and
+//! `DRD` always share one execution (neither rewrites the module), and
+//! window-sweep lineups share whenever two windows accept the same loops.
+//! Replayed detection is bit-identical to a live run, so the tables are
+//! unchanged; only the number of VM executions drops.
 
 use crate::drt::DrtCase;
 use crate::parsec::ParsecProgram;
-use spinrace_core::{AnalysisOutcome, Analyzer, Tool};
+use spinrace_core::{AnalysisOutcome, ExecutedRun, Session, Tool};
 
 /// The report cap used for drt runs. Small enough that a determined
 /// false-positive flood can drown a late real race (the paper's removed
@@ -52,6 +62,10 @@ pub struct DrtTable {
     pub rows: Vec<DrtRow>,
     /// Every individual outcome (for drill-down).
     pub outcomes: Vec<CaseOutcome>,
+    /// VM executions actually performed. With trace fan-out this is the
+    /// number of *distinct prepared modules*, at most (and typically well
+    /// under) `tools × cases`.
+    pub vm_runs: usize,
 }
 
 impl DrtTable {
@@ -74,6 +88,27 @@ pub fn classify(case: &DrtCase, out: &AnalysisOutcome) -> (bool, bool) {
     }
 }
 
+/// Prepare `tool` for the session, then replay a cached trace if another
+/// tool's preparation already produced (and executed) the same module;
+/// otherwise execute once and cache the run.
+fn outcome_via_cache(
+    session: &Session<'_>,
+    tool: Tool,
+    cache: &mut Vec<ExecutedRun>,
+) -> Result<AnalysisOutcome, String> {
+    let prepared = session.prepare(tool).map_err(|e| e.to_string())?;
+    if let Some(run) = cache
+        .iter()
+        .find(|r| r.prepared().fingerprint() == prepared.fingerprint())
+    {
+        return Ok(run.detect_as(tool));
+    }
+    let run = prepared.execute().map_err(|e| e.to_string())?;
+    let out = run.detect_as(tool);
+    cache.push(run);
+    Ok(out)
+}
+
 /// Run the full drt suite for each tool (round-robin schedule, short MSM,
 /// drt report cap). This regenerates the paper's Table 1 (with the
 /// standard lineup) and Table 2 (with a window sweep lineup).
@@ -82,24 +117,30 @@ pub fn run_drt(tools: &[Tool]) -> DrtTable {
 }
 
 /// Same, over a provided case list (useful for category slices in tests).
+///
+/// Trace fan-out: each case's module is executed once per *distinct
+/// prepared module* across the lineup, and every tool's detector replays
+/// the recorded trace (identical to a live run; see the module docs).
 pub fn run_drt_with(tools: &[Tool], cases: &[DrtCase]) -> DrtTable {
-    let mut rows = Vec::with_capacity(tools.len());
-    let mut outcomes = Vec::new();
-    for &tool in tools {
-        let analyzer = Analyzer::tool(tool).cap(DRT_CAP);
-        let mut false_alarms = 0;
-        let mut missed = 0;
-        for case in cases {
-            match analyzer.analyze(&case.module) {
+    // Aggregates and per-case detail, indexed by tool; flattened to the
+    // historical tool-major order at the end.
+    let mut agg = vec![(0usize, 0usize); tools.len()];
+    let mut detail: Vec<Vec<CaseOutcome>> = vec![Vec::with_capacity(cases.len()); tools.len()];
+    let mut vm_runs = 0;
+    for case in cases {
+        let session = Session::for_module(&case.module).cap(DRT_CAP);
+        let mut cache: Vec<ExecutedRun> = Vec::with_capacity(tools.len());
+        for (ti, &tool) in tools.iter().enumerate() {
+            match outcome_via_cache(&session, tool, &mut cache) {
                 Ok(out) => {
                     let (detected, fa) = classify(case, &out);
                     if case.racy && !detected {
-                        missed += 1;
+                        agg[ti].1 += 1;
                     }
                     if fa {
-                        false_alarms += 1;
+                        agg[ti].0 += 1;
                     }
-                    outcomes.push(CaseOutcome {
+                    detail[ti].push(CaseOutcome {
                         case_id: case.id,
                         case_name: case.name.clone(),
                         tool: tool.label(),
@@ -110,35 +151,46 @@ pub fn run_drt_with(tools: &[Tool], cases: &[DrtCase]) -> DrtTable {
                     });
                 }
                 Err(e) => {
-                    // An execution failure counts against the tool's
+                    // A pipeline failure counts against the tool's
                     // correct column like a miss/false alarm would.
                     if case.racy {
-                        missed += 1;
+                        agg[ti].1 += 1;
                     } else {
-                        false_alarms += 1;
+                        agg[ti].0 += 1;
                     }
-                    outcomes.push(CaseOutcome {
+                    detail[ti].push(CaseOutcome {
                         case_id: case.id,
                         case_name: case.name.clone(),
                         tool: tool.label(),
                         contexts: 0,
                         detected: false,
                         false_alarm: !case.racy,
-                        error: Some(e.to_string()),
+                        error: Some(e),
                     });
                 }
             }
         }
-        let failed = false_alarms + missed;
-        rows.push(DrtRow {
-            tool: tool.label(),
-            false_alarms,
-            missed_races: missed,
-            failed,
-            correct: cases.len() - failed,
-        });
+        vm_runs += cache.len();
     }
-    DrtTable { rows, outcomes }
+    let rows = tools
+        .iter()
+        .zip(&agg)
+        .map(|(&tool, &(false_alarms, missed))| {
+            let failed = false_alarms + missed;
+            DrtRow {
+                tool: tool.label(),
+                false_alarms,
+                missed_races: missed,
+                failed,
+                correct: cases.len() - failed,
+            }
+        })
+        .collect();
+    DrtTable {
+        rows,
+        outcomes: detail.into_iter().flatten().collect(),
+        vm_runs,
+    }
 }
 
 /// One PARSEC table cell: racy contexts averaged over the seeds.
@@ -161,6 +213,9 @@ pub struct ParsecTable {
     pub tools: Vec<String>,
     /// `cells[row][col]`.
     pub cells: Vec<Vec<ParsecCell>>,
+    /// VM executions performed (distinct prepared modules × seeds), at
+    /// most `programs × tools × seeds`.
+    pub vm_runs: usize,
 }
 
 impl ParsecTable {
@@ -179,36 +234,43 @@ impl ParsecTable {
 /// patterns).
 pub fn run_parsec(programs: &[ParsecProgram], tools: &[Tool], seeds: &[u64]) -> ParsecTable {
     let mut cells = Vec::with_capacity(programs.len());
+    let mut vm_runs = 0;
     for prog in programs {
         let module = (prog.build)(prog.threads, prog.size);
-        let mut row = Vec::with_capacity(tools.len());
-        for &tool in tools {
-            let mut counts = Vec::with_capacity(seeds.len());
-            for &seed in seeds {
-                let mut analyzer = Analyzer::tool(tool).long_msm().seed(seed);
-                if prog.obscure_nolib {
-                    analyzer = analyzer.obscure_nolib();
-                }
-                let contexts = match analyzer.analyze(&module) {
+        // counts[tool][seed]; filled seed-major so each seed's distinct
+        // prepared modules execute once and fan out across the lineup.
+        let mut counts = vec![Vec::with_capacity(seeds.len()); tools.len()];
+        for &seed in seeds {
+            let mut session = Session::for_module(&module).long_msm().seed(seed);
+            if prog.obscure_nolib {
+                session = session.obscure_nolib();
+            }
+            let mut cache: Vec<ExecutedRun> = Vec::with_capacity(tools.len());
+            for (ti, &tool) in tools.iter().enumerate() {
+                let contexts = match outcome_via_cache(&session, tool, &mut cache) {
                     Ok(out) => out.contexts,
                     // A failed run counts as saturation (a real tool would
                     // report "analysis incomplete").
                     Err(_) => 1000,
                 };
-                counts.push(contexts);
+                counts[ti].push(contexts);
             }
-            let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
-            row.push(ParsecCell {
-                mean_contexts: mean,
-                min: counts.iter().copied().min().unwrap_or(0),
-                max: counts.iter().copied().max().unwrap_or(0),
-            });
+            vm_runs += cache.len();
         }
+        let row = counts
+            .iter()
+            .map(|c| ParsecCell {
+                mean_contexts: c.iter().sum::<usize>() as f64 / c.len() as f64,
+                min: c.iter().copied().min().unwrap_or(0),
+                max: c.iter().copied().max().unwrap_or(0),
+            })
+            .collect();
         cells.push(row);
     }
     ParsecTable {
         programs: programs.iter().map(|p| p.name.to_string()).collect(),
         tools: tools.iter().map(|t| t.label()).collect(),
         cells,
+        vm_runs,
     }
 }

@@ -234,6 +234,26 @@ impl Module {
     pub fn instr_count(&self) -> usize {
         self.functions.iter().map(|f| f.instr_count()).sum()
     }
+
+    /// Stable structural fingerprint of the module, including any spin
+    /// instrumentation (spin-loop headers and tagged condition loads are
+    /// part of the rendered text). Two prepared modules with the same
+    /// fingerprint execute identically under the same VM configuration,
+    /// which is what lets recorded traces be shared across tools whose
+    /// preparation phases produced the same program.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the canonical textual rendering. The spin table's
+        // detection window is deliberately *not* folded in: the VM never
+        // consults it (only the accepted loops and tagged loads, which the
+        // rendering includes), so identical loop sets found at different
+        // windows are the same program — and may share one trace.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in self.to_string().as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
 }
 
 #[cfg(test)]

@@ -190,12 +190,67 @@ impl EventSink for RecordingSink {
     }
 }
 
-/// Fans one stream out to several sinks.
-pub struct MultiSink<'a> {
-    /// The sinks, invoked in order.
-    pub sinks: Vec<&'a mut dyn EventSink>,
+/// `&mut S` forwards to `S`, so borrowed sinks compose with the owned
+/// combinators below without lifetime-bound wrapper types.
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    fn on_event(&mut self, ev: &Event) {
+        (**self).on_event(ev);
+    }
 }
-impl EventSink for MultiSink<'_> {
+
+impl<S: EventSink + ?Sized> EventSink for Box<S> {
+    fn on_event(&mut self, ev: &Event) {
+        (**self).on_event(ev);
+    }
+}
+
+/// Tee: duplicates one stream into two sinks, first `a` then `b`. Owned
+/// and generic — monomorphized call sites keep the per-event cost at two
+/// direct calls, and either slot can hold `&mut` to an external sink (the
+/// recorder-plus-detector path records a trace while detecting live).
+/// Nest tees for wider fan-out, or use [`FanoutSink`] for a dynamic set.
+pub struct Tee<A, B> {
+    /// First receiver (e.g. a [`crate::TraceRecorder`]).
+    pub a: A,
+    /// Second receiver (e.g. a race detector).
+    pub b: B,
+}
+
+impl<A, B> Tee<A, B> {
+    /// Tee into `a` then `b`.
+    pub fn new(a: A, b: B) -> Tee<A, B> {
+        Tee { a, b }
+    }
+
+    /// Recover the sinks.
+    pub fn into_inner(self) -> (A, B) {
+        (self.a, self.b)
+    }
+}
+
+impl<A: EventSink, B: EventSink> EventSink for Tee<A, B> {
+    fn on_event(&mut self, ev: &Event) {
+        self.a.on_event(ev);
+        self.b.on_event(ev);
+    }
+}
+
+/// Fans one stream out to a dynamic number of owned sinks (the rare case
+/// where the fan-out width is only known at run time; prefer [`Tee`]).
+#[derive(Default)]
+pub struct FanoutSink {
+    /// The sinks, invoked in order.
+    pub sinks: Vec<Box<dyn EventSink>>,
+}
+
+impl FanoutSink {
+    /// Add a sink to the end of the fan-out order.
+    pub fn push(&mut self, sink: impl EventSink + 'static) {
+        self.sinks.push(Box::new(sink));
+    }
+}
+
+impl EventSink for FanoutSink {
     fn on_event(&mut self, ev: &Event) {
         for s in self.sinks.iter_mut() {
             s.on_event(ev);
@@ -240,6 +295,22 @@ mod tests {
             atomic: Some(MemOrder::Release),
         };
         assert!(!atomic.is_plain_access());
+    }
+
+    #[test]
+    fn tee_duplicates_in_order_and_borrows_compose() {
+        let mut external = RecordingSink::default();
+        let mut tee = Tee::new(RecordingSink::default(), &mut external);
+        tee.on_event(&Event::Output { tid: 0, value: 1 });
+        tee.on_event(&Event::Output { tid: 1, value: 2 });
+        let (owned, _) = tee.into_inner();
+        assert_eq!(owned.events.len(), 2);
+        assert_eq!(external.events, owned.events);
+
+        let mut fan = FanoutSink::default();
+        fan.push(RecordingSink::default());
+        fan.push(NullSink);
+        fan.on_event(&Event::Output { tid: 0, value: 3 });
     }
 
     #[test]

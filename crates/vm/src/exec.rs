@@ -8,13 +8,14 @@ use crate::memory::Memory;
 use crate::sched::SchedulerKind;
 use crate::spin_rt::{SpinAction, SpinRuntime};
 use crate::sync::{BarrierState, SyncState};
+use serde::{Deserialize, Serialize};
 use spinrace_tir::{
     AddrExpr, Atomicity, BinOp, BlockId, Instr, MemOrder, Module, Operand, Pc, Reg, RmwOp,
     Terminator, UnOp,
 };
 
 /// Run configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VmConfig {
     /// Scheduling policy.
     pub sched: SchedulerKind,
@@ -49,7 +50,7 @@ impl VmConfig {
 }
 
 /// Statistics of a completed run.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunSummary {
     /// Executed instructions (terminators included).
     pub steps: u64,

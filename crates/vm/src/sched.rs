@@ -6,6 +6,7 @@
 use crate::events::ThreadId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// Chooses the next thread to run.
 pub trait Scheduler {
@@ -57,7 +58,7 @@ impl Scheduler for SeededRandom {
 }
 
 /// Declarative scheduler selection (serializable run configuration).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SchedulerKind {
     /// [`RoundRobin`].
     RoundRobin,

@@ -1,0 +1,304 @@
+//! Record-once / replay-everywhere: the serializable [`Trace`] artifact.
+//!
+//! A trace is the VM's full event stream for one deterministic run of one
+//! prepared module, together with a versioned header (module fingerprint,
+//! VM configuration, producer label) and the run's [`RunSummary`]. Given
+//! the same prepared module and VM configuration the VM is bit-identical,
+//! so a trace replayed into a detector is equivalent to attaching that
+//! detector live — which is what lets one execution fan out to many
+//! detector configurations (window sweeps, ablations, fast-vs-reference
+//! differentials) without re-interpreting the program.
+//!
+//! * [`TraceRecorder`] is an [`EventSink`] that buffers the stream and
+//!   seals it into a [`Trace`] with [`TraceRecorder::finish`]. Tee it with
+//!   a detector to record and detect in one run.
+//! * [`record_run`] is the one-call convenience: execute and record.
+//! * [`Trace::to_json`] / [`Trace::from_json`] are the stable on-disk
+//!   encoding (the vendored `serde_json`); parsing validates the format
+//!   version and the header/stream event-count agreement.
+
+use crate::error::VmError;
+use crate::events::{Event, EventSink};
+use crate::exec::{run_module, RunSummary, VmConfig};
+use crate::sched::SchedulerKind;
+use serde::{Deserialize, Serialize};
+use spinrace_tir::Module;
+use std::fmt;
+
+/// Current trace encoding version. Bump on any change to [`TraceHeader`],
+/// [`Event`], or their serde encodings.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// Versioned metadata describing how a trace was produced.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceHeader {
+    /// Encoding version ([`TRACE_FORMAT_VERSION`] at record time).
+    pub version: u32,
+    /// Name of the *prepared* module that was executed.
+    pub module_name: String,
+    /// [`Module::fingerprint`] of the prepared module. Replaying under a
+    /// detector only makes sense against the same prepared program; the
+    /// fingerprint is also the sharing key for trace caches (tools whose
+    /// preparation produced the same module share one trace).
+    pub module_fingerprint: u64,
+    /// Producer label, e.g. a tool label like `Helgrind+ lib+spin(7)`.
+    /// Free-form; empty when recorded straight from the VM.
+    pub tool_label: String,
+    /// The VM configuration of the run (scheduler + seed included).
+    pub vm: VmConfig,
+    /// Number of events in the stream (validated when parsing).
+    pub events: u64,
+}
+
+impl TraceHeader {
+    /// The scheduler seed, for seeded-random runs.
+    pub fn seed(&self) -> Option<u64> {
+        match self.vm.sched {
+            SchedulerKind::Random(seed) => Some(seed),
+            SchedulerKind::RoundRobin => None,
+        }
+    }
+}
+
+/// A recorded execution: header, run statistics, and the event stream.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Provenance and validation metadata.
+    pub header: TraceHeader,
+    /// Statistics of the recorded run.
+    pub summary: RunSummary,
+    /// The full event stream, in execution order.
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// Feed the stream to `sink` exactly as the live run did: every event
+    /// by reference, in execution order.
+    pub fn replay(&self, sink: &mut dyn EventSink) {
+        for ev in &self.events {
+            sink.on_event(ev);
+        }
+    }
+
+    /// Does this trace belong to (a module identical to) `m`?
+    pub fn matches_module(&self, m: &Module) -> bool {
+        self.header.module_fingerprint == m.fingerprint()
+    }
+
+    /// Render as compact JSON (the stable interchange encoding).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialization is infallible")
+    }
+
+    /// Parse a trace from JSON, validating the format version and the
+    /// header's event count against the stream.
+    pub fn from_json(text: &str) -> Result<Trace, TraceError> {
+        let value: serde_json::Value =
+            serde_json::from_str(text).map_err(|e| TraceError::Json(e.0))?;
+        // Check the version before decoding the typed document: a trace
+        // from a newer format would otherwise fail event deserialization
+        // first and surface as a confusing parse error instead of a
+        // version mismatch.
+        if let Some(found) = value["header"]["version"].as_u64() {
+            if found != TRACE_FORMAT_VERSION as u64 {
+                return Err(TraceError::Version {
+                    found: u32::try_from(found).unwrap_or(u32::MAX),
+                    supported: TRACE_FORMAT_VERSION,
+                });
+            }
+        }
+        let trace: Trace = serde_json::from_value(&value).map_err(|e| TraceError::Json(e.0))?;
+        if trace.header.version != TRACE_FORMAT_VERSION {
+            return Err(TraceError::Version {
+                found: trace.header.version,
+                supported: TRACE_FORMAT_VERSION,
+            });
+        }
+        if trace.header.events != trace.events.len() as u64 {
+            return Err(TraceError::EventCount {
+                header: trace.header.events,
+                actual: trace.events.len() as u64,
+            });
+        }
+        Ok(trace)
+    }
+}
+
+/// Trace decoding failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// The text is not a valid trace document.
+    Json(String),
+    /// The trace was recorded with an unsupported format version.
+    Version {
+        /// Version in the parsed header.
+        found: u32,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
+    /// The header's event count disagrees with the stream (truncation).
+    EventCount {
+        /// Count claimed by the header.
+        header: u64,
+        /// Events actually present.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Json(m) => write!(f, "malformed trace: {m}"),
+            TraceError::Version { found, supported } => {
+                write!(f, "trace format version {found} (supported: {supported})")
+            }
+            TraceError::EventCount { header, actual } => {
+                write!(
+                    f,
+                    "trace truncated: header says {header} events, found {actual}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// An [`EventSink`] that buffers the stream for a [`Trace`]. Use directly
+/// (teed with a detector) or through [`record_run`].
+pub struct TraceRecorder {
+    module_name: String,
+    module_fingerprint: u64,
+    tool_label: String,
+    vm: VmConfig,
+    events: Vec<Event>,
+}
+
+impl TraceRecorder {
+    /// Recorder for one run of (prepared) `m` under `vm`.
+    pub fn new(m: &Module, vm: VmConfig) -> TraceRecorder {
+        TraceRecorder {
+            module_name: m.name.clone(),
+            module_fingerprint: m.fingerprint(),
+            tool_label: String::new(),
+            vm,
+            events: Vec::new(),
+        }
+    }
+
+    /// Tag the trace with a producer label (e.g. a tool label).
+    pub fn labeled(mut self, label: impl Into<String>) -> TraceRecorder {
+        self.tool_label = label.into();
+        self
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True before the first event.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Seal the recording into a [`Trace`].
+    pub fn finish(self, summary: RunSummary) -> Trace {
+        Trace {
+            header: TraceHeader {
+                version: TRACE_FORMAT_VERSION,
+                module_name: self.module_name,
+                module_fingerprint: self.module_fingerprint,
+                tool_label: self.tool_label,
+                vm: self.vm,
+                events: self.events.len() as u64,
+            },
+            summary,
+            events: self.events,
+        }
+    }
+}
+
+impl EventSink for TraceRecorder {
+    fn on_event(&mut self, ev: &Event) {
+        self.events.push(ev.clone());
+    }
+}
+
+/// Execute `m` under `vm` and record the run as a labeled [`Trace`].
+pub fn record_run(m: &Module, vm: VmConfig, label: impl Into<String>) -> Result<Trace, VmError> {
+    let mut rec = TraceRecorder::new(m, vm).labeled(label);
+    let summary = run_module(m, vm, &mut rec)?;
+    Ok(rec.finish(summary))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::RecordingSink;
+    use spinrace_tir::ModuleBuilder;
+
+    fn handoff() -> Module {
+        let mut mb = ModuleBuilder::new("trace-test");
+        let flag = mb.global("flag", 1);
+        let data = mb.global("data", 1);
+        let waiter = mb.function("waiter", 1, |f| {
+            let head = f.new_block();
+            let done = f.new_block();
+            f.jump(head);
+            f.switch_to(head);
+            let v = f.load(flag.at(0));
+            f.branch(v, done, head);
+            f.switch_to(done);
+            let d = f.load(data.at(0));
+            f.output(d);
+            f.ret(None);
+        });
+        mb.entry("main", |f| {
+            let t = f.spawn(waiter, 0);
+            f.store(data.at(0), 42);
+            f.store(flag.at(0), 1);
+            f.join(t);
+            f.ret(None);
+        });
+        mb.finish().unwrap()
+    }
+
+    #[test]
+    fn record_replay_reproduces_the_stream() {
+        let m = handoff();
+        let trace = record_run(&m, VmConfig::round_robin(), "test").unwrap();
+        assert!(trace.matches_module(&m));
+        assert_eq!(trace.header.events as usize, trace.events.len());
+        let mut sink = RecordingSink::default();
+        trace.replay(&mut sink);
+        assert_eq!(sink.events, trace.events);
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let m = handoff();
+        let trace = record_run(&m, VmConfig::random(7), "rt").unwrap();
+        assert_eq!(trace.header.seed(), Some(7));
+        let parsed = Trace::from_json(&trace.to_json()).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn version_and_count_are_validated() {
+        let m = handoff();
+        let mut trace = record_run(&m, VmConfig::round_robin(), "").unwrap();
+        trace.header.version = 99;
+        assert!(matches!(
+            Trace::from_json(&trace.to_json()),
+            Err(TraceError::Version { found: 99, .. })
+        ));
+        trace.header.version = TRACE_FORMAT_VERSION;
+        trace.header.events += 1;
+        assert!(matches!(
+            Trace::from_json(&trace.to_json()),
+            Err(TraceError::EventCount { .. })
+        ));
+        assert!(Trace::from_json("{not json").is_err());
+    }
+}

@@ -19,7 +19,9 @@
 //! * [`detector`] — vector clocks, locksets, the hybrid detector, spin-HB
 //! * [`suites`] — the `data-race-test`-style suite and PARSEC-style workloads
 //! * [`report`] — tables and experiment summaries
-//! * [`core`] — the high-level [`core::Analyzer`] pipeline
+//! * [`core`] — the staged [`core::Session`] pipeline (prepare → execute
+//!   → detect over a replayable [`vm::Trace`]) and the one-call
+//!   [`core::Analyzer`] wrapper
 
 pub use spinrace_cfg as cfg;
 pub use spinrace_core as core;
@@ -31,6 +33,7 @@ pub use spinrace_synclib as synclib;
 pub use spinrace_tir as tir;
 pub use spinrace_vm as vm;
 
-pub use spinrace_core::{AnalysisOutcome, Analyzer};
+pub use spinrace_core::{AnalysisOutcome, Analyzer, ExecutedRun, PreparedModule, Session, Tool};
 pub use spinrace_detector::{DetectorConfig, DetectorKind, RaceReport};
 pub use spinrace_tir::{Module, ModuleBuilder};
+pub use spinrace_vm::{Trace, TraceRecorder};

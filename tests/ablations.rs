@@ -1,8 +1,13 @@
 //! Ablations for the design choices DESIGN.md calls out: the short/long
 //! memory state machine, the interprocedural condition extension, and
 //! the report cap.
+//!
+//! Detector-side ablations (MSM flavour, report cap) are pure replay
+//! fan-out since the session redesign: each program executes **once** and
+//! every ablated configuration detects on the recorded trace.
 
-use spinrace::core::{Analyzer, Tool};
+use spinrace::core::{Analyzer, Session, Tool};
+use spinrace::detector::{DetectorConfig, MsmMode};
 use spinrace::spinfind::{SpinCriteria, SpinFinder};
 use spinrace::suites::all_programs;
 use spinrace::tir::{ModuleBuilder, Operand};
@@ -39,19 +44,36 @@ fn msm_short_vs_long_sensitivity() {
     let one_shot = build(1);
     let repeated = build(3);
 
-    let short = Analyzer::tool(Tool::HelgrindLib);
-    let long = Analyzer::tool(Tool::HelgrindLib).long_msm();
-
+    // The MSM flavour is a detector knob, not an execution knob: record
+    // each program once and fan both MSM configurations out on the trace.
+    let msm_configs = [
+        DetectorConfig::helgrind_lib(MsmMode::Short),
+        DetectorConfig::helgrind_lib(MsmMode::Long),
+    ];
+    let run = Session::for_module(&one_shot)
+        .prepare(Tool::HelgrindLib)
+        .unwrap()
+        .execute()
+        .unwrap();
+    let outs = run.detect_many(&msm_configs);
+    let (short, long) = (&outs[0], &outs[1]);
     assert!(
-        !short.analyze(&one_shot).unwrap().is_clean(),
+        !short.is_clean(),
         "short MSM reports the first unordered pair"
     );
     assert!(
-        long.analyze(&one_shot).unwrap().contexts <= short.analyze(&one_shot).unwrap().contexts,
+        long.contexts <= short.contexts,
         "long MSM is never more sensitive"
     );
+
+    let run = Session::for_module(&repeated)
+        .prepare(Tool::HelgrindLib)
+        .unwrap()
+        .execute()
+        .unwrap();
+    let outs = run.detect_many(&msm_configs);
     assert!(
-        !long.analyze(&repeated).unwrap().is_clean(),
+        !outs[1].is_clean(),
         "long MSM catches it on the second iteration"
     );
 }
@@ -102,13 +124,20 @@ fn report_cap_is_monotone() {
         .find(|p| p.name == "vips")
         .unwrap();
     let m = (p.build)(p.threads, p.size);
+    // One execution; the cap sweep is pure detector fan-out on the trace.
+    let run = Session::for_module(&m)
+        .long_msm()
+        .prepare(Tool::HelgrindLib)
+        .unwrap()
+        .execute()
+        .unwrap();
+    let caps = [5usize, 25, 100, 1000];
+    let configs: Vec<DetectorConfig> = caps
+        .iter()
+        .map(|&cap| DetectorConfig::helgrind_lib(MsmMode::Long).with_cap(cap))
+        .collect();
     let mut prev = 0;
-    for cap in [5usize, 25, 100, 1000] {
-        let out = Analyzer::tool(Tool::HelgrindLib)
-            .long_msm()
-            .cap(cap)
-            .analyze(&m)
-            .unwrap();
+    for (out, &cap) in run.detect_many(&configs).iter().zip(&caps) {
         assert!(out.contexts <= cap);
         assert!(out.contexts >= prev.min(cap));
         prev = out.contexts;

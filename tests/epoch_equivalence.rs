@@ -5,11 +5,18 @@
 //! detector configuration. This is the semantic safety net for the paged
 //! shadow memory, the adaptive read representation, and every early exit
 //! in `on_plain_read`/`on_plain_write`.
+//!
+//! Since the trace redesign the differential also runs through the
+//! [`Trace`] artifact instead of hand-fed streams: each schedule is
+//! wrapped in a trace, the fast detector replays it directly, and the
+//! reference replays a **serialize → parse** round trip of the same trace
+//! — so one generator exercises the detector equivalence *and* the stable
+//! serde encoding of every event variant at once.
 
 use proptest::prelude::*;
 use spinrace::detector::{DetectorConfig, MsmMode, RaceDetector, ReferenceDetector};
 use spinrace::tir::{BlockId, FuncId, MemOrder, Pc, SpinLoopId};
-use spinrace::vm::{Event, EventSink};
+use spinrace::vm::{Event, RunSummary, Trace, TraceHeader, VmConfig, TRACE_FORMAT_VERSION};
 
 /// Threads used by generated schedules (0 is the implicit main thread).
 const THREADS: u32 = 4;
@@ -176,13 +183,42 @@ fn configs() -> Vec<DetectorConfig> {
     ]
 }
 
-fn assert_equivalent(cfg: DetectorConfig, events: &[Event]) -> Result<(), TestCaseError> {
-    let mut fast = RaceDetector::new(cfg);
-    let mut slow = ReferenceDetector::new(cfg);
-    for e in events {
-        fast.on_event(e);
-        slow.on_event(e);
+/// Wrap a synthetic schedule in a trace artifact (there is no source
+/// module; the header carries placeholder provenance).
+fn trace_of(events: &[Event]) -> Trace {
+    Trace {
+        header: TraceHeader {
+            version: TRACE_FORMAT_VERSION,
+            module_name: "synthetic-schedule".into(),
+            module_fingerprint: 0,
+            tool_label: String::new(),
+            vm: VmConfig::round_robin(),
+            events: events.len() as u64,
+        },
+        summary: RunSummary::default(),
+        events: events.to_vec(),
     }
+}
+
+/// The recorded trace and its serialize→parse round trip, which must be
+/// lossless for every generated event variant.
+fn roundtrip(events: &[Event]) -> Result<(Trace, Trace), TestCaseError> {
+    let trace = trace_of(events);
+    let parsed = Trace::from_json(&trace.to_json())
+        .map_err(|e| TestCaseError(format!("trace failed to parse back: {e}")))?;
+    prop_assert_eq!(&parsed, &trace, "serde round trip must be lossless");
+    Ok((trace, parsed))
+}
+
+fn assert_equivalent(
+    cfg: DetectorConfig,
+    trace: &Trace,
+    parsed: &Trace,
+) -> Result<(), TestCaseError> {
+    let mut fast = RaceDetector::new(cfg);
+    trace.replay(&mut fast);
+    let mut slow = ReferenceDetector::new(cfg);
+    parsed.replay(&mut slow);
     prop_assert_eq!(fast.events_seen(), slow.events_seen());
     prop_assert_eq!(
         fast.racy_contexts(),
@@ -210,12 +246,14 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
     /// Random mixed schedules: both detectors agree exactly, under every
-    /// configuration.
+    /// configuration — the fast detector fed from the recorded trace, the
+    /// reference from its serialized round trip.
     #[test]
     fn epoch_detector_matches_reference(raw in proptest::collection::vec(0u64..u64::MAX, 0..160)) {
         let events = schedule(&raw);
+        let (trace, parsed) = roundtrip(&events)?;
         for cfg in configs() {
-            assert_equivalent(cfg, &events)?;
+            assert_equivalent(cfg, &trace, &parsed)?;
         }
     }
 
@@ -226,11 +264,12 @@ proptest! {
         let events = schedule(
             &raw.iter().map(|r| (r % 4) | (r & !0xffu64)).collect::<Vec<_>>(),
         );
+        let (trace, parsed) = roundtrip(&events)?;
         for cfg in [
             DetectorConfig::helgrind_lib(MsmMode::Short),
             DetectorConfig::helgrind_lib(MsmMode::Long),
         ] {
-            assert_equivalent(cfg, &events)?;
+            assert_equivalent(cfg, &trace, &parsed)?;
         }
     }
 }
@@ -299,13 +338,12 @@ fn read_state_transitions_match_reference() {
         stack: 0,
         atomic: None,
     });
+    let trace = trace_of(&events);
     for cfg in configs() {
         let mut fast = RaceDetector::new(cfg);
         let mut slow = ReferenceDetector::new(cfg);
-        for e in &events {
-            fast.on_event(e);
-            slow.on_event(e);
-        }
+        trace.replay(&mut fast);
+        trace.replay(&mut slow);
         assert_eq!(fast.racy_contexts(), slow.racy_contexts(), "{cfg:?}");
         assert_eq!(fast.reports().reports(), slow.reports().reports());
         assert!(fast.racy_contexts() > 0 || cfg.spin, "sanity: races exist");

@@ -1,0 +1,142 @@
+//! Differential proptest for the trace pipeline: for random small modules
+//! and every tool in the paper lineup, **record → serialize → parse →
+//! replay** must produce exactly the result of the live `Analyzer` run —
+//! same racy contexts, same described report lists, same detector
+//! metrics, promotions, and run summary. This is the end-to-end guarantee
+//! behind "record once, replay everywhere": the serialized artifact
+//! carries everything detection needs.
+
+use proptest::prelude::*;
+use spinrace::core::{Analyzer, ExecutedRun, Session, Tool};
+use spinrace::tir::{Module, ModuleBuilder};
+use spinrace::vm::Trace;
+
+/// A small random workload: `threads` workers, each doing `iters` rounds
+/// of (optionally lock-protected) shared-counter updates, with an
+/// optional ad-hoc flag handoff guarding a data word and an optional
+/// deliberately racy slot. Every combination is a valid program; the
+/// knobs steer which detector features fire (locksets, spin promotion,
+/// HB edges, report dedup).
+fn build_module(threads: u32, iters: u8, lock: bool, flag: bool, racy: bool) -> Module {
+    let mut mb = ModuleBuilder::new("rt-prop");
+    let mu = mb.global("mu", 1);
+    let shared = mb.global("shared", 1);
+    let flag_g = mb.global("flag", 1);
+    let data = mb.global("data", 1);
+    let victim = mb.global("victim", 1);
+    let w = mb.function("w", 1, |f| {
+        for _ in 0..iters {
+            if lock {
+                f.lock(mu.at(0));
+            }
+            let v = f.load(shared.at(0));
+            let v2 = f.add(v, 1);
+            f.store(shared.at(0), v2);
+            if lock {
+                f.unlock(mu.at(0));
+            }
+            if racy {
+                let r = f.load(victim.at(0));
+                let r2 = f.add(r, 1);
+                f.store(victim.at(0), r2);
+            }
+        }
+        f.ret(None);
+    });
+    let waiter = mb.function("waiter", 1, |f| {
+        let head = f.new_block();
+        let done = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        let v = f.load(flag_g.at(0));
+        f.branch(v, done, head);
+        f.switch_to(done);
+        let d = f.load(data.at(0));
+        f.output(d);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let mut tids = Vec::new();
+        if flag {
+            tids.push(f.spawn(waiter, 0));
+        }
+        for i in 0..threads {
+            tids.push(f.spawn(w, i as i64));
+        }
+        if flag {
+            f.store(data.at(0), 7);
+            f.store(flag_g.at(0), 1);
+        }
+        for t in tids {
+            f.join(t);
+        }
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn recorded_replay_matches_live_run(
+        threads in 1u32..4,
+        iters in 1u8..4,
+        lock in proptest::bool::ANY,
+        flag in proptest::bool::ANY,
+        racy in proptest::bool::ANY,
+        seed in proptest::option::of(0u64..1000),
+    ) {
+        let m = build_module(threads, iters, lock, flag, racy);
+        for tool in Tool::paper_lineup() {
+            // Live path: prepare + detect in one pass, no recording.
+            let mut analyzer = Analyzer::tool(tool);
+            if let Some(s) = seed {
+                analyzer = analyzer.seed(s);
+            }
+            let live = analyzer.analyze(&m).unwrap();
+
+            // Trace path: record, serialize, parse, bind to a freshly
+            // prepared module, replay.
+            let mut session = Session::for_module(&m);
+            if let Some(s) = seed {
+                session = session.seed(s);
+            }
+            let run = session.prepare(tool).unwrap().execute().unwrap();
+            let parsed = Trace::from_json(&run.trace().to_json())
+                .map_err(|e| TestCaseError(format!("parse failed: {e}")))?;
+            prop_assert_eq!(&parsed, run.trace());
+            let rebound = ExecutedRun::from_trace(session.prepare(tool).unwrap(), parsed)
+                .map_err(|e| TestCaseError(format!("rebind failed: {e}")))?;
+            let replayed = rebound.detect();
+
+            let label = tool.label();
+            prop_assert_eq!(replayed.contexts, live.contexts, "contexts under {}", &label);
+            prop_assert_eq!(
+                replayed.reports.len(),
+                live.reports.len(),
+                "report count under {}",
+                &label
+            );
+            for (a, b) in replayed.reports.iter().zip(&live.reports) {
+                prop_assert_eq!(&a.location, &b.location, "location under {}", &label);
+                prop_assert_eq!(&a.report, &b.report, "report under {}", &label);
+            }
+            prop_assert_eq!(&replayed.metrics, &live.metrics, "metrics under {}", &label);
+            prop_assert_eq!(
+                replayed.promoted_locations,
+                live.promoted_locations,
+                "promotions under {}",
+                &label
+            );
+            prop_assert_eq!(
+                replayed.spin_loops_found,
+                live.spin_loops_found,
+                "spin loops under {}",
+                &label
+            );
+            prop_assert_eq!(&replayed.summary, &live.summary, "summary under {}", &label);
+            prop_assert_eq!(&replayed.tool_label, &label);
+        }
+    }
+}

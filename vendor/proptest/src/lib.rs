@@ -67,6 +67,55 @@ macro_rules! impl_range_strategy {
 }
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+/// `proptest::bool` — boolean strategies.
+pub mod bool {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The strategy type behind [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniformly random booleans (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen_range(0u8..2) == 1
+        }
+    }
+}
+
+/// `proptest::option` — optional-value strategies.
+pub mod option {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Option<T>` values: `None` half the time, otherwise `Some` drawn
+    /// from `inner` (`proptest::option::of`).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_range(0u8..2) == 1 {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
 /// `proptest::collection` — sized container strategies.
 pub mod collection {
     use super::Strategy;
@@ -228,6 +277,14 @@ mod tests {
         fn vec_strategy_sizes(xs in crate::collection::vec(0u64..20, 0..8)) {
             prop_assert!(xs.len() < 8);
             prop_assert!(xs.iter().all(|&v| v < 20));
+        }
+
+        #[test]
+        fn bool_and_option_strategies(b in crate::bool::ANY, o in crate::option::of(1u32..5)) {
+            let _: bool = b;
+            if let Some(v) = o {
+                prop_assert!((1..5).contains(&v));
+            }
         }
     }
 
