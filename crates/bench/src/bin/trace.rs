@@ -7,8 +7,9 @@
 //!
 //! ```text
 //! trace record --program <name> [--tool <TOOL>] [--seed N] [--obscure]
-//!              [--scale N] [--out FILE]        # default <name>.trace.json
+//!              [--scale N] [--out FILE] [--json FILE]
 //! trace replay FILE [--tool <TOOL>] [--long-msm] [--cap N]
+//!              [--workers N] [--json FILE]
 //! trace inspect FILE [--events N]
 //! trace stats FILE
 //! ```
@@ -18,9 +19,17 @@
 //! `record` tees a trace recorder with the tool's own detector, so the
 //! recording run also prints its racy contexts; `replay` re-prepares the
 //! named program, checks the module fingerprint, and replays the parsed
-//! stream into a fresh detector.
+//! stream into a fresh detector — on `--workers N` threads through the
+//! parallel sharded engine, whose output is bit-identical to sequential
+//! replay (and to the live run) for every worker count.
+//!
+//! `--json FILE` writes the detection outcome (contexts, promoted
+//! locations, described reports, detector metrics, run summary) in a
+//! stable schema shared by `record` (live detection) and `replay`: the CI
+//! `replay-determinism` job byte-compares these files across worker
+//! counts and against the live run.
 
-use spinrace_core::{ExecutedRun, Session, Tool};
+use spinrace_core::{AnalysisOutcome, ExecutedRun, Session, Tool};
 use spinrace_detector::MsmMode;
 use spinrace_suites::all_programs;
 use spinrace_synclib::LibStyle;
@@ -94,9 +103,45 @@ fn load(path: &str) -> Trace {
     }
 }
 
+/// The stable detection-outcome schema shared by `record --json` (live
+/// detection) and `replay --json` (sequential or parallel replay): if two
+/// runs report identical results, their JSON is byte-identical.
+fn outcome_json(out: &AnalysisOutcome) -> serde_json::Value {
+    let reports: Vec<serde_json::Value> = out
+        .reports
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "location": r.location.as_str(),
+                "report": r.report,
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "schema": "spinrace-detection-v1",
+        "module": out.module_name.as_str(),
+        "tool": out.tool_label.as_str(),
+        "contexts": out.contexts as u64,
+        "promoted_locations": out.promoted_locations as u64,
+        "spin_loops_found": out.spin_loops_found as u64,
+        "reports": serde_json::Value::Seq(reports),
+        "metrics": out.metrics,
+        "summary": out.summary,
+    })
+}
+
+/// Write the outcome JSON when `--json FILE` was given.
+fn maybe_write_json(args: &[String], out: &AnalysisOutcome) {
+    if let Some(path) = opt(args, "--json") {
+        let text = serde_json::to_string_pretty(&outcome_json(out)).expect("render json");
+        std::fs::write(&path, text + "\n").expect("write outcome json");
+        println!("wrote {path}");
+    }
+}
+
 fn record(args: &[String]) -> i32 {
     let Some(name) = opt(args, "--program") else {
-        eprintln!("usage: trace record --program <name> [--tool T] [--seed N] [--obscure] [--scale N] [--out FILE]");
+        eprintln!("usage: trace record --program <name> [--tool T] [--seed N] [--obscure] [--scale N] [--out FILE] [--json FILE]");
         return 2;
     };
     let tool = parse_tool(&opt(args, "--tool").unwrap_or_else(|| "lib+spin".into()));
@@ -156,12 +201,15 @@ fn record(args: &[String]) -> i32 {
         outcome.contexts, outcome.promoted_locations
     );
     println!("wrote {out_path}");
+    maybe_write_json(args, &outcome);
     0
 }
 
 fn replay(args: &[String]) -> i32 {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: trace replay FILE [--tool T] [--long-msm] [--cap N]");
+        eprintln!(
+            "usage: trace replay FILE [--tool T] [--long-msm] [--cap N] [--workers N] [--json FILE]"
+        );
         return 2;
     };
     let trace = load(path);
@@ -179,6 +227,9 @@ fn replay(args: &[String]) -> i32 {
         MsmMode::Short
     };
     let cap: usize = num_opt(args, "--cap", 1000);
+    // `--workers 0` (the default) replays sequentially; any other count
+    // goes through the parallel sharded engine — same results either way.
+    let workers: usize = num_opt(args, "--workers", 0);
 
     // Rebuild a prepared module the trace matches, so reports resolve to
     // source locations and the fingerprint check rejects stale traces.
@@ -190,11 +241,20 @@ fn replay(args: &[String]) -> i32 {
     match rebuild_run(&trace, tool, msm, cap) {
         Some(run) => {
             let t0 = Instant::now();
-            let out = run.detect_as(tool);
+            let out = if workers > 0 {
+                run.detect_as_parallel(tool, workers)
+            } else {
+                run.detect_as(tool)
+            };
             let secs = t0.elapsed().as_secs_f64();
+            let mode = if workers > 0 {
+                format!("{workers} worker(s)")
+            } else {
+                "sequential".to_string()
+            };
             println!(
-                "replayed {} events under {}: {} racy context(s), {} promoted location(s) \
-                 ({:.2} M ev/s, detector only)",
+                "replayed {} events under {} [{mode}]: {} racy context(s), {} promoted \
+                 location(s) ({:.2} M ev/s, detector only)",
                 trace.events.len(),
                 out.tool_label,
                 out.contexts,
@@ -210,6 +270,7 @@ fn replay(args: &[String]) -> i32 {
             if out.reports.len() > 10 {
                 println!("  … {} more", out.reports.len() - 10);
             }
+            maybe_write_json(args, &out);
             0
         }
         None => {
@@ -218,20 +279,39 @@ fn replay(args: &[String]) -> i32 {
                  replaying without source locations",
                 trace.header.module_name
             );
-            let mut det = spinrace_detector::RaceDetector::new(tool.detector_config(msm, cap));
+            if opt(args, "--json").is_some() {
+                eprintln!("error: --json needs a rebuildable module (source locations)");
+                return 1;
+            }
+            let cfg = tool.detector_config(msm, cap);
             let t0 = Instant::now();
-            trace.replay(&mut det);
+            let (contexts, promoted, reports) = if workers > 0 {
+                let merged = spinrace_core::parallel::run_sharded(cfg, &trace.events, workers);
+                (
+                    merged.reports.contexts(),
+                    merged.promoted_locations,
+                    merged.reports.reports().to_vec(),
+                )
+            } else {
+                let mut det = spinrace_detector::RaceDetector::new(cfg);
+                trace.replay(&mut det);
+                (
+                    det.racy_contexts(),
+                    det.promoted_locations(),
+                    det.reports().reports().to_vec(),
+                )
+            };
             let secs = t0.elapsed().as_secs_f64();
             println!(
                 "replayed {} events under {}: {} racy context(s), {} promoted location(s) \
                  ({:.2} M ev/s, detector only)",
                 trace.events.len(),
                 tool.label(),
-                det.racy_contexts(),
-                det.promoted_locations(),
+                contexts,
+                promoted,
                 trace.events.len() as f64 / secs.max(1e-9) / 1e6,
             );
-            for r in det.reports().reports().iter().take(10) {
+            for r in reports.iter().take(10) {
                 println!(
                     "  {:?} race at {:#x} (t{} vs t{})",
                     r.kind, r.addr, r.prior.tid, r.current.tid
@@ -366,11 +446,8 @@ fn stats(args: &[String]) -> i32 {
         if ev.is_plain_access() {
             plain += 1;
         }
-        match ev {
-            Event::Read { addr, .. } | Event::Write { addr, .. } | Event::Update { addr, .. } => {
-                addrs.insert(*addr);
-            }
-            _ => {}
+        if let Some(addr) = ev.data_addr() {
+            addrs.insert(addr);
         }
     }
     let total = trace.events.len() as u64;

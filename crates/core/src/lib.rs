@@ -54,6 +54,7 @@
 //! [`Analyzer`] remains as the one-call compatibility wrapper over a
 //! session (prepare → live detect, no recording).
 
+pub mod parallel;
 pub mod session;
 
 pub use session::{ExecutedRun, PreparedModule, Session};

@@ -1,0 +1,272 @@
+//! Parallel sharded trace replay — deterministic by construction.
+//!
+//! [`run_sharded`] replays one recorded event stream on a scoped thread
+//! pool: plain data accesses are partitioned along the detector's
+//! [`ShadowTable`](spinrace_detector::shadow::ShadowTable) shard seam
+//! (worker *i* of *W* owns shard `s` iff `s % W == i`), while every
+//! synchronization-relevant event is broadcast so each worker's thread
+//! vector clocks evolve exactly as a sequential detector's would. The
+//! merged result — reports, racy contexts, promotion counts, and the full
+//! [`DetectorMetrics`](spinrace_detector::DetectorMetrics) — is
+//! **bit-identical** to a sequential replay for
+//! any worker count, which is what lets harnesses and CLIs pick a worker
+//! count from the machine without perturbing a single table number (the
+//! CI `replay-determinism` job holds `--workers 1/2/4/8` to byte-equal
+//! output).
+//!
+//! The determinism mechanics (promotion-seed pre-pass, tagged report
+//! attempts, the lockset op log) live in [`spinrace_detector::sharded`];
+//! this module owns the orchestration: seed computation, event routing,
+//! the `std::thread::scope` pool, and the fragment merge.
+//!
+//! ```
+//! use spinrace_core::{parallel, Session, Tool};
+//! use spinrace_tir::ModuleBuilder;
+//!
+//! let mut mb = ModuleBuilder::new("racy");
+//! let g = mb.global("g", 1);
+//! let w = mb.function("w", 1, |f| {
+//!     let v = f.load(g.at(0));
+//!     let v2 = f.add(v, 1);
+//!     f.store(g.at(0), v2);
+//!     f.ret(None);
+//! });
+//! mb.entry("main", |f| {
+//!     let t1 = f.spawn(w, 0);
+//!     let t2 = f.spawn(w, 1);
+//!     f.join(t1);
+//!     f.join(t2);
+//!     f.ret(None);
+//! });
+//! let m = mb.finish().unwrap();
+//!
+//! let run = Session::for_module(&m)
+//!     .prepare(Tool::HelgrindLib)
+//!     .unwrap()
+//!     .execute()
+//!     .unwrap();
+//! let sequential = run.detect();
+//! for workers in [1, 2, 4, 8] {
+//!     let par = run.detect_parallel(workers);
+//!     assert_eq!(par.contexts, sequential.contexts);
+//!     assert_eq!(par.metrics, sequential.metrics);
+//! }
+//! assert!(parallel::default_workers() >= 1);
+//! ```
+
+use spinrace_detector::{
+    compute_promotion_seeds, event_route, merge_fragments, DetectorConfig, EventRoute,
+    MergedDetection, RaceDetector, ShardSpec, WorkerFragment, NUM_SHARDS,
+};
+use spinrace_vm::Event;
+use std::sync::Arc;
+
+/// A sensible worker count for this machine: the available parallelism,
+/// clamped to the shard count (extra workers would own no shards).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(NUM_SHARDS)
+}
+
+/// Replay `events` under `cfg` on `workers` scoped threads and merge the
+/// fragments into the sequential detection result. `workers` is clamped
+/// to `1..=`[`NUM_SHARDS`]; the output is identical for every worker
+/// count (including 1, which still exercises the full worker/merge
+/// machinery — useful as the determinism baseline).
+pub fn run_sharded(cfg: DetectorConfig, events: &[Event], workers: usize) -> MergedDetection {
+    let workers = workers.clamp(1, NUM_SHARDS);
+    let seeds = Arc::new(compute_promotion_seeds(cfg, events));
+    let mut fragments: Vec<WorkerFragment> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|index| {
+                let seeds = Arc::clone(&seeds);
+                s.spawn(move || {
+                    let spec = ShardSpec { workers, index };
+                    let mut det = RaceDetector::new_worker(cfg, spec, Arc::clone(&seeds));
+                    // Each worker scans the shared slice and routes
+                    // inline — the routing work parallelizes with the
+                    // detection work instead of being a serial
+                    // partitioning pass.
+                    for (i, ev) in events.iter().enumerate() {
+                        let mine = match event_route(cfg, &seeds, ev) {
+                            EventRoute::Broadcast => true,
+                            EventRoute::Owner(addr) => spec.owns_addr(addr),
+                        };
+                        if mine {
+                            det.on_event_at(i as u64, ev);
+                        }
+                    }
+                    det.into_fragment()
+                })
+            })
+            .collect();
+        for h in handles {
+            fragments.push(h.join().expect("replay worker panicked"));
+        }
+    });
+    merge_fragments(cfg.context_cap, fragments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinrace_detector::MsmMode;
+    use spinrace_tir::{Module, ModuleBuilder};
+    use spinrace_vm::{record_run, VmConfig};
+
+    /// Locked counters + an ad-hoc flag handoff + a deliberate race: all
+    /// detector features (locksets, promotion, HB reports) in one module.
+    fn mixed_module() -> Module {
+        let mut mb = ModuleBuilder::new("mixed");
+        let mu = mb.global("mu", 1);
+        let shared = mb.global("shared", 1);
+        let flag = mb.global("flag", 1);
+        let data = mb.global("data", 1);
+        let victim = mb.global("victim", 1);
+        let w = mb.function("w", 1, |f| {
+            f.lock(mu.at(0));
+            let v = f.load(shared.at(0));
+            let v2 = f.add(v, 1);
+            f.store(shared.at(0), v2);
+            f.unlock(mu.at(0));
+            let r = f.load(victim.at(0));
+            let r2 = f.add(r, 1);
+            f.store(victim.at(0), r2);
+            f.ret(None);
+        });
+        let waiter = mb.function("waiter", 1, |f| {
+            let head = f.new_block();
+            let done = f.new_block();
+            f.jump(head);
+            f.switch_to(head);
+            let v = f.load(flag.at(0));
+            f.branch(v, done, head);
+            f.switch_to(done);
+            let d = f.load(data.at(0));
+            f.output(d);
+            f.ret(None);
+        });
+        mb.entry("main", |f| {
+            let tw = f.spawn(waiter, 0);
+            let t1 = f.spawn(w, 0);
+            let t2 = f.spawn(w, 1);
+            f.store(data.at(0), 7);
+            f.store(flag.at(0), 1);
+            f.join(t1);
+            f.join(t2);
+            f.join(tw);
+            f.ret(None);
+        });
+        mb.finish().unwrap()
+    }
+
+    #[test]
+    fn sharded_replay_equals_sequential_for_all_worker_counts() {
+        let m = mixed_module();
+        let trace = record_run(&m, VmConfig::round_robin(), "test").unwrap();
+        for cfg in [
+            DetectorConfig::helgrind_lib(MsmMode::Short),
+            DetectorConfig::helgrind_lib_spin(MsmMode::Short),
+            DetectorConfig::helgrind_lib_spin(MsmMode::Long),
+            DetectorConfig::drd(),
+        ] {
+            let mut seq = RaceDetector::new(cfg);
+            trace.replay(&mut seq);
+            for workers in [1, 2, 3, 4, 8] {
+                let merged = run_sharded(cfg, &trace.events, workers);
+                assert_eq!(
+                    merged.reports.reports(),
+                    seq.reports().reports(),
+                    "reports diverge at {workers} workers"
+                );
+                assert_eq!(merged.reports.contexts(), seq.racy_contexts());
+                assert_eq!(merged.promoted_locations, seq.promoted_locations());
+                assert_eq!(
+                    merged.metrics,
+                    seq.metrics(),
+                    "metrics diverge at {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cap_saturation_is_reproduced_exactly() {
+        let m = mixed_module();
+        let trace = record_run(&m, VmConfig::round_robin(), "test").unwrap();
+        let cfg = DetectorConfig::helgrind_lib(MsmMode::Short).with_cap(1);
+        let mut seq = RaceDetector::new(cfg);
+        trace.replay(&mut seq);
+        for workers in [1, 2, 4] {
+            let merged = run_sharded(cfg, &trace.events, workers);
+            assert_eq!(merged.reports.reports(), seq.reports().reports());
+            assert_eq!(merged.reports.contexts(), 1);
+            assert_eq!(merged.reports.dropped(), seq.reports().dropped());
+        }
+    }
+
+    #[test]
+    fn repeat_attempts_of_capped_contexts_match_sequential_dropped() {
+        // A raw stream where the same capped-out context races repeatedly:
+        // after ctx (pcA, pcB) fills the cap, every round re-attempts ctx
+        // (pcB, pcA), and the sequential collector counts each attempt as
+        // dropped. The merge must reproduce that count, not just the
+        // recorded reports.
+        use spinrace_vm::Event;
+        let pc = |n| spinrace_tir::Pc::new(spinrace_tir::FuncId(0), spinrace_tir::BlockId(0), n);
+        let mut events = vec![
+            Event::Spawn {
+                parent: 0,
+                child: 1,
+                pc: pc(0),
+            },
+            Event::Spawn {
+                parent: 0,
+                child: 2,
+                pc: pc(0),
+            },
+        ];
+        for _ in 0..3 {
+            for (tid, at) in [(1u32, 10u32), (2, 20)] {
+                events.push(Event::Write {
+                    tid,
+                    addr: 0x1000,
+                    value: 1,
+                    pc: pc(at),
+                    stack: 0,
+                    atomic: None,
+                });
+            }
+        }
+        let cfg = DetectorConfig::helgrind_lib(MsmMode::Short).with_cap(1);
+        let mut seq = RaceDetector::new(cfg);
+        for ev in &events {
+            use spinrace_vm::EventSink;
+            seq.on_event(ev);
+        }
+        assert!(seq.reports().dropped() > 0, "the scenario must saturate");
+        for workers in [1, 2, 4] {
+            let merged = run_sharded(cfg, &events, workers);
+            assert_eq!(merged.reports.reports(), seq.reports().reports());
+            assert_eq!(
+                merged.reports.dropped(),
+                seq.reports().dropped(),
+                "dropped diverges at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_counts_beyond_the_shard_count_clamp() {
+        let m = mixed_module();
+        let trace = record_run(&m, VmConfig::round_robin(), "test").unwrap();
+        let cfg = DetectorConfig::drd();
+        let a = run_sharded(cfg, &trace.events, NUM_SHARDS);
+        let b = run_sharded(cfg, &trace.events, 64);
+        assert_eq!(a.reports.reports(), b.reports.reports());
+        assert_eq!(a.metrics, b.metrics);
+    }
+}

@@ -220,8 +220,27 @@ impl PreparedModule {
         det: RaceDetector,
         summary: RunSummary,
     ) -> AnalysisOutcome {
-        let reports: Vec<DescribedReport> = det
-            .reports()
+        self.assemble_parts(
+            tool_label,
+            det.reports(),
+            det.metrics(),
+            det.promoted_locations(),
+            summary,
+        )
+    }
+
+    /// Build the user-facing outcome from detection parts — shared by the
+    /// live/sequential path ([`Self::assemble`]) and the parallel merge,
+    /// so the two can never diverge in how reports are described.
+    fn assemble_parts(
+        &self,
+        tool_label: String,
+        collector: &spinrace_detector::ReportCollector,
+        metrics: spinrace_detector::DetectorMetrics,
+        promoted_locations: usize,
+        summary: RunSummary,
+    ) -> AnalysisOutcome {
+        let reports: Vec<DescribedReport> = collector
             .reports()
             .iter()
             .map(|r| DescribedReport {
@@ -232,10 +251,10 @@ impl PreparedModule {
         AnalysisOutcome {
             module_name: self.original_name.clone(),
             tool_label,
-            contexts: det.racy_contexts(),
+            contexts: collector.contexts(),
             reports,
-            metrics: det.metrics(),
-            promoted_locations: det.promoted_locations(),
+            metrics,
+            promoted_locations,
             spin_loops_found: self.spin_loops_found,
             summary,
         }
@@ -315,6 +334,54 @@ impl ExecutedRun {
         self.trace.replay(&mut det);
         self.prepared
             .assemble(label, det, self.trace.summary.clone())
+    }
+
+    // ---- parallel sharded replay (see `crate::parallel`) ----
+
+    /// Replay under this module's own tool on `workers` threads. The
+    /// outcome — reports, contexts, metrics, promotions — is bit-identical
+    /// to [`ExecutedRun::detect`] for every worker count.
+    pub fn detect_parallel(&self, workers: usize) -> AnalysisOutcome {
+        self.detect_with_parallel(self.prepared.default_config(), workers)
+    }
+
+    /// Parallel replay under an explicit detector configuration (labelled
+    /// with this module's own tool).
+    pub fn detect_with_parallel(&self, cfg: DetectorConfig, workers: usize) -> AnalysisOutcome {
+        self.parallel_outcome(self.prepared.tool.label(), cfg, workers)
+    }
+
+    /// Parallel replay under *another tool's* configuration — the
+    /// fingerprint-sharing contract of [`ExecutedRun::detect_as`] applies.
+    pub fn detect_as_parallel(&self, tool: Tool, workers: usize) -> AnalysisOutcome {
+        self.parallel_outcome(tool.label(), self.prepared.config_for(tool), workers)
+    }
+
+    /// Parallel fan-out: one recorded execution, many parallel detections.
+    pub fn detect_many_parallel(
+        &self,
+        cfgs: &[DetectorConfig],
+        workers: usize,
+    ) -> Vec<AnalysisOutcome> {
+        cfgs.iter()
+            .map(|&cfg| self.detect_with_parallel(cfg, workers))
+            .collect()
+    }
+
+    fn parallel_outcome(
+        &self,
+        label: String,
+        cfg: DetectorConfig,
+        workers: usize,
+    ) -> AnalysisOutcome {
+        let merged = crate::parallel::run_sharded(cfg, &self.trace.events, workers);
+        self.prepared.assemble_parts(
+            label,
+            &merged.reports,
+            merged.metrics,
+            merged.promoted_locations,
+            self.trace.summary.clone(),
+        )
     }
 }
 

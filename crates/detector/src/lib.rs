@@ -36,6 +36,7 @@ pub mod metrics;
 pub mod reference;
 pub mod report;
 pub mod shadow;
+pub mod sharded;
 pub mod vc;
 
 pub use config::{DetectorConfig, DetectorKind, MsmMode};
@@ -44,4 +45,9 @@ pub use lockset::{LocksetId, LocksetTable};
 pub use metrics::DetectorMetrics;
 pub use reference::ReferenceDetector;
 pub use report::{AccessSummary, RaceKind, RaceReport, ReportCollector};
+pub use shadow::{shard_of, NUM_SHARDS};
+pub use sharded::{
+    compute_promotion_seeds, event_route, merge_fragments, EventRoute, MergedDetection,
+    PromotionSeeds, ShardSpec, WorkerFragment,
+};
 pub use vc::{Epoch, VectorClock};

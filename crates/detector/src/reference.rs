@@ -175,7 +175,10 @@ impl ReferenceDetector {
                 is_write,
             },
             kind,
-        })
+        });
+        // "Detected", not "recorded": the Eraser gate must not observe the
+        // collector's global dedup/cap state (see RaceDetector::report_hb).
+        true
     }
 
     fn on_plain_read(&mut self, tid: ThreadId, addr: u64, pc: Pc, stack: u64) {

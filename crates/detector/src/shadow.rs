@@ -122,9 +122,19 @@ impl ShadowCell {
 pub const PAGE_CELLS: usize = 64;
 const PAGE_BITS: u32 = PAGE_CELLS.trailing_zeros();
 
-/// Number of shards (low page-number bits pick the shard).
-const NUM_SHARDS: usize = 8;
+/// Number of shards (low page-number bits pick the shard). This is the
+/// partition seam parallel replay splits work along: a worker that owns a
+/// subset of shards builds a table whose owned shards are structurally
+/// identical to the sequential table's (same pages, same insertion order,
+/// same probe capacities), while unowned shards stay unallocated.
+pub const NUM_SHARDS: usize = 8;
 const SHARD_MASK: u64 = (NUM_SHARDS as u64) - 1;
+
+/// The shard an address's shadow cell lives in.
+#[inline]
+pub fn shard_of(addr: u64) -> usize {
+    ((addr >> PAGE_BITS) & SHARD_MASK) as usize
+}
 
 /// Initial probe-table capacity per shard (slots; power of two).
 const INITIAL_SLOTS: usize = 16;

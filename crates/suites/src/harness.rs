@@ -10,10 +10,17 @@
 //! window-sweep lineups share whenever two windows accept the same loops.
 //! Replayed detection is bit-identical to a live run, so the tables are
 //! unchanged; only the number of VM executions drops.
+//!
+//! Detection itself runs through the **parallel sharded replay** engine
+//! (`spinrace_core::parallel`) with as many workers as the machine
+//! offers. Parallel replay is bit-identical to sequential replay for any
+//! worker count, so the tables are still byte-for-byte the paper's
+//! numbers on every machine — the pinned-table regression tests double as
+//! a determinism check for the parallel engine.
 
 use crate::drt::DrtCase;
 use crate::parsec::ParsecProgram;
-use spinrace_core::{AnalysisOutcome, ExecutedRun, Session, Tool};
+use spinrace_core::{parallel, AnalysisOutcome, ExecutedRun, Session, Tool};
 
 /// The report cap used for drt runs. Small enough that a determined
 /// false-positive flood can drown a late real race (the paper's removed
@@ -88,23 +95,38 @@ pub fn classify(case: &DrtCase, out: &AnalysisOutcome) -> (bool, bool) {
     }
 }
 
+/// Below this many events the scoped-pool spawn constant dominates any
+/// parallel win, so the harness caps the pool at two workers there —
+/// still the real parallel engine (partition + merge, keeping the pinned
+/// tables a determinism check), just without paying a full-width scan of
+/// a tiny stream on every worker.
+const SMALL_TRACE_EVENTS: usize = 10_000;
+
 /// Prepare `tool` for the session, then replay a cached trace if another
 /// tool's preparation already produced (and executed) the same module;
-/// otherwise execute once and cache the run.
+/// otherwise execute once and cache the run. Detection replays the trace
+/// through the sharded parallel engine — identical results at any width.
 fn outcome_via_cache(
     session: &Session<'_>,
     tool: Tool,
     cache: &mut Vec<ExecutedRun>,
 ) -> Result<AnalysisOutcome, String> {
+    let workers_for = |run: &ExecutedRun| {
+        if run.trace().events.len() < SMALL_TRACE_EVENTS {
+            parallel::default_workers().min(2)
+        } else {
+            parallel::default_workers()
+        }
+    };
     let prepared = session.prepare(tool).map_err(|e| e.to_string())?;
     if let Some(run) = cache
         .iter()
         .find(|r| r.prepared().fingerprint() == prepared.fingerprint())
     {
-        return Ok(run.detect_as(tool));
+        return Ok(run.detect_as_parallel(tool, workers_for(run)));
     }
     let run = prepared.execute().map_err(|e| e.to_string())?;
-    let out = run.detect_as(tool);
+    let out = run.detect_as_parallel(tool, workers_for(&run));
     cache.push(run);
     Ok(out)
 }

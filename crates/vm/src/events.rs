@@ -155,6 +155,20 @@ impl Event {
             } | Event::Write { atomic: None, .. }
         )
     }
+
+    /// The single data address this event touches (`Read`/`Write`/
+    /// `Update`), if any. Data accesses are the only events whose effect
+    /// can be confined to one memory word — the property partitioned
+    /// replay exploits when it routes an event to the worker owning that
+    /// word's shadow shard instead of broadcasting it.
+    pub fn data_addr(&self) -> Option<u64> {
+        match self {
+            Event::Read { addr, .. } | Event::Write { addr, .. } | Event::Update { addr, .. } => {
+                Some(*addr)
+            }
+            _ => None,
+        }
+    }
 }
 
 /// Consumer of the VM's event stream.
@@ -295,6 +309,30 @@ mod tests {
             atomic: Some(MemOrder::Release),
         };
         assert!(!atomic.is_plain_access());
+        // data_addr covers all access flavors, and nothing else.
+        assert_eq!(plain.data_addr(), Some(0x1000));
+        assert_eq!(atomic.data_addr(), Some(0x1000));
+        let upd = Event::Update {
+            tid: 1,
+            addr: 0x2000,
+            old: 0,
+            new: 1,
+            pc,
+            stack: 0,
+            order: MemOrder::SeqCst,
+        };
+        assert_eq!(upd.data_addr(), Some(0x2000));
+        assert_eq!(Event::Output { tid: 0, value: 1 }.data_addr(), None);
+        assert_eq!(
+            Event::MutexLock {
+                tid: 0,
+                mutex: 0x3000,
+                pc
+            }
+            .data_addr(),
+            None,
+            "sync-object addresses are not data addresses"
+        );
     }
 
     #[test]

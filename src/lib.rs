@@ -12,7 +12,8 @@
 //! crates for details:
 //!
 //! * [`tir`] — the threaded IR that plays the role of machine code
-//! * [`cfg`] — control-flow graphs, dominators, natural loops, slices
+//! * [`cfg`](mod@cfg) — control-flow graphs, dominators, natural loops,
+//!   slices
 //! * [`spinfind`] — the paper's instrumentation phase (spin-loop detection)
 //! * [`synclib`] — spin-loop based sync primitives + `nolib` lowering
 //! * [`vm`] — the deterministic multithreaded interpreter

@@ -1,0 +1,160 @@
+//! Differential proptest for parallel sharded replay: for random small
+//! modules, every tool in the paper lineup, and every worker count, the
+//! parallel replay of a recorded trace must be **bit-identical** to the
+//! sequential replay *and* to the live run — same racy contexts, same
+//! described report lists (content and order), same detector metrics,
+//! same promotion counts. This is the determinism guarantee the CI
+//! `replay-determinism` job re-checks end-to-end through the `trace` CLI,
+//! and the property that lets harnesses pick a worker count from the
+//! machine without perturbing a single table number.
+
+use proptest::prelude::*;
+use spinrace::core::{Analyzer, Session, Tool};
+use spinrace::tir::{Module, ModuleBuilder};
+
+/// A small random workload exercising every detector feature the sharded
+/// engine must replicate: lock-protected counters (locksets + base
+/// interns), an optional ad-hoc flag handoff (spin promotion + seeds), an
+/// optional deliberately racy slot (HB reports), and an optional
+/// atomic-counter rendezvous (RMW promotion / DRD atomic edges).
+fn build_module(threads: u32, iters: u8, lock: bool, flag: bool, racy: bool, rmw: bool) -> Module {
+    let mut mb = ModuleBuilder::new("par-prop");
+    let mu = mb.global("mu", 1);
+    let shared = mb.global("shared", 1);
+    let flag_g = mb.global("flag", 1);
+    let data = mb.global("data", 1);
+    let victim = mb.global("victim", 1);
+    let counter = mb.global("counter", 1);
+    let w = mb.function("w", 1, |f| {
+        for _ in 0..iters {
+            if lock {
+                f.lock(mu.at(0));
+            }
+            let v = f.load(shared.at(0));
+            let v2 = f.add(v, 1);
+            f.store(shared.at(0), v2);
+            if lock {
+                f.unlock(mu.at(0));
+            }
+            if racy {
+                let r = f.load(victim.at(0));
+                let r2 = f.add(r, 1);
+                f.store(victim.at(0), r2);
+            }
+            if rmw {
+                f.rmw(
+                    spinrace::tir::RmwOp::Add,
+                    counter.at(0),
+                    1,
+                    spinrace::tir::MemOrder::SeqCst,
+                );
+            }
+        }
+        f.ret(None);
+    });
+    let waiter = mb.function("waiter", 1, |f| {
+        let head = f.new_block();
+        let done = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        let v = f.load(flag_g.at(0));
+        f.branch(v, done, head);
+        f.switch_to(done);
+        let d = f.load(data.at(0));
+        f.output(d);
+        f.ret(None);
+    });
+    mb.entry("main", |f| {
+        let mut tids = Vec::new();
+        if flag {
+            tids.push(f.spawn(waiter, 0));
+        }
+        for i in 0..threads {
+            tids.push(f.spawn(w, i as i64));
+        }
+        if flag {
+            f.store(data.at(0), 7);
+            f.store(flag_g.at(0), 1);
+        }
+        for t in tids {
+            f.join(t);
+        }
+        f.ret(None);
+    });
+    mb.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn parallel_replay_equals_sequential_and_live(
+        threads in 1u32..4,
+        iters in 1u8..4,
+        lock in proptest::bool::ANY,
+        flag in proptest::bool::ANY,
+        racy in proptest::bool::ANY,
+        rmw in proptest::bool::ANY,
+        seed in proptest::option::of(0u64..1000),
+    ) {
+        let m = build_module(threads, iters, lock, flag, racy, rmw);
+        for tool in Tool::paper_lineup() {
+            let mut analyzer = Analyzer::tool(tool);
+            if let Some(s) = seed {
+                analyzer = analyzer.seed(s);
+            }
+            let live = analyzer.analyze(&m).unwrap();
+
+            let mut session = Session::for_module(&m);
+            if let Some(s) = seed {
+                session = session.seed(s);
+            }
+            let run = session.prepare(tool).unwrap().execute().unwrap();
+            let sequential = run.detect();
+            let label = tool.label();
+
+            // Sequential replay ≡ live (the session API's guarantee).
+            prop_assert_eq!(sequential.contexts, live.contexts, "live contexts under {}", &label);
+            prop_assert_eq!(&sequential.metrics, &live.metrics, "live metrics under {}", &label);
+
+            // Parallel replay ≡ sequential replay, for every worker count
+            // (1 exercises the full worker/merge machinery; 3 leaves a
+            // worker owning a ragged shard subset; 8 is one per shard).
+            for workers in [1usize, 2, 3, 4, 8] {
+                let par = run.detect_parallel(workers);
+                prop_assert_eq!(
+                    par.contexts, sequential.contexts,
+                    "contexts under {} at {} workers", &label, workers
+                );
+                prop_assert_eq!(
+                    par.reports.len(), sequential.reports.len(),
+                    "report count under {} at {} workers", &label, workers
+                );
+                for (a, b) in par.reports.iter().zip(&sequential.reports) {
+                    prop_assert_eq!(&a.location, &b.location,
+                        "location under {} at {} workers", &label, workers);
+                    prop_assert_eq!(&a.report, &b.report,
+                        "report under {} at {} workers", &label, workers);
+                }
+                prop_assert_eq!(
+                    &par.metrics, &sequential.metrics,
+                    "metrics under {} at {} workers", &label, workers
+                );
+                prop_assert_eq!(
+                    par.promoted_locations, sequential.promoted_locations,
+                    "promotions under {} at {} workers", &label, workers
+                );
+                prop_assert_eq!(&par.summary, &sequential.summary);
+                prop_assert_eq!(&par.tool_label, &label);
+            }
+
+            // The detect_as cross-tool path too: lib and DRD share one
+            // prepared module, so a lib recording can replay as DRD.
+            if tool == Tool::HelgrindLib {
+                let seq_drd = run.detect_as(Tool::Drd);
+                let par_drd = run.detect_as_parallel(Tool::Drd, 4);
+                prop_assert_eq!(par_drd.contexts, seq_drd.contexts);
+                prop_assert_eq!(&par_drd.metrics, &seq_drd.metrics);
+            }
+        }
+    }
+}
