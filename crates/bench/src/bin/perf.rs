@@ -19,7 +19,16 @@
 //!   shard seam (only meaningful on multi-core machines; the JSON records
 //!   the core count alongside);
 //! * **shadow bytes** retained by each after a full replay (pages and
-//!   cells never shrink, so the final figure is the peak).
+//!   cells never shrink, so the final figure is the peak);
+//! * **long-stream workload rows** (`spinrace-workloads`): generated
+//!   multi-million-event streams — zipf-skewed, wide-thread, ring — where
+//!   per-replay pool constants vanish and events/sec measures steady-state
+//!   cache behaviour. Each row's workload carries a ground-truth oracle,
+//!   which the measured detection is asserted against (a perf run that
+//!   miscounts contexts on known-truth input aborts). The scaling curve
+//!   runs on the longest of these streams instead of the old 151k-event
+//!   scaled-vips stream, whose size let the worker-pool spawn constant
+//!   colour the curve.
 //!
 //! Results land in `BENCH_detector.json` at the repo root — the perf
 //! trajectory the CI `perf-smoke` step guards.
@@ -39,6 +48,7 @@ use spinrace_bench::bench_tools;
 use spinrace_core::{parallel, Session, Tool};
 use spinrace_detector::{DetectorConfig, MsmMode, RaceDetector, ReferenceDetector};
 use spinrace_vm::{Event, EventSink, Trace};
+use spinrace_workloads::{Family, WorkloadSpec};
 use std::time::Instant;
 
 /// Checked-in floor for the production detector, in events/sec. The CI
@@ -55,11 +65,13 @@ const PARALLEL_WORKERS: usize = 4;
 /// Worker counts of the scaling curve measured on the longest stream.
 const SCALING_WORKERS: [usize; 4] = [1, 2, 4, 8];
 
-/// Module scale of the scaling-curve stream. Larger than the row streams
-/// so the curve measures steady-state partitioned throughput, not the
-/// fixed per-replay cost of spawning a scoped worker pool (~100 µs, which
-/// would dominate a 10k-event stream but is noise on a 150k-event one).
-const SCALING_SCALE: u32 = 256;
+/// Floor for the long-stream workload sequential-replay series, in
+/// events/sec. Long streams run slower per event than the 10k-event
+/// bench rows (the shadow working set outgrows cache — which is what the
+/// rows exist to measure), so they get their own floor: set from a
+/// ~16 M ev/s single-core release measurement on the 1M-event zipf
+/// stream; /5 in the quick gate leaves room for slow shared runners.
+const WORKLOAD_FLOOR_EVENTS_PER_SEC: f64 = 10_000_000.0;
 
 /// One (program, tool) measurement.
 struct Row {
@@ -73,6 +85,119 @@ struct Row {
     shadow_bytes: usize,
     ref_shadow_bytes: usize,
     contexts: usize,
+}
+
+/// One long-stream workload measurement (lib+spin, long MSM).
+struct WorkloadRow {
+    /// Spec-encoded name (`wl-zipf-t8-…`).
+    spec: String,
+    family: String,
+    oracle: String,
+    events: usize,
+    replay_events_per_sec: f64,
+    parallel_replay_events_per_sec: f64,
+    shadow_bytes: usize,
+    contexts: usize,
+}
+
+/// The generated long streams: ≥1M events each, sized so steady-state
+/// cache behaviour — not pool constants — dominates. Quick mode keeps
+/// two: the skewed zipf stream (also the scaling-curve stream — the
+/// worst case for static shard ownership) and the even-distribution
+/// fanout stream, whose parallel/sequential ratio carries the
+/// favorable-stream speedup gate.
+fn long_stream_specs(quick: bool) -> Vec<WorkloadSpec> {
+    let zipf = WorkloadSpec::new(Family::Zipf)
+        .threads(8)
+        .addr_space(4096)
+        .skew(3)
+        .seed(1);
+    let fanout = WorkloadSpec::new(Family::Fanout)
+        .threads(32)
+        .addr_space(8192)
+        .seed(2);
+    if quick {
+        vec![
+            zipf.with_total_events(1_050_000),
+            fanout.with_total_events(1_050_000),
+        ]
+    } else {
+        vec![
+            zipf.with_total_events(2_100_000),
+            fanout.with_total_events(1_500_000),
+            WorkloadSpec::new(Family::Ring)
+                .threads(8)
+                .addr_space(256)
+                .seed(3)
+                .with_total_events(1_050_000),
+        ]
+    }
+}
+
+/// Record and measure the long-stream workloads. Returns the rows plus
+/// the recorded **zipf** trace (the scaling-curve stream — selected by
+/// family, never by length, because the no-pessimization gate's relaxed
+/// bound is justified by that stream's deliberate skew) and its detector
+/// configuration. Every row's detection is held to the workload's own
+/// ground truth through the shared `judge_outcome` adapter — a
+/// throughput number measured on a miscounting detector would be
+/// worthless.
+fn measure_workloads(quick: bool, min_secs: f64) -> (Vec<WorkloadRow>, Trace, DetectorConfig) {
+    let tool = Tool::HelgrindLibSpin { window: 7 };
+    let cfg = detector_config(tool);
+    let mut rows = Vec::new();
+    let mut scaling_trace: Option<Trace> = None;
+    for spec in long_stream_specs(quick) {
+        let wl = spec.build();
+        let run = Session::for_module(&wl.module)
+            .vm_config(spec.vm_config())
+            .prepare(tool)
+            .expect("prepare workload")
+            .execute()
+            .expect("vm run");
+        let trace = run.trace();
+        let replay_eps = measure_trace(trace, min_secs, || RaceDetector::new(cfg));
+        let par_eps = measure_parallel(&trace.events, cfg, PARALLEL_WORKERS, min_secs);
+        // One more replay with locations resolved, judged against the
+        // workload's ground truth (exact victim/thread-pair matching —
+        // valid for race-free and any future seeded spec alike).
+        let out = run.detect_with(cfg);
+        let verdict = spinrace_suites::judge_outcome(&wl.oracle, &out);
+        assert!(
+            verdict.pass(),
+            "workload {} violated its oracle under {}: {verdict}",
+            spec.name(),
+            tool.label(),
+        );
+        println!(
+            "{:>14} {:<24} {:>8} events  (trace replay {:>6.2} M, parallel×{PARALLEL_WORKERS} {:>6.2} M ev/s)  shadow {} B [{}]",
+            wl.spec.family.name(),
+            spec.name(),
+            trace.events.len(),
+            replay_eps / 1e6,
+            par_eps / 1e6,
+            out.metrics.shadow_bytes,
+            wl.oracle.describe(),
+        );
+        rows.push(WorkloadRow {
+            spec: spec.name(),
+            family: wl.spec.family.name().to_string(),
+            oracle: wl.oracle.describe(),
+            events: trace.events.len(),
+            replay_events_per_sec: replay_eps,
+            parallel_replay_events_per_sec: par_eps,
+            shadow_bytes: out.metrics.shadow_bytes,
+            contexts: out.contexts,
+        });
+        if spec.family == Family::Zipf {
+            scaling_trace = Some(run.into_trace());
+        }
+    }
+    (
+        rows,
+        scaling_trace.expect("the long-stream specs always include a zipf stream"),
+        cfg,
+    )
 }
 
 fn main() {
@@ -161,9 +286,14 @@ fn main() {
         }
     }
 
-    // Scaling curve: a long stream where the pool constant amortizes.
+    // Long-stream workload rows (≥1M events each; the zipf stream is
+    // also the scaling-curve stream).
+    let (workload_rows, long_trace, long_cfg) = measure_workloads(quick, min_secs);
+
+    // Scaling curve on the longest generated stream, where the pool
+    // constant amortizes.
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let scaling = scaling_curve(min_secs);
+    let scaling = scaling_curve(&long_trace, long_cfg, min_secs);
     println!(
         "parallel scaling on {} cores ({} events): {}",
         cores,
@@ -188,6 +318,10 @@ fn main() {
         .iter()
         .map(|r| r.parallel_replay_events_per_sec)
         .fold(f64::INFINITY, f64::min);
+    let workload_min_eps = workload_rows
+        .iter()
+        .map(|r| r.replay_events_per_sec)
+        .fold(f64::INFINITY, f64::min);
     let geomean_speedup = (rows
         .iter()
         .map(|r| (r.events_per_sec / r.ref_events_per_sec).ln())
@@ -195,20 +329,26 @@ fn main() {
         / rows.len() as f64)
         .exp();
     println!(
-        "min {:.2} M ev/s (trace replay min {:.2} M, parallel×{PARALLEL_WORKERS} min {:.2} M), geomean speedup over reference {geomean_speedup:.2}x",
+        "min {:.2} M ev/s (trace replay min {:.2} M, parallel×{PARALLEL_WORKERS} min {:.2} M, \
+         long-stream min {:.2} M), geomean speedup over reference {geomean_speedup:.2}x",
         min_eps / 1e6,
         replay_min_eps / 1e6,
         parallel_min_eps / 1e6,
+        workload_min_eps / 1e6,
     );
 
     write_json(
         &out_path,
         quick,
         &rows,
-        min_eps,
-        replay_min_eps,
-        parallel_min_eps,
-        geomean_speedup,
+        &workload_rows,
+        Summary {
+            min_eps,
+            replay_min_eps,
+            parallel_min_eps,
+            workload_min_eps,
+            geomean_speedup,
+        },
         cores,
         &scaling,
     );
@@ -231,17 +371,33 @@ fn main() {
         );
         std::process::exit(1);
     }
+    // The long streams are where steady-state (cache-bound) throughput
+    // lives; they get their own non-regressing floor so a hot-path slip
+    // that only shows at scale can't hide behind the tiny bench rows.
+    if quick && workload_min_eps < WORKLOAD_FLOOR_EVENTS_PER_SEC / 5.0 {
+        eprintln!(
+            "PERF REGRESSION: long-stream workload replay min {workload_min_eps:.0} ev/s is \
+             more than 5x below the checked-in floor of {WORKLOAD_FLOOR_EVENTS_PER_SEC:.0} ev/s"
+        );
+        std::process::exit(1);
+    }
     // Parallel replay must pay for itself — judged on the long scaling
     // stream, where the scoped-pool spawn constant and the W× sync-event
     // replication amortize (the quick rows' ~10k-event streams are
     // dominated by exactly those constants, so gating on them would flake
     // on healthy code), and against the *same stream's measured
     // sequential replay*, not a static constant, so a genuine slowdown
-    // can't hide under the absolute floor. With 4+ real cores under the
-    // pool, 4 workers must deliver a real speedup (≥ 1.25× — below the
-    // ~2× this stream achieves on dedicated cores, so shared-runner noise
-    // doesn't flake, but far above the 1.1× a silently rotted engine
-    // would show); with 2-3 cores the pool is oversubscribed, so only an
+    // can't hide under the absolute floor. The scaling stream is now the
+    // *skew-3 zipf workload* — deliberately the least favourable address
+    // distribution for static shard ownership (the hottest of 8 shards
+    // carries over a quarter of all plain reads), so the old ≥1.25×
+    // bound calibrated on the even vips stream would flake on healthy
+    // code. Until multi-core measurements of this stream exist, ≥4 cores
+    // demand a true no-pessimization bound (≥ 1.0× — a silently rotted
+    // engine shows well under that, the single-core curve bottoms at
+    // ~0.65×); raising the bar back up with real data is part of the
+    // work-stealing roadmap item, whose payoff this exact gate measures.
+    // With 2-3 cores the pool is oversubscribed, so only an
     // order-of-halving is flagged. Vacuous on a single core, where 4
     // workers time-slice one CPU.
     let par4 = scaling.events_per_sec[SCALING_WORKERS
@@ -249,7 +405,7 @@ fn main() {
         .position(|&w| w == PARALLEL_WORKERS)
         .expect("scaling curve covers the per-row worker count")];
     let speedup = par4 / scaling.sequential_events_per_sec;
-    let required = if cores >= PARALLEL_WORKERS { 1.25 } else { 0.4 };
+    let required = if cores >= PARALLEL_WORKERS { 1.0 } else { 0.4 };
     if quick && cores >= 2 && speedup < required {
         eprintln!(
             "PERF REGRESSION: parallel replay ({PARALLEL_WORKERS} workers on {cores} cores) at \
@@ -259,6 +415,30 @@ fn main() {
         );
         std::process::exit(1);
     }
+    // The favorable-stream speedup gate: the even-distribution fanout
+    // long stream has no shard imbalance to hide behind, so with 4+ real
+    // cores its per-row 4-worker parallel replay must beat its own
+    // sequential replay by the margin the old vips-stream gate demanded
+    // (≥ 1.25× — well under the ~2× an even ≥1M-event stream achieves on
+    // dedicated cores, far above the ~1.05× a silently rotted engine
+    // shows). Together with the zipf no-pessimization bound above, CI
+    // checks both ends of the distribution spectrum.
+    if quick && cores >= PARALLEL_WORKERS {
+        let fanout = workload_rows
+            .iter()
+            .find(|r| r.family == "fanout")
+            .expect("quick mode measures the fanout long stream");
+        let ratio = fanout.parallel_replay_events_per_sec / fanout.replay_events_per_sec;
+        if ratio < 1.25 {
+            eprintln!(
+                "PERF REGRESSION: parallel replay of the even fanout long stream \
+                 ({PARALLEL_WORKERS} workers on {cores} cores) at {:.0} ev/s is only \
+                 {ratio:.2}x its sequential replay ({:.0} ev/s over {} events); required ≥ 1.25x",
+                fanout.parallel_replay_events_per_sec, fanout.replay_events_per_sec, fanout.events,
+            );
+            std::process::exit(1);
+        }
+    }
     if quick && cores < 2 {
         println!(
             "note: single-core machine — the parallel speedup check is vacuous and was skipped"
@@ -266,37 +446,30 @@ fn main() {
     }
 }
 
-/// The worker-count scaling curve on the longest recorded stream (its own
-/// tool's configuration), in events/sec per entry of [`SCALING_WORKERS`],
-/// plus the same stream's sequential `Trace::replay` throughput — the
-/// baseline the no-pessimization gate compares against.
+/// The worker-count scaling curve on the longest generated stream, in
+/// events/sec per entry of [`SCALING_WORKERS`], plus the same stream's
+/// sequential `Trace::replay` throughput — the baseline the
+/// no-pessimization gate compares against.
 struct Scaling {
-    program: &'static str,
+    program: String,
     tool: String,
     events: usize,
     events_per_sec: Vec<f64>,
     sequential_events_per_sec: f64,
 }
 
-fn scaling_curve(min_secs: f64) -> Scaling {
-    // The stream with the most plain accesses (vips), under lib+spin so
-    // the promotion-seed pre-pass is exercised too, at a scale where the
-    // worker-pool constant amortizes away.
-    let tool = Tool::HelgrindLibSpin { window: 7 };
-    let cfg = detector_config(tool);
-    let (name, module) = perf_programs(SCALING_SCALE)
-        .into_iter()
-        .find(|(n, _)| *n == "vips")
-        .expect("vips is a bench program");
-    let trace = record_trace(tool, &module);
-    let sequential_events_per_sec = measure_trace(&trace, min_secs, || RaceDetector::new(cfg));
+/// Measure the curve on an already-recorded long stream (the ≥1M-event
+/// zipf workload — skewed on purpose, so the curve shows what static
+/// shard ownership does under the least favourable address distribution).
+fn scaling_curve(trace: &Trace, cfg: DetectorConfig, min_secs: f64) -> Scaling {
+    let sequential_events_per_sec = measure_trace(trace, min_secs, || RaceDetector::new(cfg));
     let events_per_sec = SCALING_WORKERS
         .iter()
         .map(|&w| measure_parallel(&trace.events, cfg, w, min_secs))
         .collect();
     Scaling {
-        program: name,
-        tool: tool.label(),
+        program: trace.header.module_name.clone(),
+        tool: trace.header.tool_label.clone(),
         events: trace.events.len(),
         events_per_sec,
         sequential_events_per_sec,
@@ -386,15 +559,21 @@ fn measure_trace<S: EventSink>(trace: &Trace, min_secs: f64, mut mk: impl FnMut(
     })
 }
 
-#[allow(clippy::too_many_arguments)]
+/// The summary block of the JSON document.
+struct Summary {
+    min_eps: f64,
+    replay_min_eps: f64,
+    parallel_min_eps: f64,
+    workload_min_eps: f64,
+    geomean_speedup: f64,
+}
+
 fn write_json(
     path: &str,
     quick: bool,
     rows: &[Row],
-    min_eps: f64,
-    replay_min_eps: f64,
-    parallel_min_eps: f64,
-    geomean_speedup: f64,
+    workload_rows: &[WorkloadRow],
+    summary: Summary,
     cores: usize,
     scaling: &Scaling,
 ) {
@@ -428,25 +607,43 @@ fn write_json(
             })
         })
         .collect();
+    let workloads: Vec<serde_json::Value> = workload_rows
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "spec": r.spec.as_str(),
+                "family": r.family.as_str(),
+                "oracle": r.oracle.as_str(),
+                "events": r.events as u64,
+                "replay_events_per_sec": r.replay_events_per_sec,
+                "parallel_replay_events_per_sec": r.parallel_replay_events_per_sec,
+                "shadow_bytes": r.shadow_bytes as u64,
+                "contexts": r.contexts as u64,
+            })
+        })
+        .collect();
     let doc = serde_json::json!({
-        "schema": "spinrace-perf-v3",
+        "schema": "spinrace-perf-v4",
         "quick": quick,
         "cores": cores as u64,
         "floor_events_per_sec": FLOOR_EVENTS_PER_SEC,
+        "workload_floor_events_per_sec": WORKLOAD_FLOOR_EVENTS_PER_SEC,
         "parallel_workers": PARALLEL_WORKERS as u64,
         "results": serde_json::Value::Seq(results),
+        "workloads": serde_json::Value::Seq(workloads),
         "parallel_scaling": {
-            "program": scaling.program,
+            "program": scaling.program.as_str(),
             "tool": scaling.tool.as_str(),
             "events": scaling.events as u64,
             "sequential_events_per_sec": scaling.sequential_events_per_sec,
             "curve": serde_json::Value::Seq(curve),
         },
         "summary": {
-            "min_events_per_sec": min_eps,
-            "replay_min_events_per_sec": replay_min_eps,
-            "parallel_replay_min_events_per_sec": parallel_min_eps,
-            "geomean_speedup_vs_reference": geomean_speedup,
+            "min_events_per_sec": summary.min_eps,
+            "replay_min_events_per_sec": summary.replay_min_eps,
+            "parallel_replay_min_events_per_sec": summary.parallel_min_eps,
+            "workload_replay_min_events_per_sec": summary.workload_min_eps,
+            "geomean_speedup_vs_reference": summary.geomean_speedup,
         },
     });
     let text = serde_json::to_string_pretty(&doc).expect("render json");

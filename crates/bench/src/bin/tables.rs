@@ -10,7 +10,7 @@
 
 use spinrace_report::{
     f1_memory, f2_runtime, t1_drt, t2_window_sweep, t3_characteristics, t4_no_adhoc, t5_with_adhoc,
-    t6_universal, Experiment,
+    t6_universal, w1_workloads, Experiment,
 };
 use std::fs;
 use std::path::Path;
@@ -18,7 +18,7 @@ use std::path::Path;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        ["t1", "t2", "t3", "t4", "t5", "t6", "f1", "f2"]
+        ["t1", "t2", "t3", "t4", "t5", "t6", "w1", "f1", "f2"]
             .iter()
             .map(|s| s.to_string())
             .collect()
@@ -37,10 +37,11 @@ fn main() {
             "t4" => t4_no_adhoc(),
             "t5" => t5_with_adhoc(),
             "t6" => t6_universal(),
+            "w1" => w1_workloads(),
             "f1" => f1_memory(),
             "f2" => f2_runtime(),
             other => {
-                eprintln!("unknown experiment `{other}` (use t1..t6, f1, f2, all)");
+                eprintln!("unknown experiment `{other}` (use t1..t6, w1, f1, f2, all)");
                 std::process::exit(2);
             }
         };

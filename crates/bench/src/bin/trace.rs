@@ -8,11 +8,23 @@
 //! ```text
 //! trace record --program <name> [--tool <TOOL>] [--seed N] [--obscure]
 //!              [--scale N] [--out FILE] [--json FILE]
+//! trace gen --family <ring|spinflag|barrier|zipf|fanout> [--threads N]
+//!           [--events TOTAL] [--addr-space N] [--skew K] [--races N]
+//!           [--seed N] [--tool <TOOL>] [--out FILE] [--json FILE]
 //! trace replay FILE [--tool <TOOL>] [--long-msm] [--cap N]
 //!              [--workers N] [--json FILE]
 //! trace inspect FILE [--events N]
 //! trace stats FILE
 //! ```
+//!
+//! `gen` records a trace of a *generated* workload
+//! (`spinrace-workloads`): a parameterized program with computable
+//! ground truth, sized by `--events` (a total-stream target, so
+//! `--events 1000000` yields a genuinely long stream for the
+//! replay-determinism jobs). The module name encodes the full spec, so
+//! `replay` can rebuild generated modules from the trace header alone —
+//! and `gen` exits non-zero if the live detection violates the
+//! workload's own oracle.
 //!
 //! `<TOOL>` accepts the table labels (`Helgrind+ lib+spin(7)`) and the
 //! short forms `lib`, `lib+spin[(W)]`, `nolib+spin[(W)]`, `drd`.
@@ -34,6 +46,7 @@ use spinrace_detector::MsmMode;
 use spinrace_suites::all_programs;
 use spinrace_synclib::LibStyle;
 use spinrace_vm::{Event, Trace};
+use spinrace_workloads::{Family, WorkloadSpec};
 use std::collections::BTreeMap;
 use std::process::exit;
 use std::time::Instant;
@@ -42,11 +55,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("record") => record(&args[1..]),
+        Some("gen") => gen(&args[1..]),
         Some("replay") => replay(&args[1..]),
         Some("inspect") => inspect(&args[1..]),
         Some("stats") => stats(&args[1..]),
         _ => {
-            eprintln!("usage: trace <record|replay|inspect|stats> ...  (see --help in source)");
+            eprintln!("usage: trace <record|gen|replay|inspect|stats> ...  (see --help in source)");
             2
         }
     };
@@ -205,6 +219,92 @@ fn record(args: &[String]) -> i32 {
     0
 }
 
+/// `gen`: record a generated workload with computable ground truth.
+fn gen(args: &[String]) -> i32 {
+    let Some(family_s) = opt(args, "--family") else {
+        eprintln!(
+            "usage: trace gen --family <ring|spinflag|barrier|zipf|fanout> [--threads N] \
+             [--events TOTAL] [--addr-space N] [--skew K] [--races N] [--seed N] [--tool T] \
+             [--out FILE] [--json FILE]"
+        );
+        return 2;
+    };
+    let family: Family = match family_s.parse() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let mut spec = WorkloadSpec::new(family)
+        .threads(num_opt(
+            args,
+            "--threads",
+            WorkloadSpec::new(family).threads,
+        ))
+        .addr_space(num_opt(
+            args,
+            "--addr-space",
+            WorkloadSpec::new(family).addr_space,
+        ))
+        .skew(num_opt(args, "--skew", WorkloadSpec::new(family).skew))
+        .races(num_opt(args, "--races", 0))
+        .seed(num_opt(args, "--seed", 1));
+    // `--events` is a total-stream target, split across the workers the
+    // family actually spawns.
+    let total: u64 = num_opt(args, "--events", spec.total_events_hint());
+    spec = spec.with_total_events(total);
+    let tool = parse_tool(&opt(args, "--tool").unwrap_or_else(|| "lib+spin".into()));
+
+    let wl = spec.build();
+    let session = Session::for_module(&wl.module).vm_config(spec.vm_config());
+    let prepared = match session.prepare(tool) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: prepare failed: {e}");
+            return 1;
+        }
+    };
+    let (run, outcome) = match prepared.execute_detecting() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: execution failed: {e}");
+            return 1;
+        }
+    };
+    let out_path = opt(args, "--out").unwrap_or_else(|| format!("{}.trace.json", spec.name()));
+    let trace = run.trace();
+    std::fs::write(&out_path, trace.to_json() + "\n").expect("write trace");
+    println!(
+        "generated {} under {}: {} events, {} steps, fingerprint {:#018x}",
+        spec.name(),
+        trace.header.tool_label,
+        trace.events.len(),
+        trace.summary.steps,
+        trace.header.module_fingerprint,
+    );
+    println!("oracle: {}", wl.oracle.describe());
+    println!("wrote {out_path}");
+    maybe_write_json(args, &outcome);
+
+    // The workload knows its ground truth — hold the recording run's own
+    // detection to it.
+    let verdict = spinrace_suites::judge_outcome(&wl.oracle, &outcome);
+    if verdict.pass() {
+        println!(
+            "live detection matches the oracle ({} racy context(s))",
+            outcome.contexts
+        );
+        0
+    } else {
+        eprintln!(
+            "ORACLE VIOLATION: live detection under {} disagrees with ground truth: {verdict}",
+            outcome.tool_label
+        );
+        1
+    }
+}
+
 fn replay(args: &[String]) -> i32 {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         eprintln!(
@@ -326,6 +426,16 @@ fn replay(args: &[String]) -> i32 {
 /// when rebinding a trace to its module.
 const MAX_SCALE: u32 = 32;
 
+/// The nolib library styles a tool's preparation can have used (only
+/// nolib lowering is style-sensitive).
+fn nolib_styles(tool: Tool) -> &'static [LibStyle] {
+    if matches!(tool, Tool::HelgrindNolibSpin { .. }) {
+        &[LibStyle::Textbook, LibStyle::Obscure]
+    } else {
+        &[LibStyle::Textbook]
+    }
+}
+
 /// Bind the trace to a freshly prepared module. Prefers the preparation
 /// of `tool` (a fingerprint match means the replay equals a live `tool`
 /// run); falls back to the recording tool's preparation with a warning.
@@ -365,20 +475,34 @@ fn prepared_matching(
         .module_name
         .strip_suffix(".nolib")
         .unwrap_or(&trace.header.module_name);
+    // Generated workloads encode their full spec in the module name, so
+    // the rebuild needs no program table and no scale probing — only the
+    // nolib style is still a free preparation input.
+    if let Some(spec) = WorkloadSpec::from_name(base) {
+        let module = spec.build().module;
+        for &style in nolib_styles(prep_tool) {
+            let prepared = Session::for_module(&module)
+                .msm(msm)
+                .cap(cap)
+                .vm_config(trace.header.vm)
+                .nolib_style(style)
+                .prepare(prep_tool);
+            let Ok(prepared) = prepared else { continue };
+            if prepared.fingerprint() == trace.header.module_fingerprint {
+                return Some(prepared);
+            }
+        }
+        return None;
+    }
     let programs = all_programs();
     let prog = programs.iter().find(|p| p.name == base)?;
     // The header records neither the scale nor the nolib library style
     // (both are preparation inputs, not run configuration), so probe:
     // every scale record accepts, and — for nolib tools, whose lowering
     // is the only style-sensitive phase — both library styles.
-    let styles: &[LibStyle] = if matches!(prep_tool, Tool::HelgrindNolibSpin { .. }) {
-        &[LibStyle::Textbook, LibStyle::Obscure]
-    } else {
-        &[LibStyle::Textbook]
-    };
     for scale in 1..=MAX_SCALE {
         let module = (prog.build)(prog.threads, prog.size * scale);
-        for &style in styles {
+        for &style in nolib_styles(prep_tool) {
             let prepared = Session::for_module(&module)
                 .msm(msm)
                 .cap(cap)

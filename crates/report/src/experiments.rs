@@ -6,7 +6,7 @@ use crate::ascii::AsciiTable;
 use serde_json::json;
 use spinrace_core::{Analyzer, Tool};
 use spinrace_spinfind::sync_inventory;
-use spinrace_suites::{all_programs, run_drt, run_parsec, ParsecProgram};
+use spinrace_suites::{all_programs, run_drt, run_parsec, run_workloads, ParsecProgram};
 use std::time::Instant;
 
 /// A rendered experiment: ASCII output plus machine-readable payload.
@@ -258,6 +258,61 @@ pub fn t6_universal() -> Experiment {
         "T6",
         "PARSEC racy contexts — universal detector summary (all programs)",
     )
+}
+
+/// W1 — the generated-workloads oracle table (beyond the paper): every
+/// `spinrace-workloads` family (race-free and seeded variants) under the
+/// full lineup, classified against *computed* ground truth instead of
+/// recorded numbers. `missed` counts injected races a tool failed to
+/// report (soundness); `unexpected` counts reports matching no injected
+/// race (completeness — on race-free workloads every report lands here).
+pub fn w1_workloads() -> Experiment {
+    let tools = Tool::paper_lineup();
+    let table = run_workloads(&tools);
+    let mut t = AsciiTable::new(&[
+        "Workload",
+        "Oracle",
+        "Tool",
+        "Contexts",
+        "Expected",
+        "Missed",
+        "Unexpected",
+        "Verdict",
+    ]);
+    let mut rows_json = Vec::new();
+    for r in &table.rows {
+        t.row(vec![
+            r.spec.clone(),
+            r.oracle.clone(),
+            r.tool.clone(),
+            r.contexts.to_string(),
+            r.expected.to_string(),
+            r.missed.to_string(),
+            r.unexpected.to_string(),
+            if r.pass() { "pass" } else { "FAIL" }.to_string(),
+        ]);
+        rows_json.push(json!({
+            "spec": r.spec,
+            "family": r.family,
+            "oracle": r.oracle,
+            "tool": r.tool,
+            "contexts": r.contexts,
+            "expected": r.expected,
+            "missed": r.missed,
+            "unexpected": r.unexpected,
+            "pass": r.pass(),
+        }));
+    }
+    Experiment {
+        id: "W1",
+        title: "generated workloads vs ground-truth oracles (soundness/completeness)".into(),
+        rendered: t.render(),
+        json: json!({
+            "rows": rows_json,
+            "vm_runs": table.vm_runs,
+            "all_pass": table.all_pass(),
+        }),
+    }
 }
 
 /// F1 — detector memory consumption per configuration (the paper's

@@ -12,6 +12,7 @@
 //! | T6 | universal-detector summary (all programs)     | [`experiments::t6_universal`] |
 //! | F1 | detector memory consumption                   | [`experiments::f1_memory`] |
 //! | F2 | runtime overhead                              | [`experiments::f2_runtime`] |
+//! | W1 | generated workloads vs ground-truth oracles (beyond the paper) | [`experiments::w1_workloads`] |
 //!
 //! Every function returns an [`Experiment`]: a rendered ASCII table plus a
 //! serde-serializable data payload (for `EXPERIMENTS.md` tooling).
@@ -22,5 +23,5 @@ pub mod experiments;
 pub use ascii::AsciiTable;
 pub use experiments::{
     f1_memory, f2_runtime, t1_drt, t2_window_sweep, t3_characteristics, t4_no_adhoc, t5_with_adhoc,
-    t6_universal, Experiment,
+    t6_universal, w1_workloads, Experiment,
 };

@@ -106,7 +106,8 @@ const SMALL_TRACE_EVENTS: usize = 10_000;
 /// tool's preparation already produced (and executed) the same module;
 /// otherwise execute once and cache the run. Detection replays the trace
 /// through the sharded parallel engine — identical results at any width.
-fn outcome_via_cache(
+/// (Shared with the generated-workloads table in [`crate::workloads`].)
+pub(crate) fn outcome_via_cache(
     session: &Session<'_>,
     tool: Tool,
     cache: &mut Vec<ExecutedRun>,

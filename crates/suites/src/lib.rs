@@ -18,13 +18,23 @@
 //!
 //! [`harness`] classifies analysis outcomes against ground truth and
 //! aggregates the numbers behind every table of the paper.
+//!
+//! A third table lives alongside the paper's two: [`workloads`] runs the
+//! `spinrace-workloads` generator families — programs whose true race
+//! set is *computed*, not recorded — through the lineup and classifies
+//! every outcome against the workload's oracle (soundness and
+//! completeness on known ground truth).
 
 pub mod drt;
 pub mod harness;
 pub mod parsec;
+pub mod workloads;
 
 pub use drt::{all_cases, Category, DrtCase};
 pub use harness::{
     run_drt, run_drt_with, run_parsec, CaseOutcome, DrtRow, DrtTable, ParsecCell, ParsecTable,
 };
 pub use parsec::{all_programs, ParsecProgram};
+pub use workloads::{
+    judge_outcome, run_workloads, run_workloads_with, standard_specs, WorkloadRow, WorkloadTable,
+};

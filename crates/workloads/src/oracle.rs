@@ -1,0 +1,157 @@
+//! Ground-truth oracles: what every tool must report on a generated
+//! workload — and, just as importantly, what it must *not* report.
+
+use std::fmt;
+
+/// One deliberately injected race: two plain stores to a dedicated
+/// one-word victim global, one store in each of two distinct worker
+/// threads, placed before the first synchronization operation of either
+/// thread so no happens-before path can order them.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ExpectedRace {
+    /// The victim global's name (`race0`, `race1`, …) — exactly the
+    /// location string reports resolve to.
+    pub location: String,
+    /// The two dynamic thread ids involved, sorted ascending. Worker
+    /// threads are spawned in build order, so these are stable across
+    /// tools and schedules (main is tid 0; worker `i` is tid `i + 1`).
+    pub tids: (u32, u32),
+}
+
+impl ExpectedRace {
+    /// Construct with the tid pair normalized ascending.
+    pub fn new(location: impl Into<String>, a: u32, b: u32) -> ExpectedRace {
+        ExpectedRace {
+            location: location.into(),
+            tids: (a.min(b), a.max(b)),
+        }
+    }
+}
+
+impl fmt::Display for ExpectedRace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (t{} vs t{})",
+            self.location, self.tids.0, self.tids.1
+        )
+    }
+}
+
+/// The computable ground truth of a generated workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Oracle {
+    /// Correct by construction: only synchronization every tool
+    /// understands (spawn/join, mutexes, semaphores, barriers, pre-spawn
+    /// publication), so **every** tool must report 0 racy contexts.
+    RaceFree,
+    /// Exactly these injected races — every tool must report each of
+    /// them, and nothing else.
+    SeededRaces(Vec<ExpectedRace>),
+}
+
+impl Oracle {
+    /// The expected races (empty for [`Oracle::RaceFree`]).
+    pub fn expected(&self) -> &[ExpectedRace] {
+        match self {
+            Oracle::RaceFree => &[],
+            Oracle::SeededRaces(v) => v,
+        }
+    }
+
+    /// One-line description for tables and CLI output.
+    pub fn describe(&self) -> String {
+        match self {
+            Oracle::RaceFree => "race-free".to_string(),
+            Oracle::SeededRaces(v) => format!("seeded({})", v.len()),
+        }
+    }
+
+    /// Judge an observed report list against the ground truth. Each
+    /// observation is `(location, tid, tid)` of one reported racy
+    /// context; duplicates (several contexts on one victim) count as
+    /// unexpected, since the injection produces exactly one static
+    /// access pair per victim.
+    pub fn verdict<'a, I>(&self, observed: I) -> OracleVerdict
+    where
+        I: IntoIterator<Item = (&'a str, u32, u32)>,
+    {
+        let mut missed: Vec<ExpectedRace> = self.expected().to_vec();
+        let mut unexpected = Vec::new();
+        for (loc, a, b) in observed {
+            let got = ExpectedRace::new(loc, a, b);
+            match missed.iter().position(|e| *e == got) {
+                Some(i) => {
+                    missed.swap_remove(i);
+                }
+                None => unexpected.push(got),
+            }
+        }
+        missed.sort();
+        unexpected.sort();
+        OracleVerdict { missed, unexpected }
+    }
+}
+
+/// The outcome of judging one tool's reports against an [`Oracle`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OracleVerdict {
+    /// Injected races no report matched (soundness failures).
+    pub missed: Vec<ExpectedRace>,
+    /// Reports matching no injected race (completeness failures — on a
+    /// race-free workload, every report lands here).
+    pub unexpected: Vec<ExpectedRace>,
+}
+
+impl OracleVerdict {
+    /// Did the tool report exactly the ground truth?
+    pub fn pass(&self) -> bool {
+        self.missed.is_empty() && self.unexpected.is_empty()
+    }
+}
+
+impl fmt::Display for OracleVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pass() {
+            return f.write_str("pass");
+        }
+        let miss: Vec<String> = self.missed.iter().map(|e| e.to_string()).collect();
+        let extra: Vec<String> = self.unexpected.iter().map(|e| e.to_string()).collect();
+        write!(
+            f,
+            "missed [{}], unexpected [{}]",
+            miss.join(", "),
+            extra.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn race_free_flags_any_report() {
+        let v = Oracle::RaceFree.verdict([("g", 1, 2)]);
+        assert!(!v.pass());
+        assert_eq!(v.unexpected, vec![ExpectedRace::new("g", 1, 2)]);
+        assert!(Oracle::RaceFree.verdict([]).pass());
+    }
+
+    #[test]
+    fn seeded_matches_exact_set_order_insensitive() {
+        let oracle = Oracle::SeededRaces(vec![
+            ExpectedRace::new("race0", 1, 3),
+            ExpectedRace::new("race1", 2, 4),
+        ]);
+        // Reversed tid order and report order both match.
+        assert!(oracle.verdict([("race1", 4, 2), ("race0", 3, 1)]).pass());
+        // A missing and an extra report both fail.
+        let v = oracle.verdict([("race0", 1, 3), ("other", 1, 2)]);
+        assert_eq!(v.missed, vec![ExpectedRace::new("race1", 2, 4)]);
+        assert_eq!(v.unexpected, vec![ExpectedRace::new("other", 1, 2)]);
+        // A duplicate context on one victim is unexpected.
+        let v = oracle.verdict([("race0", 1, 3), ("race0", 1, 3), ("race1", 2, 4)]);
+        assert!(!v.pass());
+    }
+}

@@ -19,6 +19,8 @@
 //! * [`vm`] — the deterministic multithreaded interpreter
 //! * [`detector`] — vector clocks, locksets, the hybrid detector, spin-HB
 //! * [`suites`] — the `data-race-test`-style suite and PARSEC-style workloads
+//! * [`workloads`] — parameterized workload generators with computable
+//!   ground-truth race oracles
 //! * [`report`] — tables and experiment summaries
 //! * [`core`] — the staged [`core::Session`] pipeline (prepare → execute
 //!   → detect over a replayable [`vm::Trace`]) and the one-call
@@ -33,6 +35,7 @@ pub use spinrace_suites as suites;
 pub use spinrace_synclib as synclib;
 pub use spinrace_tir as tir;
 pub use spinrace_vm as vm;
+pub use spinrace_workloads as workloads;
 
 pub use spinrace_core::{AnalysisOutcome, Analyzer, ExecutedRun, PreparedModule, Session, Tool};
 pub use spinrace_detector::{DetectorConfig, DetectorKind, RaceReport};

@@ -1,0 +1,151 @@
+//! Negative-path coverage for the trace decode pipeline: every way a
+//! trace file can be wrong must surface as the *right* typed error —
+//! never a panic, and never a misleading downstream parse failure.
+
+use spinrace::core::{AnalyzeError, ExecutedRun, Session, Tool};
+use spinrace::vm::trace::{TraceError, TRACE_FORMAT_VERSION};
+use spinrace::vm::Trace;
+use spinrace::workloads::{Family, WorkloadSpec};
+
+/// A small recorded run to mutate (ring family: has sync events of every
+/// semaphore flavour in the stream, so the event array is non-trivial).
+fn recorded() -> (spinrace::core::PreparedModule, Trace) {
+    let spec = WorkloadSpec::new(Family::Ring).events_per_thread(12);
+    let wl = spec.build();
+    let session = Session::for_module(&wl.module).vm_config(spec.vm_config());
+    let prepared = session.prepare(Tool::HelgrindLib).unwrap();
+    let run = prepared.clone().execute().unwrap();
+    (prepared, run.into_trace())
+}
+
+#[test]
+fn garbage_and_truncated_documents_are_json_errors() {
+    for text in [
+        "",
+        "{not json",
+        "[]",
+        "42",
+        "\"a trace, honest\"",
+        "{\"header\": 7}",
+        "{}",
+    ] {
+        match Trace::from_json(text) {
+            Err(TraceError::Json(_)) => {}
+            other => panic!("{text:?}: expected a Json error, got {other:?}"),
+        }
+    }
+    // A structurally valid document cut off mid-stream.
+    let (_, trace) = recorded();
+    let json = trace.to_json();
+    let cut = &json[..json.len() / 2];
+    assert!(matches!(Trace::from_json(cut), Err(TraceError::Json(_))));
+}
+
+#[test]
+fn corrupt_header_fields_are_json_errors_not_panics() {
+    let (_, trace) = recorded();
+    let json = trace.to_json();
+    // Header field holding the wrong type.
+    let bad = json.replacen(
+        &format!("\"module_name\":\"{}\"", trace.header.module_name),
+        "\"module_name\":[1,2]",
+        1,
+    );
+    assert_ne!(bad, json, "the replacement must have applied");
+    assert!(matches!(Trace::from_json(&bad), Err(TraceError::Json(_))));
+    // Header entirely replaced by a scalar.
+    let gutted = r#"{"header":null,"summary":{},"events":[]}"#;
+    assert!(matches!(Trace::from_json(gutted), Err(TraceError::Json(_))));
+}
+
+#[test]
+fn version_mismatch_is_reported_before_event_decoding() {
+    let (_, trace) = recorded();
+    // A future version whose *events* would also fail to decode: the
+    // version check must win, so the user sees "version 99" instead of a
+    // confusing event parse error.
+    let mut doc = trace.to_json();
+    doc = doc.replacen(
+        &format!("\"version\":{TRACE_FORMAT_VERSION}"),
+        "\"version\":99",
+        1,
+    );
+    doc = doc.replacen("\"events\":[", "\"events\":[{\"FutureEvent\":{}},", 1);
+    match Trace::from_json(&doc) {
+        Err(TraceError::Version {
+            found: 99,
+            supported,
+        }) => {
+            assert_eq!(supported, TRACE_FORMAT_VERSION);
+        }
+        other => panic!("expected a version error, got {other:?}"),
+    }
+}
+
+#[test]
+fn event_count_mismatch_is_detected_in_both_directions() {
+    let (_, trace) = recorded();
+    let n = trace.events.len() as u64;
+
+    // Header claims more events than the stream holds (truncation).
+    let mut over = trace.clone();
+    over.header.events += 3;
+    match Trace::from_json(&over.to_json()) {
+        Err(TraceError::EventCount { header, actual }) => {
+            assert_eq!((header, actual), (n + 3, n));
+        }
+        other => panic!("expected an event-count error, got {other:?}"),
+    }
+
+    // Header claims fewer (a stream that grew past its header).
+    let mut under = trace.clone();
+    under.header.events -= 1;
+    assert!(matches!(
+        Trace::from_json(&under.to_json()),
+        Err(TraceError::EventCount { .. })
+    ));
+}
+
+#[test]
+fn fingerprint_mismatch_rejects_rebinding_with_both_prints() {
+    let (prepared, trace) = recorded();
+    let fp = prepared.fingerprint();
+    assert_eq!(trace.header.module_fingerprint, fp);
+
+    // The same family one seed over: same shape, different module.
+    let other_spec = WorkloadSpec::new(Family::Ring)
+        .events_per_thread(12)
+        .seed(2);
+    let other = Session::for_module(&other_spec.build().module)
+        .vm_config(other_spec.vm_config())
+        .prepare(Tool::HelgrindLib)
+        .unwrap();
+    assert_ne!(other.fingerprint(), fp);
+
+    match ExecutedRun::from_trace(other, trace.clone()) {
+        Err(AnalyzeError::TraceMismatch {
+            trace_fingerprint,
+            module_fingerprint,
+        }) => {
+            assert_eq!(trace_fingerprint, fp);
+            assert_ne!(module_fingerprint, fp);
+        }
+        other => panic!("expected a TraceMismatch, got {other:?}"),
+    }
+
+    // The matching preparation still binds.
+    assert!(ExecutedRun::from_trace(prepared, trace).is_ok());
+}
+
+#[test]
+fn errors_render_actionable_messages() {
+    let (_, trace) = recorded();
+    let mut v = trace.clone();
+    v.header.version = 2;
+    let msg = Trace::from_json(&v.to_json()).unwrap_err().to_string();
+    assert!(msg.contains("version 2"), "{msg}");
+    let mut c = trace;
+    c.header.events += 1;
+    let msg = Trace::from_json(&c.to_json()).unwrap_err().to_string();
+    assert!(msg.contains("truncated"), "{msg}");
+}

@@ -1,0 +1,141 @@
+//! The ground-truth oracle suite: generated workloads where the true race
+//! set is known by construction, checked against **every** tool in the
+//! paper lineup, for **every** detection path — live (detector attached
+//! to the VM run), sequential trace replay, and parallel sharded replay
+//! at 1/2/4/8 workers.
+//!
+//! This turns the tool lineup from "matches recorded numbers" into
+//! "sound and complete on known ground truth": race-free families must
+//! yield zero reports (no false positives anywhere in the pipeline), and
+//! seeded families must yield exactly the injected race set, by victim
+//! variable and thread pair (no misses, no extras).
+
+use proptest::prelude::*;
+use spinrace::core::{AnalysisOutcome, Session, Tool};
+use spinrace::suites::judge_outcome;
+use spinrace::workloads::{Family, Workload, WorkloadSpec};
+
+/// Judge one outcome against the workload's oracle, panicking with a
+/// readable description on any mismatch.
+fn assert_oracle(wl: &Workload, out: &AnalysisOutcome, path: &str) -> Result<(), TestCaseError> {
+    let verdict = judge_outcome(&wl.oracle, out);
+    prop_assert!(
+        verdict.pass(),
+        "{} under {} [{path}]: {verdict}",
+        wl.module.name,
+        out.tool_label
+    );
+    prop_assert_eq!(
+        out.contexts,
+        wl.oracle.expected().len(),
+        "{} under {} [{path}]: context count",
+        &wl.module.name,
+        &out.tool_label
+    );
+    Ok(())
+}
+
+/// The full check for one spec: for every tool, run the VM once with the
+/// live detector and a trace recorder teed, then fan detection out over
+/// the recorded trace sequentially and at every worker width.
+fn check_spec(spec: WorkloadSpec) -> Result<(), TestCaseError> {
+    let wl = spec.build();
+    let session = Session::for_module(&wl.module).vm_config(spec.vm_config());
+    for tool in Tool::paper_lineup() {
+        let prepared = session.prepare(tool).unwrap();
+        let (run, live) = prepared.execute_detecting().unwrap();
+        assert_oracle(&wl, &live, "live")?;
+        let sequential = run.detect();
+        assert_oracle(&wl, &sequential, "sequential replay")?;
+        for workers in [1usize, 2, 4, 8] {
+            let par = run.detect_parallel(workers);
+            assert_oracle(&wl, &par, &format!("parallel x{workers}"))?;
+            // Parallel replay must agree with sequential bit-for-bit,
+            // not merely satisfy the oracle.
+            prop_assert_eq!(&par.metrics, &sequential.metrics);
+            prop_assert_eq!(par.reports.len(), sequential.reports.len());
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Race-free variants of every family: zero reports under every tool
+    /// on every path, across random thread counts, event budgets,
+    /// address-space sizes, skews and seeds.
+    #[test]
+    fn race_free_families_report_nothing(
+        fam_ix in 0usize..5,
+        threads in 2u32..6,
+        events in 16u32..120,
+        addr_space in 8u32..600,
+        skew in 0u32..4,
+        seed in 0u64..10_000,
+    ) {
+        let fam = Family::all()[fam_ix];
+        let spec = WorkloadSpec::new(fam)
+            .threads(threads)
+            .events_per_thread(events)
+            .addr_space(addr_space)
+            .skew(skew)
+            .seed(seed);
+        check_spec(spec)?;
+    }
+
+    /// Seeded variants: exactly the injected race set — by victim
+    /// variable and thread pair — under every tool on every path.
+    #[test]
+    fn seeded_families_report_exactly_the_injected_races(
+        fam_ix in 0usize..5,
+        threads in 2u32..6,
+        events in 16u32..120,
+        addr_space in 8u32..600,
+        skew in 0u32..4,
+        races in 1u32..4,
+        seed in 0u64..10_000,
+    ) {
+        let fam = Family::all()[fam_ix];
+        let spec = WorkloadSpec::new(fam)
+            .threads(threads)
+            .events_per_thread(events)
+            .addr_space(addr_space)
+            .skew(skew)
+            .races(races)
+            .seed(seed);
+        check_spec(spec)?;
+    }
+}
+
+/// One deterministic pinned case per family (race-free and seeded), so a
+/// regression names the family directly instead of a proptest seed.
+#[test]
+fn every_family_passes_its_oracle_pinned() {
+    for fam in Family::all() {
+        check_spec(WorkloadSpec::new(fam)).unwrap();
+        check_spec(WorkloadSpec::new(fam).races(2).seed(3)).unwrap();
+    }
+}
+
+/// Wide fan-out at genuinely wide thread counts (the `ReadState` read
+/// vectors and vector clocks reach the full width).
+#[test]
+fn wide_fanout_oracles_hold_at_32_and_48_threads() {
+    for threads in [32u32, 48] {
+        check_spec(
+            WorkloadSpec::new(Family::Fanout)
+                .threads(threads)
+                .events_per_thread(24),
+        )
+        .unwrap();
+        check_spec(
+            WorkloadSpec::new(Family::Fanout)
+                .threads(threads)
+                .events_per_thread(24)
+                .races(3)
+                .seed(threads as u64),
+        )
+        .unwrap();
+    }
+}

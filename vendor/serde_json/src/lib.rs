@@ -297,11 +297,36 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    // Bulk-copy the whole run of plain ASCII up to the
+                    // next quote, escape, or multi-byte character —
+                    // validating from the current position onward per
+                    // character would make parsing quadratic in the
+                    // document size (fatal for multi-million-event
+                    // traces).
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b >= 0x80 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
                 Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error("invalid UTF-8".into()))?;
-                    let c = rest.chars().next().unwrap();
+                    // Decode one multi-byte UTF-8 character from a
+                    // bounded 4-byte window (a longest-valid prefix may
+                    // exist when the window straddles the next char).
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let window = &self.bytes[self.pos..end];
+                    let valid = match std::str::from_utf8(window) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()]).unwrap()
+                        }
+                        Err(_) => return Err(Error("invalid UTF-8".into())),
+                    };
+                    let c = valid.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
