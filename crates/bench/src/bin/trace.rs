@@ -12,7 +12,7 @@
 //!           [--events TOTAL] [--addr-space N] [--skew K] [--races N]
 //!           [--seed N] [--tool <TOOL>] [--out FILE] [--json FILE]
 //! trace replay FILE [--tool <TOOL>] [--long-msm] [--cap N]
-//!              [--workers N] [--json FILE]
+//!              [--workers N] [--schedule static|balanced] [--json FILE]
 //! trace inspect FILE [--events N]
 //! trace stats FILE
 //! ```
@@ -33,7 +33,9 @@
 //! named program, checks the module fingerprint, and replays the parsed
 //! stream into a fresh detector — on `--workers N` threads through the
 //! parallel sharded engine, whose output is bit-identical to sequential
-//! replay (and to the live run) for every worker count.
+//! replay (and to the live run) for every worker count and either
+//! `--schedule` (occupancy-balanced LPT shard packing by default;
+//! `static` forces modular ownership).
 //!
 //! `--json FILE` writes the detection outcome (contexts, promoted
 //! locations, described reports, detector metrics, run summary) in a
@@ -41,8 +43,9 @@
 //! `replay-determinism` job byte-compares these files across worker
 //! counts and against the live run.
 
-use spinrace_core::{AnalysisOutcome, ExecutedRun, Session, Tool};
+use spinrace_core::{AnalysisOutcome, ExecutedRun, Schedule, Session, Tool};
 use spinrace_detector::MsmMode;
+use spinrace_detector::{shard_occupancy, NUM_SHARDS};
 use spinrace_suites::all_programs;
 use spinrace_synclib::LibStyle;
 use spinrace_vm::{Event, Trace};
@@ -308,7 +311,8 @@ fn gen(args: &[String]) -> i32 {
 fn replay(args: &[String]) -> i32 {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         eprintln!(
-            "usage: trace replay FILE [--tool T] [--long-msm] [--cap N] [--workers N] [--json FILE]"
+            "usage: trace replay FILE [--tool T] [--long-msm] [--cap N] [--workers N] \
+             [--schedule static|balanced] [--json FILE]"
         );
         return 2;
     };
@@ -330,6 +334,16 @@ fn replay(args: &[String]) -> i32 {
     // `--workers 0` (the default) replays sequentially; any other count
     // goes through the parallel sharded engine — same results either way.
     let workers: usize = num_opt(args, "--workers", 0);
+    let schedule: Schedule = match opt(args, "--schedule") {
+        None => Schedule::default(),
+        Some(s) => match s.parse() {
+            Ok(sch) => sch,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        },
+    };
 
     // Rebuild a prepared module the trace matches, so reports resolve to
     // source locations and the fingerprint check rejects stale traces.
@@ -342,13 +356,13 @@ fn replay(args: &[String]) -> i32 {
         Some(run) => {
             let t0 = Instant::now();
             let out = if workers > 0 {
-                run.detect_as_parallel(tool, workers)
+                run.detect_as_parallel_scheduled(tool, workers, schedule)
             } else {
                 run.detect_as(tool)
             };
             let secs = t0.elapsed().as_secs_f64();
             let mode = if workers > 0 {
-                format!("{workers} worker(s)")
+                format!("{workers} worker(s), {schedule}")
             } else {
                 "sequential".to_string()
             };
@@ -386,7 +400,12 @@ fn replay(args: &[String]) -> i32 {
             let cfg = tool.detector_config(msm, cap);
             let t0 = Instant::now();
             let (contexts, promoted, reports) = if workers > 0 {
-                let merged = spinrace_core::parallel::run_sharded(cfg, &trace.events, workers);
+                let merged = spinrace_core::parallel::run_sharded_scheduled(
+                    cfg,
+                    &trace.events,
+                    workers,
+                    schedule,
+                );
                 (
                     merged.reports.contexts(),
                     merged.promoted_locations,
@@ -588,6 +607,22 @@ fn stats(args: &[String]) -> i32 {
     for (t, c) in &per_thread {
         println!("  t{t:<15} {c:>10}");
     }
+    // Per-shard occupancy: how the parallel engine's shadow-shard
+    // partition sees this stream. `max/mean` > 1 quantifies skew — the
+    // imbalance the balanced schedule packs around and static ownership
+    // cannot.
+    let occ = shard_occupancy(&trace.events);
+    let occ_total: u64 = occ.iter().sum();
+    let occ_max = occ.iter().copied().max().unwrap_or(0);
+    println!("shard occupancy (plain accesses per shadow shard):");
+    for (s, c) in occ.iter().enumerate() {
+        println!("  shard {s:<9} {c:>10}");
+    }
+    println!(
+        "  skew: hottest shard carries {:.2}x an even 1/{} share",
+        occ_max as f64 * NUM_SHARDS as f64 / occ_total.max(1) as f64,
+        NUM_SHARDS
+    );
     0
 }
 

@@ -57,6 +57,7 @@
 pub mod parallel;
 pub mod session;
 
+pub use parallel::Schedule;
 pub use session::{ExecutedRun, PreparedModule, Session};
 
 use spinrace_detector::{DetectorMetrics, MsmMode, RaceReport};

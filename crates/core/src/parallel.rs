@@ -2,22 +2,45 @@
 //!
 //! [`run_sharded`] replays one recorded event stream on a scoped thread
 //! pool: plain data accesses are partitioned along the detector's
-//! [`ShadowTable`](spinrace_detector::shadow::ShadowTable) shard seam
-//! (worker *i* of *W* owns shard `s` iff `s % W == i`), while every
-//! synchronization-relevant event is broadcast so each worker's thread
-//! vector clocks evolve exactly as a sequential detector's would. The
-//! merged result — reports, racy contexts, promotion counts, and the full
-//! [`DetectorMetrics`](spinrace_detector::DetectorMetrics) — is
-//! **bit-identical** to a sequential replay for
-//! any worker count, which is what lets harnesses and CLIs pick a worker
+//! [`ShadowTable`](spinrace_detector::shadow::ShadowTable) shard seam,
+//! while every synchronization-relevant event is broadcast so each
+//! worker's thread vector clocks evolve exactly as a sequential
+//! detector's would. Which worker owns which shard is a precomputed
+//! [`SchedulePlan`]:
+//!
+//! * [`Schedule::Static`] — worker `i` of `W` owns shard `s` iff
+//!   `s % W == i`, for the whole stream. Oblivious to skew.
+//! * [`Schedule::Balanced`] (the default) — a pre-pass histograms
+//!   owner-routed events per shard and LPT bin-packing spreads the load;
+//!   when the distribution shifts mid-stream, the plan schedules whole
+//!   shards to *change hands* at chunk boundaries (planned stealing).
+//!   At a boundary the departing owner exports the shard's shadow pages
+//!   plus the contents of the lockset ids they reference, and the new
+//!   owner re-interns and implants them before touching any event past
+//!   the boundary — per-shard event order is untouched, so the merged
+//!   result stays byte-identical to [`Schedule::Static`] and to
+//!   sequential replay.
+//!
+//! The merged result — reports, racy contexts, promotion counts, and the
+//! full [`DetectorMetrics`](spinrace_detector::DetectorMetrics) — is
+//! **bit-identical** to a sequential replay for any worker count and
+//! either schedule, which is what lets harnesses and CLIs pick a worker
 //! count from the machine without perturbing a single table number (the
-//! CI `replay-determinism` job holds `--workers 1/2/4/8` to byte-equal
-//! output).
+//! CI `replay-determinism` job holds `--schedule balanced --workers
+//! 1/2/4/8` to byte-equal output).
+//!
+//! At `workers <= 1` [`run_sharded`] takes the **sequential fast path**:
+//! a plain [`RaceDetector`] loop with no seed pre-pass, no pool, and no
+//! per-access ownership gate, so a 1-worker "parallel" detection costs
+//! the same as a plain replay. ([`run_sharded_with_plan`] keeps the full
+//! worker/merge machinery reachable at 1 worker for determinism tests.)
 //!
 //! The determinism mechanics (promotion-seed pre-pass, tagged report
-//! attempts, the lockset op log) live in [`spinrace_detector::sharded`];
-//! this module owns the orchestration: seed computation, event routing,
-//! the `std::thread::scope` pool, and the fragment merge.
+//! attempts, the lockset op log, shard handoffs) live in
+//! [`spinrace_detector::sharded`]; this module owns the orchestration:
+//! seed computation, plan construction, event routing, the
+//! `std::thread::scope` pool, the boundary handoff protocol, and the
+//! fragment merge.
 //!
 //! ```
 //! use spinrace_core::{parallel, Session, Tool};
@@ -55,11 +78,14 @@
 //! ```
 
 use spinrace_detector::{
-    compute_promotion_seeds, event_route, merge_fragments, DetectorConfig, EventRoute,
-    MergedDetection, RaceDetector, ShardSpec, WorkerFragment, NUM_SHARDS,
+    compute_promotion_seeds, event_route, merge_fragments, shard_of, DetectorConfig, EventRoute,
+    MergedDetection, PromotionSeeds, RaceDetector, SchedulePlan, ShardHandoff, ShardSpec,
+    ShardTransfer, WorkerFragment, NUM_SHARDS,
 };
-use spinrace_vm::Event;
-use std::sync::Arc;
+use spinrace_vm::{Event, EventSink};
+use std::sync::{Arc, Condvar, Mutex};
+
+pub use spinrace_detector::Schedule;
 
 /// A sensible worker count for this machine: the available parallelism,
 /// clamped to the shard count (extra workers would own no shards).
@@ -70,37 +96,163 @@ pub fn default_workers() -> usize {
         .min(NUM_SHARDS)
 }
 
-/// Replay `events` under `cfg` on `workers` scoped threads and merge the
-/// fragments into the sequential detection result. `workers` is clamped
-/// to `1..=`[`NUM_SHARDS`]; the output is identical for every worker
-/// count (including 1, which still exercises the full worker/merge
-/// machinery — useful as the determinism baseline).
+/// Replay `events` under `cfg` on `workers` scoped threads with the
+/// default [`Schedule::Balanced`] plan and merge the fragments into the
+/// sequential detection result. `workers` is clamped to
+/// `1..=`[`NUM_SHARDS`]; the output is identical for every worker count.
+/// At 1 worker this routes through the plain sequential detector loop —
+/// no pool, no ownership gate (use [`run_sharded_with_plan`] to force
+/// the worker machinery at width 1).
 pub fn run_sharded(cfg: DetectorConfig, events: &[Event], workers: usize) -> MergedDetection {
+    run_sharded_scheduled(cfg, events, workers, Schedule::default())
+}
+
+/// [`run_sharded`] with an explicit scheduling mode.
+pub fn run_sharded_scheduled(
+    cfg: DetectorConfig,
+    events: &[Event],
+    workers: usize,
+    schedule: Schedule,
+) -> MergedDetection {
     let workers = workers.clamp(1, NUM_SHARDS);
+    if workers <= 1 {
+        return run_sequential(cfg, events);
+    }
     let seeds = Arc::new(compute_promotion_seeds(cfg, events));
+    let plan = Arc::new(make_plan(cfg, &seeds, events, workers, schedule));
+    run_planned(cfg, events, &seeds, &plan)
+}
+
+/// Replay under an explicit precomputed [`SchedulePlan`], always through
+/// the full worker/merge machinery — even at `plan.workers() == 1`,
+/// which is the determinism baseline the proptests force.
+pub fn run_sharded_with_plan(
+    cfg: DetectorConfig,
+    events: &[Event],
+    plan: Arc<SchedulePlan>,
+) -> MergedDetection {
+    let seeds = Arc::new(compute_promotion_seeds(cfg, events));
+    run_planned(cfg, events, &seeds, &plan)
+}
+
+/// Replay `events` once per configuration on **one** scoped worker pool:
+/// each worker thread processes every configuration's job in order, so a
+/// tool fan-out over the same trace pays thread spawn/join once instead
+/// of once per tool. Results are merged per configuration, in input
+/// order, each byte-identical to its sequential replay.
+pub fn run_many_sharded(
+    cfgs: &[DetectorConfig],
+    events: &[Event],
+    workers: usize,
+    schedule: Schedule,
+) -> Vec<MergedDetection> {
+    let workers = workers.clamp(1, NUM_SHARDS);
+    if workers <= 1 {
+        return cfgs
+            .iter()
+            .map(|&cfg| run_sequential(cfg, events))
+            .collect();
+    }
+    let jobs: Vec<Job> = cfgs
+        .iter()
+        .map(|&cfg| {
+            let seeds = Arc::new(compute_promotion_seeds(cfg, events));
+            let plan = Arc::new(make_plan(cfg, &seeds, events, workers, schedule));
+            Job::new(cfg, seeds, plan)
+        })
+        .collect();
+    let mut per_worker: Vec<Vec<WorkerFragment>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|index| {
+                let jobs = &jobs;
+                s.spawn(move || {
+                    jobs.iter()
+                        .map(|job| worker_pass(events, job, index))
+                        .collect::<Vec<WorkerFragment>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            per_worker.push(h.join().expect("replay worker panicked"));
+        }
+    });
+    let mut columns: Vec<_> = per_worker.into_iter().map(|v| v.into_iter()).collect();
+    cfgs.iter()
+        .map(|cfg| {
+            let fragments: Vec<WorkerFragment> =
+                columns.iter_mut().map(|c| c.next().unwrap()).collect();
+            merge_fragments(cfg.context_cap, fragments)
+        })
+        .collect()
+}
+
+/// The single-worker fast path: a plain sequential detector fed through
+/// the ordinary [`EventSink`] loop, sealed into the merged-detection
+/// shape. No seed pre-pass, no plan, no ownership gate per access.
+fn run_sequential(cfg: DetectorConfig, events: &[Event]) -> MergedDetection {
+    let mut det = RaceDetector::new(cfg);
+    for ev in events {
+        det.on_event(ev);
+    }
+    det.into_detection()
+}
+
+fn make_plan(
+    cfg: DetectorConfig,
+    seeds: &PromotionSeeds,
+    events: &[Event],
+    workers: usize,
+    schedule: Schedule,
+) -> SchedulePlan {
+    match schedule {
+        Schedule::Static => SchedulePlan::static_plan(workers),
+        Schedule::Balanced => SchedulePlan::balanced(cfg, seeds, events, workers),
+    }
+}
+
+/// One configuration's replay job on the shared pool: the config, its
+/// promotion seeds and plan, and one rendezvous slot per planned shard
+/// transfer for the boundary handoff protocol.
+struct Job {
+    cfg: DetectorConfig,
+    seeds: Arc<PromotionSeeds>,
+    plan: Arc<SchedulePlan>,
+    transfers: Vec<ShardTransfer>,
+    slots: Vec<(Mutex<Option<ShardHandoff>>, Condvar)>,
+}
+
+impl Job {
+    fn new(cfg: DetectorConfig, seeds: Arc<PromotionSeeds>, plan: Arc<SchedulePlan>) -> Job {
+        let transfers = plan.transfers();
+        let slots = transfers
+            .iter()
+            .map(|_| (Mutex::new(None), Condvar::new()))
+            .collect();
+        Job {
+            cfg,
+            seeds,
+            plan,
+            transfers,
+            slots,
+        }
+    }
+}
+
+fn run_planned(
+    cfg: DetectorConfig,
+    events: &[Event],
+    seeds: &Arc<PromotionSeeds>,
+    plan: &Arc<SchedulePlan>,
+) -> MergedDetection {
+    let job = Job::new(cfg, Arc::clone(seeds), Arc::clone(plan));
+    let workers = plan.workers();
     let mut fragments: Vec<WorkerFragment> = Vec::with_capacity(workers);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|index| {
-                let seeds = Arc::clone(&seeds);
-                s.spawn(move || {
-                    let spec = ShardSpec { workers, index };
-                    let mut det = RaceDetector::new_worker(cfg, spec, Arc::clone(&seeds));
-                    // Each worker scans the shared slice and routes
-                    // inline — the routing work parallelizes with the
-                    // detection work instead of being a serial
-                    // partitioning pass.
-                    for (i, ev) in events.iter().enumerate() {
-                        let mine = match event_route(cfg, &seeds, ev) {
-                            EventRoute::Broadcast => true,
-                            EventRoute::Owner(addr) => spec.owns_addr(addr),
-                        };
-                        if mine {
-                            det.on_event_at(i as u64, ev);
-                        }
-                    }
-                    det.into_fragment()
-                })
+                let job = &job;
+                s.spawn(move || worker_pass(events, job, index))
             })
             .collect();
         for h in handles {
@@ -108,6 +260,63 @@ pub fn run_sharded(cfg: DetectorConfig, events: &[Event], workers: usize) -> Mer
         }
     });
     merge_fragments(cfg.context_cap, fragments)
+}
+
+/// One worker's scan of the whole event slice: route inline, process
+/// owned + broadcast events, and at each plan boundary run the handoff
+/// protocol — publish **all** departing shards first, then block on
+/// incoming ones, then switch the ownership gate to the next phase.
+/// Publishing before waiting makes the protocol deadlock-free by
+/// induction over boundaries: every worker reaches every boundary (all
+/// workers scan the full slice), and a worker that waits has already
+/// published everything its peers at this boundary could need.
+fn worker_pass(events: &[Event], job: &Job, index: usize) -> WorkerFragment {
+    let Job {
+        cfg,
+        seeds,
+        plan,
+        transfers,
+        slots,
+    } = job;
+    let spec = ShardSpec::planned(Arc::clone(plan), index);
+    let mut det = RaceDetector::new_worker(*cfg, spec, Arc::clone(seeds));
+    // Local copy of the current phase's assignment keeps the per-event
+    // ownership gate a plain array index.
+    let mut cur = *plan.assignment(0);
+    let boundaries = plan.boundaries();
+    let mut next_phase = 1usize;
+    for (i, ev) in events.iter().enumerate() {
+        while next_phase <= boundaries.len() && i as u64 >= boundaries[next_phase - 1] {
+            let b = next_phase - 1;
+            for (t, slot) in transfers.iter().zip(slots) {
+                if t.boundary == b && t.from == index {
+                    let handoff = det.export_shard(t.shard);
+                    *slot.0.lock().expect("handoff slot poisoned") = Some(handoff);
+                    slot.1.notify_all();
+                }
+            }
+            for (t, slot) in transfers.iter().zip(slots) {
+                if t.boundary == b && t.to == index {
+                    let mut guard = slot.0.lock().expect("handoff slot poisoned");
+                    while guard.is_none() {
+                        guard = slot.1.wait(guard).expect("handoff slot poisoned");
+                    }
+                    det.import_shard(guard.take().unwrap());
+                }
+            }
+            det.enter_phase(next_phase);
+            cur = *plan.assignment(next_phase);
+            next_phase += 1;
+        }
+        let mine = match event_route(*cfg, seeds, ev) {
+            EventRoute::Broadcast => true,
+            EventRoute::Owner(addr) => cur[shard_of(addr)] as usize == index,
+        };
+        if mine {
+            det.on_event_at(i as u64, ev);
+        }
+    }
+    det.into_fragment()
 }
 
 #[cfg(test)]
@@ -163,6 +372,21 @@ mod tests {
         mb.finish().unwrap()
     }
 
+    fn assert_matches_sequential(merged: &MergedDetection, seq: &RaceDetector, what: &str) {
+        assert_eq!(
+            merged.reports.reports(),
+            seq.reports().reports(),
+            "reports diverge: {what}"
+        );
+        assert_eq!(merged.reports.contexts(), seq.racy_contexts(), "{what}");
+        assert_eq!(
+            merged.promoted_locations,
+            seq.promoted_locations(),
+            "{what}"
+        );
+        assert_eq!(merged.metrics, seq.metrics(), "metrics diverge: {what}");
+    }
+
     #[test]
     fn sharded_replay_equals_sequential_for_all_worker_counts() {
         let m = mixed_module();
@@ -175,20 +399,124 @@ mod tests {
         ] {
             let mut seq = RaceDetector::new(cfg);
             trace.replay(&mut seq);
-            for workers in [1, 2, 3, 4, 8] {
-                let merged = run_sharded(cfg, &trace.events, workers);
-                assert_eq!(
-                    merged.reports.reports(),
-                    seq.reports().reports(),
-                    "reports diverge at {workers} workers"
-                );
-                assert_eq!(merged.reports.contexts(), seq.racy_contexts());
-                assert_eq!(merged.promoted_locations, seq.promoted_locations());
-                assert_eq!(
-                    merged.metrics,
-                    seq.metrics(),
-                    "metrics diverge at {workers} workers"
-                );
+            for schedule in [Schedule::Static, Schedule::Balanced] {
+                for workers in [1, 2, 3, 4, 8] {
+                    let merged = run_sharded_scheduled(cfg, &trace.events, workers, schedule);
+                    assert_matches_sequential(
+                        &merged,
+                        &seq,
+                        &format!("{workers} workers, {schedule}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_worker_forced_through_the_engine_equals_the_fast_path() {
+        // run_sharded at 1 worker takes the sequential fast path; a
+        // 1-worker *plan* forces the full worker/merge machinery. Both
+        // must agree with a plain sequential detector.
+        let m = mixed_module();
+        let trace = record_run(&m, VmConfig::round_robin(), "test").unwrap();
+        for cfg in [
+            DetectorConfig::helgrind_lib_spin(MsmMode::Short),
+            DetectorConfig::drd(),
+        ] {
+            let mut seq = RaceDetector::new(cfg);
+            trace.replay(&mut seq);
+            let fast = run_sharded(cfg, &trace.events, 1);
+            assert_matches_sequential(&fast, &seq, "fast path");
+            let forced =
+                run_sharded_with_plan(cfg, &trace.events, Arc::new(SchedulePlan::static_plan(1)));
+            assert_matches_sequential(&forced, &seq, "forced 1-worker engine");
+            assert_eq!(fast.reports.reports(), forced.reports.reports());
+            assert_eq!(fast.metrics, forced.metrics);
+        }
+    }
+
+    /// A raw stream whose hot shard moves mid-stream: phase A hammers
+    /// shard 0 (with a lock held, so shard cells carry lockset ids),
+    /// phase B hammers shards 2 and 3. A small-chunk balanced plan must
+    /// schedule at least one shard handoff, and the handed-off replay
+    /// must still be byte-identical to sequential.
+    #[test]
+    fn planned_shard_handoffs_preserve_sequential_results() {
+        use spinrace_vm::Event;
+        let pc = |n| spinrace_tir::Pc::new(spinrace_tir::FuncId(0), spinrace_tir::BlockId(0), n);
+        let write = |tid: u32, addr: u64, at: u32| Event::Write {
+            tid,
+            addr,
+            value: 1,
+            pc: pc(at),
+            stack: 0,
+            atomic: None,
+        };
+        let mut events = vec![
+            Event::Spawn {
+                parent: 0,
+                child: 1,
+                pc: pc(0),
+            },
+            Event::MutexLock {
+                tid: 1,
+                mutex: 0x9000,
+                pc: pc(1),
+            },
+        ];
+        // A few locked writes to shard 2 first, so the shard that later
+        // changes hands carries populated cells whose lockset ids must be
+        // re-interned by the importer.
+        for i in 0..8u64 {
+            events.push(write(1, (2 << 6) | i, 5));
+        }
+        // Phase A: 256 writes to shard 0 (addresses 0x00..0x3F plus page
+        // strides keep shard_of == 0), lock held.
+        for i in 0..256u64 {
+            events.push(write(1, (i % 64) | ((i / 64) << 9), 10));
+        }
+        events.push(Event::MutexUnlock {
+            tid: 1,
+            mutex: 0x9000,
+            pc: pc(2),
+        });
+        // Phase B: the traffic moves to shards 2 and 3.
+        for i in 0..128u64 {
+            let shard = 2 + (i % 2);
+            events.push(write(1, (shard << 6) | (i % 64), 20));
+        }
+        let cfg = DetectorConfig::helgrind_lib(MsmMode::Short);
+        let seeds = compute_promotion_seeds(cfg, &events);
+        let plan = SchedulePlan::balanced_chunked(cfg, &seeds, &events, 2, 64);
+        assert!(
+            plan.handoffs() > 0,
+            "the shifted stream must schedule a steal, got {:?}",
+            plan.transfers()
+        );
+        let mut seq = RaceDetector::new(cfg);
+        for ev in &events {
+            seq.on_event(ev);
+        }
+        let merged = run_sharded_with_plan(cfg, &events, Arc::new(plan));
+        assert_matches_sequential(&merged, &seq, "handed-off replay");
+    }
+
+    #[test]
+    fn run_many_matches_individual_runs() {
+        let m = mixed_module();
+        let trace = record_run(&m, VmConfig::round_robin(), "test").unwrap();
+        let cfgs = [
+            DetectorConfig::helgrind_lib(MsmMode::Short),
+            DetectorConfig::helgrind_lib_spin(MsmMode::Long),
+            DetectorConfig::drd(),
+        ];
+        for workers in [1, 2, 4] {
+            let many = run_many_sharded(&cfgs, &trace.events, workers, Schedule::Balanced);
+            assert_eq!(many.len(), cfgs.len());
+            for (cfg, merged) in cfgs.iter().zip(&many) {
+                let mut seq = RaceDetector::new(*cfg);
+                trace.replay(&mut seq);
+                assert_matches_sequential(merged, &seq, &format!("pooled at {workers} workers"));
             }
         }
     }
@@ -244,7 +572,6 @@ mod tests {
         let cfg = DetectorConfig::helgrind_lib(MsmMode::Short).with_cap(1);
         let mut seq = RaceDetector::new(cfg);
         for ev in &events {
-            use spinrace_vm::EventSink;
             seq.on_event(ev);
         }
         assert!(seq.reports().dropped() > 0, "the scenario must saturate");

@@ -20,6 +20,7 @@
 //! spin windows that accepted the same loops. Harnesses exploit this by
 //! caching [`ExecutedRun`]s per fingerprint and fanning detection out.
 
+use crate::parallel::Schedule;
 use crate::{AnalysisOutcome, AnalyzeError, DescribedReport, Tool};
 use spinrace_detector::{DetectorConfig, MsmMode, RaceDetector};
 use spinrace_spinfind::{SpinCriteria, SpinFinder};
@@ -338,33 +339,83 @@ impl ExecutedRun {
 
     // ---- parallel sharded replay (see `crate::parallel`) ----
 
-    /// Replay under this module's own tool on `workers` threads. The
-    /// outcome — reports, contexts, metrics, promotions — is bit-identical
-    /// to [`ExecutedRun::detect`] for every worker count.
+    /// Replay under this module's own tool on `workers` threads with the
+    /// default [`Schedule::Balanced`] plan. The outcome — reports,
+    /// contexts, metrics, promotions — is bit-identical to
+    /// [`ExecutedRun::detect`] for every worker count and schedule; at
+    /// 1 worker this takes the sequential fast path (no pool, no
+    /// ownership gate — same cost as [`ExecutedRun::detect`]).
     pub fn detect_parallel(&self, workers: usize) -> AnalysisOutcome {
         self.detect_with_parallel(self.prepared.default_config(), workers)
+    }
+
+    /// [`ExecutedRun::detect_parallel`] with an explicit scheduling mode.
+    pub fn detect_parallel_scheduled(&self, workers: usize, schedule: Schedule) -> AnalysisOutcome {
+        self.detect_with_parallel_scheduled(self.prepared.default_config(), workers, schedule)
     }
 
     /// Parallel replay under an explicit detector configuration (labelled
     /// with this module's own tool).
     pub fn detect_with_parallel(&self, cfg: DetectorConfig, workers: usize) -> AnalysisOutcome {
-        self.parallel_outcome(self.prepared.tool.label(), cfg, workers)
+        self.detect_with_parallel_scheduled(cfg, workers, Schedule::default())
+    }
+
+    /// [`ExecutedRun::detect_with_parallel`] with an explicit schedule.
+    pub fn detect_with_parallel_scheduled(
+        &self,
+        cfg: DetectorConfig,
+        workers: usize,
+        schedule: Schedule,
+    ) -> AnalysisOutcome {
+        self.parallel_outcome(self.prepared.tool.label(), cfg, workers, schedule)
     }
 
     /// Parallel replay under *another tool's* configuration — the
     /// fingerprint-sharing contract of [`ExecutedRun::detect_as`] applies.
     pub fn detect_as_parallel(&self, tool: Tool, workers: usize) -> AnalysisOutcome {
-        self.parallel_outcome(tool.label(), self.prepared.config_for(tool), workers)
+        self.detect_as_parallel_scheduled(tool, workers, Schedule::default())
     }
 
-    /// Parallel fan-out: one recorded execution, many parallel detections.
+    /// [`ExecutedRun::detect_as_parallel`] with an explicit schedule.
+    pub fn detect_as_parallel_scheduled(
+        &self,
+        tool: Tool,
+        workers: usize,
+        schedule: Schedule,
+    ) -> AnalysisOutcome {
+        self.parallel_outcome(
+            tool.label(),
+            self.prepared.config_for(tool),
+            workers,
+            schedule,
+        )
+    }
+
+    /// Parallel fan-out: one recorded execution, many parallel detections
+    /// on **one** shared worker pool (threads are spawned once, not once
+    /// per configuration — see [`crate::parallel::run_many_sharded`]).
     pub fn detect_many_parallel(
         &self,
         cfgs: &[DetectorConfig],
         workers: usize,
     ) -> Vec<AnalysisOutcome> {
-        cfgs.iter()
-            .map(|&cfg| self.detect_with_parallel(cfg, workers))
+        let label = self.prepared.tool.label();
+        crate::parallel::run_many_sharded(cfgs, &self.trace.events, workers, Schedule::default())
+            .into_iter()
+            .map(|merged| self.merged_outcome(label.clone(), merged))
+            .collect()
+    }
+
+    /// Tool fan-out on one shared pool: replay once per tool in `tools`,
+    /// each labelled with its own tool. Every tool must satisfy the
+    /// fingerprint-sharing contract of [`ExecutedRun::detect_as`].
+    pub fn detect_many_as_parallel(&self, tools: &[Tool], workers: usize) -> Vec<AnalysisOutcome> {
+        let cfgs: Vec<DetectorConfig> =
+            tools.iter().map(|&t| self.prepared.config_for(t)).collect();
+        crate::parallel::run_many_sharded(&cfgs, &self.trace.events, workers, Schedule::default())
+            .into_iter()
+            .zip(tools)
+            .map(|(merged, tool)| self.merged_outcome(tool.label(), merged))
             .collect()
     }
 
@@ -373,8 +424,18 @@ impl ExecutedRun {
         label: String,
         cfg: DetectorConfig,
         workers: usize,
+        schedule: Schedule,
     ) -> AnalysisOutcome {
-        let merged = crate::parallel::run_sharded(cfg, &self.trace.events, workers);
+        let merged =
+            crate::parallel::run_sharded_scheduled(cfg, &self.trace.events, workers, schedule);
+        self.merged_outcome(label, merged)
+    }
+
+    fn merged_outcome(
+        &self,
+        label: String,
+        merged: spinrace_detector::MergedDetection,
+    ) -> AnalysisOutcome {
         self.prepared.assemble_parts(
             label,
             &merged.reports,
@@ -464,6 +525,48 @@ mod tests {
         assert_eq!(outs.len(), 2);
         assert!(outs[0].contexts >= outs[1].contexts);
         assert_eq!(outs[1].contexts, 1, "cap 1 clamps the context count");
+    }
+
+    #[test]
+    fn pooled_tool_fanout_matches_individual_parallel_detections() {
+        let m = racy();
+        let run = Session::for_module(&m)
+            .prepare(Tool::HelgrindLib)
+            .unwrap()
+            .execute()
+            .unwrap();
+        // Lib and DRD share the unmodified module's fingerprint, so both
+        // may replay this recording (the detect_as contract).
+        let tools = [Tool::HelgrindLib, Tool::Drd];
+        for workers in [1, 2, 4] {
+            let pooled = run.detect_many_as_parallel(&tools, workers);
+            assert_eq!(pooled.len(), tools.len());
+            for (tool, out) in tools.iter().zip(&pooled) {
+                let solo = run.detect_as(*tool);
+                assert_eq!(out.tool_label, solo.tool_label);
+                assert_eq!(out.contexts, solo.contexts, "{workers} workers");
+                assert_eq!(out.reports.len(), solo.reports.len());
+                assert_eq!(out.metrics, solo.metrics, "{workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_variants_agree_with_sequential() {
+        let m = racy();
+        let run = Session::for_module(&m)
+            .prepare(Tool::HelgrindLibSpin { window: 7 })
+            .unwrap()
+            .execute()
+            .unwrap();
+        let seq = run.detect();
+        for schedule in [Schedule::Static, Schedule::Balanced] {
+            for workers in [1, 2, 4, 8] {
+                let par = run.detect_parallel_scheduled(workers, schedule);
+                assert_eq!(par.contexts, seq.contexts, "{schedule} at {workers}");
+                assert_eq!(par.metrics, seq.metrics, "{schedule} at {workers}");
+            }
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::lockset::{LocksetId, LocksetTable};
 use crate::report::{AccessSummary, RaceKind, RaceReport, ReportCollector};
 use crate::shadow::{AccessRecord, ReadState, ShadowTable};
 use crate::sharded::{
-    emit_report, LocksetOp, PromotionSeeds, ShardSpec, WorkerFragment, WorkerState,
+    emit_report, LocksetOp, PromotionSeeds, ShardHandoff, ShardSpec, WorkerFragment, WorkerState,
 };
 use crate::vc::{Epoch, VectorClock};
 use fxhash::FxHashMap;
@@ -94,12 +94,6 @@ impl RaceDetector {
         spec: ShardSpec,
         seeds: Arc<PromotionSeeds>,
     ) -> RaceDetector {
-        assert!(
-            spec.workers >= 1 && spec.index < spec.workers,
-            "invalid shard spec: worker {}/{}",
-            spec.index,
-            spec.workers
-        );
         let mut d = RaceDetector::new(cfg);
         d.worker = Some(Box::new(WorkerState::new(spec, seeds)));
         d
@@ -136,15 +130,92 @@ impl RaceDetector {
     }
 
     /// Does this detector process plain accesses to `addr`? Always true
-    /// sequentially; in a worker, only for owned shards. Broadcast events
-    /// that fall through to the plain-access path (e.g. a write to an
-    /// eventually-promoted location before its promotion) stop here on
-    /// non-owners.
+    /// sequentially; in a worker, only for shards the current phase
+    /// assigns to it. Broadcast events that fall through to the
+    /// plain-access path (e.g. a write to an eventually-promoted location
+    /// before its promotion) stop here on non-owners.
     #[inline]
     fn owns(&self, addr: u64) -> bool {
         match &self.worker {
             None => true,
-            Some(w) => w.spec.owns_addr(addr),
+            Some(w) => w.owns_addr(addr),
+        }
+    }
+
+    /// Worker mode: switch to `phase`'s shard assignment. Call only after
+    /// the boundary's [`ShardHandoff`]s have been exchanged — the gate and
+    /// the shadow state must change hands together.
+    pub fn enter_phase(&mut self, phase: usize) {
+        self.worker
+            .as_mut()
+            .expect("enter_phase requires a worker-mode detector")
+            .enter_phase(phase);
+    }
+
+    /// Export shard `s` for an ownership handoff: lift the shadow shard
+    /// out wholesale and attach the contents of every lockset id its
+    /// cells reference (ids are worker-local; the importer re-interns by
+    /// contents).
+    pub fn export_shard(&mut self, s: usize) -> ShardHandoff {
+        let payload = self.shadow.extract_shard(s);
+        let mut ids: Vec<LocksetId> = payload
+            .cells()
+            .filter_map(|c| c.write_lockset.map(|(id, ..)| id))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let locksets = ids
+            .into_iter()
+            .map(|id| (id, self.locksets.get(id).to_vec()))
+            .collect();
+        ShardHandoff {
+            shard: s,
+            payload,
+            locksets,
+        }
+    }
+
+    /// Import a handed-off shard: re-intern the sender's lockset sets
+    /// locally, rewrite the cells' ids, and implant the shadow pages.
+    /// Receiver-local interning cannot perturb the merged metrics — the
+    /// merged lockset table is rebuilt purely from the op log — and any
+    /// set present here was already created in the sequential table by
+    /// this point of the stream, so the logger's intern-dedup stays
+    /// faithful (see [`crate::sharded`]'s module docs).
+    pub fn import_shard(&mut self, handoff: ShardHandoff) {
+        let ShardHandoff {
+            shard,
+            mut payload,
+            locksets,
+        } = handoff;
+        let map: FxHashMap<LocksetId, LocksetId> = locksets
+            .into_iter()
+            .map(|(old, contents)| (old, self.locksets.intern_presorted(&contents)))
+            .collect();
+        for cell in payload.cells_mut() {
+            if let Some((id, ..)) = &mut cell.write_lockset {
+                *id = map[id];
+            }
+        }
+        self.shadow.implant_shard(shard, payload);
+    }
+
+    /// Seal a *sequential* detector into the merged-detection shape — the
+    /// single-worker fast path of parallel replay, which skips the seed
+    /// pre-pass, the pool, and the per-access ownership gate entirely and
+    /// is therefore exactly as fast as a plain replay.
+    pub fn into_detection(mut self) -> crate::sharded::MergedDetection {
+        assert!(
+            self.worker.is_none(),
+            "into_detection is the sequential fast path; workers merge via fragments"
+        );
+        let metrics = self.metrics();
+        let promoted_locations = self.sync_loc.len();
+        let reports = std::mem::replace(&mut self.reports, ReportCollector::new(0));
+        crate::sharded::MergedDetection {
+            reports,
+            metrics,
+            promoted_locations,
         }
     }
 

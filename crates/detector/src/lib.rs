@@ -45,9 +45,10 @@ pub use lockset::{LocksetId, LocksetTable};
 pub use metrics::DetectorMetrics;
 pub use reference::ReferenceDetector;
 pub use report::{AccessSummary, RaceKind, RaceReport, ReportCollector};
-pub use shadow::{shard_of, NUM_SHARDS};
+pub use shadow::{shard_of, ExtractedShard, NUM_SHARDS};
 pub use sharded::{
-    compute_promotion_seeds, event_route, merge_fragments, EventRoute, MergedDetection,
-    PromotionSeeds, ShardSpec, WorkerFragment,
+    compute_promotion_seeds, event_route, merge_fragments, shard_occupancy, EventRoute,
+    MergedDetection, PromotionSeeds, Schedule, SchedulePlan, ShardHandoff, ShardSpec,
+    ShardTransfer, WorkerFragment,
 };
 pub use vc::{Epoch, VectorClock};

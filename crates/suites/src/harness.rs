@@ -13,14 +13,18 @@
 //!
 //! Detection itself runs through the **parallel sharded replay** engine
 //! (`spinrace_core::parallel`) with as many workers as the machine
-//! offers. Parallel replay is bit-identical to sequential replay for any
-//! worker count, so the tables are still byte-for-byte the paper's
-//! numbers on every machine — the pinned-table regression tests double as
-//! a determinism check for the parallel engine.
+//! offers, and the tools sharing one execution fan out on **one** shared
+//! worker pool ([`spinrace_core::ExecutedRun::detect_many_as_parallel`])
+//! — thread spawn/join is paid once per distinct execution, not once per
+//! tool, which is what lets tiny traces run at full pool width. Parallel
+//! replay is bit-identical to sequential replay for any worker count, so
+//! the tables are still byte-for-byte the paper's numbers on every
+//! machine — the pinned-table regression tests double as a determinism
+//! check for the parallel engine.
 
 use crate::drt::DrtCase;
 use crate::parsec::ParsecProgram;
-use spinrace_core::{parallel, AnalysisOutcome, ExecutedRun, Session, Tool};
+use spinrace_core::{parallel, AnalysisOutcome, PreparedModule, Session, Tool};
 
 /// The report cap used for drt runs. Small enough that a determined
 /// false-positive flood can drown a late real race (the paper's removed
@@ -95,41 +99,60 @@ pub fn classify(case: &DrtCase, out: &AnalysisOutcome) -> (bool, bool) {
     }
 }
 
-/// Below this many events the scoped-pool spawn constant dominates any
-/// parallel win, so the harness caps the pool at two workers there —
-/// still the real parallel engine (partition + merge, keeping the pinned
-/// tables a determinism check), just without paying a full-width scan of
-/// a tiny stream on every worker.
-const SMALL_TRACE_EVENTS: usize = 10_000;
-
-/// Prepare `tool` for the session, then replay a cached trace if another
-/// tool's preparation already produced (and executed) the same module;
-/// otherwise execute once and cache the run. Detection replays the trace
-/// through the sharded parallel engine — identical results at any width.
-/// (Shared with the generated-workloads table in [`crate::workloads`].)
-pub(crate) fn outcome_via_cache(
+/// Run a whole tool lineup over one session: prepare every tool, group
+/// the prepared modules by fingerprint (first-seen order), execute each
+/// distinct module once, and fan each group's detections out on **one**
+/// shared worker pool. Returns per-tool outcomes in lineup order plus the
+/// number of VM executions performed; a prepare/execute failure surfaces
+/// as that tool's (or that whole group's) `Err`. (Shared with the
+/// generated-workloads table in [`crate::workloads`].)
+pub(crate) fn lineup_outcomes(
     session: &Session<'_>,
-    tool: Tool,
-    cache: &mut Vec<ExecutedRun>,
-) -> Result<AnalysisOutcome, String> {
-    let workers_for = |run: &ExecutedRun| {
-        if run.trace().events.len() < SMALL_TRACE_EVENTS {
-            parallel::default_workers().min(2)
-        } else {
-            parallel::default_workers()
+    tools: &[Tool],
+) -> (Vec<Result<AnalysisOutcome, String>>, usize) {
+    let mut results: Vec<Option<Result<AnalysisOutcome, String>>> =
+        (0..tools.len()).map(|_| None).collect();
+    // Distinct prepared modules, each with the lineup indices sharing it.
+    let mut groups: Vec<(PreparedModule, Vec<usize>)> = Vec::new();
+    for (ti, &tool) in tools.iter().enumerate() {
+        match session.prepare(tool) {
+            Ok(p) => {
+                if let Some((_, members)) = groups
+                    .iter_mut()
+                    .find(|(g, _)| g.fingerprint() == p.fingerprint())
+                {
+                    members.push(ti);
+                } else {
+                    groups.push((p, vec![ti]));
+                }
+            }
+            Err(e) => results[ti] = Some(Err(e.to_string())),
         }
-    };
-    let prepared = session.prepare(tool).map_err(|e| e.to_string())?;
-    if let Some(run) = cache
-        .iter()
-        .find(|r| r.prepared().fingerprint() == prepared.fingerprint())
-    {
-        return Ok(run.detect_as_parallel(tool, workers_for(run)));
     }
-    let run = prepared.execute().map_err(|e| e.to_string())?;
-    let out = run.detect_as_parallel(tool, workers_for(&run));
-    cache.push(run);
-    Ok(out)
+    let mut vm_runs = 0;
+    for (prepared, members) in groups {
+        match prepared.execute() {
+            Ok(run) => {
+                vm_runs += 1;
+                let member_tools: Vec<Tool> = members.iter().map(|&ti| tools[ti]).collect();
+                let outs = run.detect_many_as_parallel(&member_tools, parallel::default_workers());
+                for (ti, out) in members.into_iter().zip(outs) {
+                    results[ti] = Some(Ok(out));
+                }
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                for ti in members {
+                    results[ti] = Some(Err(msg.clone()));
+                }
+            }
+        }
+    }
+    let outcomes = results
+        .into_iter()
+        .map(|r| r.expect("every tool prepared or grouped"))
+        .collect();
+    (outcomes, vm_runs)
 }
 
 /// Run the full drt suite for each tool (round-robin schedule, short MSM,
@@ -152,9 +175,10 @@ pub fn run_drt_with(tools: &[Tool], cases: &[DrtCase]) -> DrtTable {
     let mut vm_runs = 0;
     for case in cases {
         let session = Session::for_module(&case.module).cap(DRT_CAP);
-        let mut cache: Vec<ExecutedRun> = Vec::with_capacity(tools.len());
-        for (ti, &tool) in tools.iter().enumerate() {
-            match outcome_via_cache(&session, tool, &mut cache) {
+        let (outs, runs) = lineup_outcomes(&session, tools);
+        vm_runs += runs;
+        for (ti, (&tool, result)) in tools.iter().zip(outs).enumerate() {
+            match result {
                 Ok(out) => {
                     let (detected, fa) = classify(case, &out);
                     if case.racy && !detected {
@@ -193,7 +217,6 @@ pub fn run_drt_with(tools: &[Tool], cases: &[DrtCase]) -> DrtTable {
                 }
             }
         }
-        vm_runs += cache.len();
     }
     let rows = tools
         .iter()
@@ -268,9 +291,10 @@ pub fn run_parsec(programs: &[ParsecProgram], tools: &[Tool], seeds: &[u64]) -> 
             if prog.obscure_nolib {
                 session = session.obscure_nolib();
             }
-            let mut cache: Vec<ExecutedRun> = Vec::with_capacity(tools.len());
-            for (ti, &tool) in tools.iter().enumerate() {
-                let contexts = match outcome_via_cache(&session, tool, &mut cache) {
+            let (outs, runs) = lineup_outcomes(&session, tools);
+            vm_runs += runs;
+            for (ti, result) in outs.into_iter().enumerate() {
+                let contexts = match result {
                     Ok(out) => out.contexts,
                     // A failed run counts as saturation (a real tool would
                     // report "analysis incomplete").
@@ -278,7 +302,6 @@ pub fn run_parsec(programs: &[ParsecProgram], tools: &[Tool], seeds: &[u64]) -> 
                 };
                 counts[ti].push(contexts);
             }
-            vm_runs += cache.len();
         }
         let row = counts
             .iter()

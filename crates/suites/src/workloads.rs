@@ -6,7 +6,7 @@
 //! numbers are wrong". This table runs the `spinrace-workloads`
 //! generator families (both the race-free and the seeded variants of
 //! each) through the tool lineup and classifies every outcome against
-//! the workload's own [`Oracle`](spinrace_workloads::Oracle): a failing
+//! the workload's own [`Oracle`]: a failing
 //! row is a *soundness* bug (a
 //! missed injected race) or a *completeness* bug (a report on a
 //! correct-by-construction program) — no recorded baseline involved.
@@ -16,8 +16,8 @@
 //! through the parallel sharded engine, so the table doubles as a
 //! determinism check for the merge path on oracle-bearing streams.
 
-use crate::harness::outcome_via_cache;
-use spinrace_core::{AnalysisOutcome, ExecutedRun, Session, Tool};
+use crate::harness::lineup_outcomes;
+use spinrace_core::{AnalysisOutcome, Session, Tool};
 use spinrace_workloads::{Family, Oracle, OracleVerdict, WorkloadSpec};
 
 /// Judge one analysis outcome against a workload oracle: every described
@@ -126,9 +126,10 @@ pub fn run_workloads_with(tools: &[Tool], specs: &[WorkloadSpec]) -> WorkloadTab
     for spec in specs {
         let wl = spec.build();
         let session = Session::for_module(&wl.module).vm_config(spec.vm_config());
-        let mut cache: Vec<ExecutedRun> = Vec::with_capacity(tools.len());
-        for &tool in tools {
-            let row = match outcome_via_cache(&session, tool, &mut cache) {
+        let (outs, runs) = lineup_outcomes(&session, tools);
+        vm_runs += runs;
+        for (&tool, result) in tools.iter().zip(outs) {
+            let row = match result {
                 Ok(out) => {
                     let verdict = judge_outcome(&wl.oracle, &out);
                     WorkloadRow {
@@ -159,7 +160,6 @@ pub fn run_workloads_with(tools: &[Tool], specs: &[WorkloadSpec]) -> WorkloadTab
             };
             rows.push(row);
         }
-        vm_runs += cache.len();
     }
     WorkloadTable { rows, vm_runs }
 }

@@ -1,15 +1,17 @@
 //! Differential proptest for parallel sharded replay: for random small
-//! modules, every tool in the paper lineup, and every worker count, the
-//! parallel replay of a recorded trace must be **bit-identical** to the
-//! sequential replay *and* to the live run — same racy contexts, same
-//! described report lists (content and order), same detector metrics,
-//! same promotion counts. This is the determinism guarantee the CI
-//! `replay-determinism` job re-checks end-to-end through the `trace` CLI,
-//! and the property that lets harnesses pick a worker count from the
-//! machine without perturbing a single table number.
+//! modules, every tool in the paper lineup, every worker count, and both
+//! scheduling modes (occupancy-balanced LPT and static modular
+//! ownership), the parallel replay of a recorded trace must be
+//! **bit-identical** to the sequential replay *and* to the live run —
+//! same racy contexts, same described report lists (content and order),
+//! same detector metrics, same promotion counts. This is the determinism
+//! guarantee the CI `replay-determinism` job re-checks end-to-end
+//! through the `trace` CLI, and the property that lets harnesses pick a
+//! worker count (and the scheduler pick shard owners) from the machine
+//! without perturbing a single table number.
 
 use proptest::prelude::*;
-use spinrace::core::{Analyzer, Session, Tool};
+use spinrace::core::{Analyzer, Schedule, Session, Tool};
 use spinrace::detector::{shard_of, NUM_SHARDS};
 use spinrace::tir::{Module, ModuleBuilder};
 use spinrace::workloads::{Family, WorkloadSpec};
@@ -119,8 +121,10 @@ proptest! {
             prop_assert_eq!(&sequential.metrics, &live.metrics, "live metrics under {}", &label);
 
             // Parallel replay ≡ sequential replay, for every worker count
-            // (1 exercises the full worker/merge machinery; 3 leaves a
-            // worker owning a ragged shard subset; 8 is one per shard).
+            // (1 takes the sequential fast path — the engine-forced
+            // 1-worker machinery is pinned in `spinrace_core::parallel`'s
+            // own tests; 3 leaves a worker owning a ragged shard subset;
+            // 8 is one per shard).
             for workers in [1usize, 2, 3, 4, 8] {
                 let par = run.detect_parallel(workers);
                 prop_assert_eq!(
@@ -149,6 +153,21 @@ proptest! {
                 prop_assert_eq!(&par.tool_label, &label);
             }
 
+            // The static schedule must land on the same bytes as the
+            // balanced default (a ragged and a full-shard width suffice —
+            // the schedules only differ in shard→worker placement).
+            for workers in [3usize, 4] {
+                let par = run.detect_parallel_scheduled(workers, Schedule::Static);
+                prop_assert_eq!(
+                    par.contexts, sequential.contexts,
+                    "static contexts under {} at {} workers", &label, workers
+                );
+                prop_assert_eq!(
+                    &par.metrics, &sequential.metrics,
+                    "static metrics under {} at {} workers", &label, workers
+                );
+            }
+
             // The detect_as cross-tool path too: lib and DRD share one
             // prepared module, so a lib recording can replay as DRD.
             if tool == Tool::HelgrindLib {
@@ -162,33 +181,45 @@ proptest! {
 }
 
 /// Replay a generated workload under one tool and check every worker
-/// width against the sequential replay (full outcome equality), returning
-/// the sequential outcome for further assertions.
+/// width × schedule against the sequential replay *and* the live run
+/// (full outcome equality), returning the sequential outcome for further
+/// assertions. One teed execution provides both the live detection and
+/// the replayable trace.
 fn workload_widths_equal_sequential(
     spec: WorkloadSpec,
     tool: Tool,
 ) -> (spinrace::core::AnalysisOutcome, Vec<spinrace::vm::Event>) {
     let wl = spec.build();
-    let run = Session::for_module(&wl.module)
+    let (run, live) = Session::for_module(&wl.module)
         .vm_config(spec.vm_config())
         .prepare(tool)
         .unwrap()
-        .execute()
+        .execute_detecting()
         .unwrap();
     let sequential = run.detect();
-    for workers in [1usize, 2, 3, 4, 8] {
-        let par = run.detect_parallel(workers);
-        assert_eq!(par.contexts, sequential.contexts, "{workers} workers");
-        assert_eq!(par.reports.len(), sequential.reports.len());
-        for (a, b) in par.reports.iter().zip(&sequential.reports) {
-            assert_eq!(a.location, b.location, "{workers} workers");
-            assert_eq!(a.report, b.report, "{workers} workers");
+    assert_eq!(sequential.contexts, live.contexts, "sequential vs live");
+    assert_eq!(sequential.metrics, live.metrics, "sequential vs live");
+    for schedule in [Schedule::Balanced, Schedule::Static] {
+        for workers in [1usize, 2, 3, 4, 8] {
+            let par = run.detect_parallel_scheduled(workers, schedule);
+            assert_eq!(
+                par.contexts, sequential.contexts,
+                "{workers} workers, {schedule}"
+            );
+            assert_eq!(par.reports.len(), sequential.reports.len());
+            for (a, b) in par.reports.iter().zip(&sequential.reports) {
+                assert_eq!(a.location, b.location, "{workers} workers, {schedule}");
+                assert_eq!(a.report, b.report, "{workers} workers, {schedule}");
+            }
+            assert_eq!(
+                par.metrics, sequential.metrics,
+                "{workers} workers, {schedule}"
+            );
+            assert_eq!(
+                par.promoted_locations, sequential.promoted_locations,
+                "{workers} workers, {schedule}"
+            );
         }
-        assert_eq!(par.metrics, sequential.metrics, "{workers} workers");
-        assert_eq!(
-            par.promoted_locations, sequential.promoted_locations,
-            "{workers} workers"
-        );
     }
     let events = run.trace().events.clone();
     (sequential, events)
@@ -211,17 +242,15 @@ fn shard_histogram(events: &[spinrace::vm::Event]) -> [u64; NUM_SHARDS] {
     hist
 }
 
-/// Zipf-skewed streams at the static-shard-ownership seam.
+/// Zipf-skewed streams at the shard-ownership seam.
 ///
-/// This pins the *current* behaviour as a baseline for future
-/// work-stealing: shard ownership is static (`shard % workers == worker`),
-/// so a skewed address distribution concentrates most plain accesses in a
-/// few shards — the histogram assertion below documents that the skewed
-/// stream really is lopsided (the hottest shard carries more than twice
-/// an even share) while the results nevertheless stay bit-identical to
-/// sequential replay at every width. When work-stealing lands, the
-/// determinism half of this test must keep passing; only the
-/// load-balance characteristics may change.
+/// The histogram assertion below documents that the skewed stream really
+/// is lopsided (the hottest shard carries more than twice an even share)
+/// — the imbalance the occupancy-balanced scheduler spreads across
+/// workers where static modular ownership cannot. The helper holds both
+/// schedules to bit-identical results at every width, so the scheduler's
+/// load-balance freedom is provably invisible in the output; only the
+/// wall-clock characteristics may differ between modes.
 #[test]
 fn zipf_skew_is_deterministic_across_widths_despite_shard_imbalance() {
     let spec = WorkloadSpec::new(Family::Zipf)
@@ -240,8 +269,8 @@ fn zipf_skew_is_deterministic_across_widths_despite_shard_imbalance() {
     // With 8 shards an even split gives every shard 1/8 of the traffic;
     // skew 3 concentrates indices so hard that the hottest shard owns
     // more than 2/8. This is the imbalance static ownership cannot
-    // spread — the measured motivation for the work-stealing roadmap
-    // item.
+    // spread and the balanced LPT plan packs around — the measured
+    // motivation for the occupancy-aware scheduler.
     assert!(
         max as f64 > 2.0 * total as f64 / NUM_SHARDS as f64,
         "expected a skewed shard histogram, got {hist:?}"
@@ -264,6 +293,37 @@ fn zipf_skew_is_deterministic_across_widths_despite_shard_imbalance() {
         (umax as f64) < 1.5 * utotal as f64 / NUM_SHARDS as f64,
         "uniform stream should be near-even, got {uhist:?}"
     );
+}
+
+/// The stealing-mode sweep the scheduler was built for: zipf streams at
+/// every skew level that concentrates traffic (2, 3, 4 — progressively
+/// hotter single shards), two tools, both schedules, workers 1–8, each
+/// held to sequential ≡ live with full metrics. The balanced plan packs
+/// these skewed histograms differently at every width; none of it may
+/// move a byte of output. Seeded variants inject real races so the
+/// report merge path is exercised, not just clean streams.
+#[test]
+fn zipf_skew_family_is_identical_across_schedules_tools_and_widths() {
+    for skew in [2u32, 3, 4] {
+        for races in [0u32, 2] {
+            let spec = WorkloadSpec::new(Family::Zipf)
+                .threads(4)
+                .events_per_thread(1_500)
+                .addr_space(4_096)
+                .skew(skew)
+                .races(races)
+                .seed(40 + skew as u64);
+            for tool in [Tool::HelgrindLibSpin { window: 7 }, Tool::Drd] {
+                let (out, _) = workload_widths_equal_sequential(spec, tool);
+                assert_eq!(
+                    out.contexts,
+                    races as usize,
+                    "skew {skew} races {races} under {}",
+                    tool.label()
+                );
+            }
+        }
+    }
 }
 
 /// Wide-thread fan-out (≥32 threads) across the parallel engine: worker

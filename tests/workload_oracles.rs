@@ -2,7 +2,8 @@
 //! set is known by construction, checked against **every** tool in the
 //! paper lineup, for **every** detection path — live (detector attached
 //! to the VM run), sequential trace replay, and parallel sharded replay
-//! at 1/2/4/8 workers.
+//! at 1/2/4/8 workers under the occupancy-balanced scheduler plus a
+//! static-ownership cross-check.
 //!
 //! This turns the tool lineup from "matches recorded numbers" into
 //! "sound and complete on known ground truth": race-free families must
@@ -11,7 +12,7 @@
 //! variable and thread pair (no misses, no extras).
 
 use proptest::prelude::*;
-use spinrace::core::{AnalysisOutcome, Session, Tool};
+use spinrace::core::{AnalysisOutcome, Schedule, Session, Tool};
 use spinrace::suites::judge_outcome;
 use spinrace::workloads::{Family, Workload, WorkloadSpec};
 
@@ -48,6 +49,7 @@ fn check_spec(spec: WorkloadSpec) -> Result<(), TestCaseError> {
         let sequential = run.detect();
         assert_oracle(&wl, &sequential, "sequential replay")?;
         for workers in [1usize, 2, 4, 8] {
+            // The default path is the occupancy-balanced scheduler …
             let par = run.detect_parallel(workers);
             assert_oracle(&wl, &par, &format!("parallel x{workers}"))?;
             // Parallel replay must agree with sequential bit-for-bit,
@@ -55,6 +57,10 @@ fn check_spec(spec: WorkloadSpec) -> Result<(), TestCaseError> {
             prop_assert_eq!(&par.metrics, &sequential.metrics);
             prop_assert_eq!(par.reports.len(), sequential.reports.len());
         }
+        // … and static modular ownership must land on the same bytes.
+        let stat = run.detect_parallel_scheduled(4, Schedule::Static);
+        assert_oracle(&wl, &stat, "parallel x4 static")?;
+        prop_assert_eq!(&stat.metrics, &sequential.metrics);
     }
     Ok(())
 }
