@@ -13,9 +13,22 @@
 //!           [--seed N] [--tool <TOOL>] [--out FILE] [--json FILE]
 //! trace replay FILE [--tool <TOOL>] [--long-msm] [--cap N]
 //!              [--workers N] [--schedule static|balanced] [--json FILE]
+//!              [--fault panic:W:N|delay:W:N:MS|drop:W:N] [--watchdog MS]
+//!              [--handoff-timeout MS] [--max-events N] [--max-shadow-bytes N]
 //! trace inspect FILE [--events N]
 //! trace stats FILE
 //! ```
+//!
+//! Exit codes: `0` success, `1` runtime failure (I/O, engine error,
+//! oracle violation), `2` usage or malformed input (bad flags, bad
+//! fault spec, undecodable trace file).
+//!
+//! `replay --fault` injects a deterministic fault into one pool worker
+//! (see `spinrace_core::parallel::FaultPlan`); `--watchdog` bounds the
+//! whole replay, `--max-events`/`--max-shadow-bytes` set resource
+//! budgets (`0` disables each). Any of these turns an engine failure
+//! into a one-line structured error and exit code 1 — never a hang or
+//! an abort.
 //!
 //! `gen` records a trace of a *generated* workload
 //! (`spinrace-workloads`): a parameterized program with computable
@@ -43,7 +56,9 @@
 //! `replay-determinism` job byte-compares these files across worker
 //! counts and against the live run.
 
-use spinrace_core::{AnalysisOutcome, ExecutedRun, Schedule, Session, Tool};
+use spinrace_core::{
+    AnalysisOutcome, Budget, EngineOptions, ExecutedRun, FaultPlan, Schedule, Session, Tool,
+};
 use spinrace_detector::MsmMode;
 use spinrace_detector::{shard_occupancy, NUM_SHARDS};
 use spinrace_suites::all_programs;
@@ -52,7 +67,7 @@ use spinrace_vm::{Event, Trace};
 use spinrace_workloads::{Family, WorkloadSpec};
 use std::collections::BTreeMap;
 use std::process::exit;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -103,19 +118,21 @@ fn parse_tool(s: &str) -> Tool {
     }
 }
 
+/// Load a trace file, exiting with code 2 (malformed input) on an
+/// unreadable or undecodable file — one diagnostic line, no panic.
 fn load(path: &str) -> Trace {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: cannot read {path}: {e}");
-            exit(1);
+            exit(2);
         }
     };
     match Trace::from_json(&text) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: {path}: {e}");
-            exit(1);
+            exit(2);
         }
     }
 }
@@ -147,13 +164,26 @@ fn outcome_json(out: &AnalysisOutcome) -> serde_json::Value {
     })
 }
 
-/// Write the outcome JSON when `--json FILE` was given.
-fn maybe_write_json(args: &[String], out: &AnalysisOutcome) {
+/// Write the outcome JSON when `--json FILE` was given. Returns the
+/// exit code contribution: `0` on success (or no `--json`), `1` when
+/// rendering or writing failed.
+#[must_use]
+fn maybe_write_json(args: &[String], out: &AnalysisOutcome) -> i32 {
     if let Some(path) = opt(args, "--json") {
-        let text = serde_json::to_string_pretty(&outcome_json(out)).expect("render json");
-        std::fs::write(&path, text + "\n").expect("write outcome json");
+        let text = match serde_json::to_string_pretty(&outcome_json(out)) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot render outcome json: {e}");
+                return 1;
+            }
+        };
+        if let Err(e) = std::fs::write(&path, text + "\n") {
+            eprintln!("error: cannot write {path}: {e}");
+            return 1;
+        }
         println!("wrote {path}");
     }
+    0
 }
 
 fn record(args: &[String]) -> i32 {
@@ -205,7 +235,10 @@ fn record(args: &[String]) -> i32 {
     };
     let out_path = opt(args, "--out").unwrap_or_else(|| format!("{name}.trace.json"));
     let trace = run.trace();
-    std::fs::write(&out_path, trace.to_json() + "\n").expect("write trace");
+    if let Err(e) = std::fs::write(&out_path, trace.to_json() + "\n") {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return 1;
+    }
     println!(
         "recorded {name} under {}: {} events, {} steps, fingerprint {:#018x}",
         trace.header.tool_label,
@@ -218,8 +251,7 @@ fn record(args: &[String]) -> i32 {
         outcome.contexts, outcome.promoted_locations
     );
     println!("wrote {out_path}");
-    maybe_write_json(args, &outcome);
-    0
+    maybe_write_json(args, &outcome)
 }
 
 /// `gen`: record a generated workload with computable ground truth.
@@ -277,7 +309,10 @@ fn gen(args: &[String]) -> i32 {
     };
     let out_path = opt(args, "--out").unwrap_or_else(|| format!("{}.trace.json", spec.name()));
     let trace = run.trace();
-    std::fs::write(&out_path, trace.to_json() + "\n").expect("write trace");
+    if let Err(e) = std::fs::write(&out_path, trace.to_json() + "\n") {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return 1;
+    }
     println!(
         "generated {} under {}: {} events, {} steps, fingerprint {:#018x}",
         spec.name(),
@@ -288,7 +323,10 @@ fn gen(args: &[String]) -> i32 {
     );
     println!("oracle: {}", wl.oracle.describe());
     println!("wrote {out_path}");
-    maybe_write_json(args, &outcome);
+    let json_code = maybe_write_json(args, &outcome);
+    if json_code != 0 {
+        return json_code;
+    }
 
     // The workload knows its ground truth — hold the recording run's own
     // detection to it.
@@ -312,7 +350,8 @@ fn replay(args: &[String]) -> i32 {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         eprintln!(
             "usage: trace replay FILE [--tool T] [--long-msm] [--cap N] [--workers N] \
-             [--schedule static|balanced] [--json FILE]"
+             [--schedule static|balanced] [--json FILE] [--fault panic:W:N|delay:W:N:MS|drop:W:N] \
+             [--watchdog MS] [--handoff-timeout MS] [--max-events N] [--max-shadow-bytes N]"
         );
         return 2;
     };
@@ -344,6 +383,42 @@ fn replay(args: &[String]) -> i32 {
             }
         },
     };
+    let fault: Option<FaultPlan> = match opt(args, "--fault") {
+        None => None,
+        Some(s) => match s.parse() {
+            Ok(f) => Some(f),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        },
+    };
+    // `0` disables each limit (and is each one's default).
+    let watchdog_ms: u64 = num_opt(args, "--watchdog", 0);
+    let handoff_ms: u64 = num_opt(args, "--handoff-timeout", 10_000);
+    let max_events: u64 = num_opt(args, "--max-events", 0);
+    let max_shadow: u64 = num_opt(args, "--max-shadow-bytes", 0);
+    if fault.is_some() && workers < 2 {
+        eprintln!("error: --fault injects into a pool worker; pass --workers 2 or more");
+        return 2;
+    }
+    if (watchdog_ms > 0 || max_events > 0 || max_shadow > 0) && workers == 0 {
+        eprintln!(
+            "error: --watchdog/--max-events/--max-shadow-bytes take the engine path; \
+             pass --workers (1 for a budgeted sequential replay)"
+        );
+        return 2;
+    }
+    let opts = EngineOptions {
+        schedule,
+        handoff_timeout: Duration::from_millis(handoff_ms),
+        watchdog: (watchdog_ms > 0).then(|| Duration::from_millis(watchdog_ms)),
+        budget: Budget {
+            max_events: (max_events > 0).then_some(max_events),
+            max_shadow_bytes: (max_shadow > 0).then_some(max_shadow as usize),
+        },
+        fault,
+    };
 
     // Rebuild a prepared module the trace matches, so reports resolve to
     // source locations and the fingerprint check rejects stale traces.
@@ -356,7 +431,13 @@ fn replay(args: &[String]) -> i32 {
         Some(run) => {
             let t0 = Instant::now();
             let out = if workers > 0 {
-                run.detect_as_parallel_scheduled(tool, workers, schedule)
+                match run.try_detect_as_parallel_opts(tool, workers, opts) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return 1;
+                    }
+                }
             } else {
                 run.detect_as(tool)
             };
@@ -384,8 +465,7 @@ fn replay(args: &[String]) -> i32 {
             if out.reports.len() > 10 {
                 println!("  … {} more", out.reports.len() - 10);
             }
-            maybe_write_json(args, &out);
-            0
+            maybe_write_json(args, &out)
         }
         None => {
             eprintln!(
@@ -400,12 +480,18 @@ fn replay(args: &[String]) -> i32 {
             let cfg = tool.detector_config(msm, cap);
             let t0 = Instant::now();
             let (contexts, promoted, reports) = if workers > 0 {
-                let merged = spinrace_core::parallel::run_sharded_scheduled(
+                let merged = match spinrace_core::parallel::try_run_sharded_opts(
                     cfg,
                     &trace.events,
                     workers,
-                    schedule,
-                );
+                    opts,
+                ) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return 1;
+                    }
+                };
                 (
                     merged.reports.contexts(),
                     merged.promoted_locations,

@@ -57,7 +57,10 @@
 pub mod parallel;
 pub mod session;
 
-pub use parallel::Schedule;
+pub use parallel::{
+    Budget, BudgetResource, EngineError, EngineOptions, FaultKind, FaultPlan, PartialMetrics,
+    Schedule,
+};
 pub use session::{ExecutedRun, PreparedModule, Session};
 
 use spinrace_detector::{DetectorMetrics, MsmMode, RaceReport};

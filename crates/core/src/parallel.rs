@@ -42,6 +42,25 @@
 //! `std::thread::scope` pool, the boundary handoff protocol, and the
 //! fragment merge.
 //!
+//! # Failure modes
+//!
+//! The engine is **panic-safe and hang-free**: every worker runs under
+//! `catch_unwind`, the first failure flips a shared cancellation flag
+//! that every worker polls (in its event loop and inside every handoff
+//! wait, which is a `wait_timeout` loop — no worker ever blocks
+//! indefinitely on a dead peer's slot), and the coordinator joins all
+//! workers and returns the first [`EngineError`] instead of propagating
+//! the panic. The `try_run_*` entry points surface this as a `Result`;
+//! the original infallible names remain as thin wrappers that panic with
+//! the rendered error, preserving their historical behavior for callers
+//! that treat engine failure as a bug. [`EngineOptions`] additionally
+//! carries per-detection resource budgets ([`Budget`] — graceful
+//! [`EngineError::BudgetExhausted`] with partial metrics), an optional
+//! global watchdog, and a deterministic [`FaultPlan`] (panic / delay /
+//! dropped handoff at the Nth event of worker W; off by default and a
+//! single predictable compare per event when disabled) that CI uses to
+//! prove every fault yields a structured error within a bounded wait.
+//!
 //! ```
 //! use spinrace_core::{parallel, Session, Tool};
 //! use spinrace_tir::ModuleBuilder;
@@ -78,14 +97,326 @@
 //! ```
 
 use spinrace_detector::{
-    compute_promotion_seeds, event_route, merge_fragments, shard_of, DetectorConfig, EventRoute,
-    MergedDetection, PromotionSeeds, RaceDetector, SchedulePlan, ShardHandoff, ShardSpec,
-    ShardTransfer, WorkerFragment, NUM_SHARDS,
+    compute_promotion_seeds, event_route, shard_of, try_merge_fragments, DetectorConfig,
+    EventRoute, MergedDetection, PromotionSeeds, RaceDetector, SchedulePlan, ShardHandoff,
+    ShardSpec, ShardTransfer, WorkerFragment, NUM_SHARDS,
 };
+use spinrace_vm::trace::TraceError;
 use spinrace_vm::{Event, EventSink};
-use std::sync::{Arc, Condvar, Mutex};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 pub use spinrace_detector::Schedule;
+
+/// How often (in events) workers poll for cancellation, the watchdog,
+/// and the shadow budget: every 4096 events, so the hot loop pays one
+/// masked compare per event in the common case.
+const PERIODIC_MASK: usize = 0xFFF;
+
+/// Granularity of a handoff wait: a stalled receiver re-checks the
+/// cancellation flag at least this often, so a peer's failure unblocks
+/// it within one tick even if the wake-up notification is lost.
+const HANDOFF_TICK: Duration = Duration::from_millis(25);
+
+/// Granularity of an injected delay: the stalled worker keeps polling
+/// for cancellation, so a peer's watchdog can cut the delay short.
+const DELAY_TICK: Duration = Duration::from_millis(10);
+
+/// A structured parallel-replay failure. The engine returns the *first*
+/// failure it observed; later failures on other workers (usually
+/// cancellation fallout) are discarded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// A worker panicked; the payload is its rendered panic message.
+    WorkerPanic {
+        /// Index of the worker that panicked.
+        worker: usize,
+        /// The panic payload, downcast to a string where possible.
+        payload: String,
+    },
+    /// A shard-handoff receiver waited past the handoff watchdog — the
+    /// exporting peer is dead or stalled.
+    HandoffTimeout {
+        /// The waiting (importing) worker.
+        worker: usize,
+        /// The shard that never arrived.
+        shard: usize,
+        /// The plan boundary the handoff was scheduled at.
+        boundary: usize,
+        /// How long the receiver waited before giving up.
+        waited_ms: u64,
+    },
+    /// A worker produced neither a fragment nor an error — it went
+    /// silent (the defensive path fault injection's dropped-handoff
+    /// scenario exercises).
+    WorkerLost {
+        /// Index of the silent worker.
+        worker: usize,
+    },
+    /// The whole detection ran past [`EngineOptions::watchdog`].
+    Watchdog {
+        /// The configured limit.
+        limit_ms: u64,
+    },
+    /// A resource budget was exhausted; detection terminated gracefully
+    /// with partial results.
+    BudgetExhausted {
+        /// Which budget tripped.
+        resource: BudgetResource,
+        /// The configured ceiling.
+        limit: u64,
+        /// The observed value that exceeded it.
+        used: u64,
+        /// What the detection had seen when it stopped.
+        partial: PartialMetrics,
+    },
+    /// The trace could not be decoded at all (wraps
+    /// [`spinrace_vm::trace::TraceError`] so callers that feed the
+    /// engine from serialized traces have one error type end to end).
+    Trace(TraceError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::WorkerPanic { worker, payload } => {
+                write!(f, "replay worker {worker} panicked: {payload}")
+            }
+            EngineError::HandoffTimeout {
+                worker,
+                shard,
+                boundary,
+                waited_ms,
+            } => write!(
+                f,
+                "replay worker {worker} timed out after {waited_ms} ms waiting for the shard \
+                 {shard} handoff at boundary {boundary} (exporting peer dead or stalled)"
+            ),
+            EngineError::WorkerLost { worker } => write!(
+                f,
+                "replay worker {worker} exited without producing a fragment or reporting an error"
+            ),
+            EngineError::Watchdog { limit_ms } => {
+                write!(f, "replay exceeded the {limit_ms} ms watchdog")
+            }
+            EngineError::BudgetExhausted {
+                resource,
+                limit,
+                used,
+                partial,
+            } => write!(
+                f,
+                "{resource} budget exhausted ({used} > {limit}); stopped after {} event(s), \
+                 {} racy context(s) so far",
+                partial.events_processed, partial.contexts
+            ),
+            EngineError::Trace(e) => write!(f, "trace decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for EngineError {
+    fn from(e: TraceError) -> EngineError {
+        EngineError::Trace(e)
+    }
+}
+
+/// The resource whose [`Budget`] ceiling a detection ran into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetResource {
+    /// [`Budget::max_events`].
+    Events,
+    /// [`Budget::max_shadow_bytes`].
+    ShadowBytes,
+}
+
+impl fmt::Display for BudgetResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BudgetResource::Events => "event",
+            BudgetResource::ShadowBytes => "shadow-byte",
+        })
+    }
+}
+
+/// What a budget-terminated detection had seen when it stopped — enough
+/// to report "analysis incomplete after N events, K contexts" the way a
+/// production tool would.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PartialMetrics {
+    /// Events processed before termination.
+    pub events_processed: u64,
+    /// Racy contexts recorded so far (0 when the tripping pass cannot
+    /// see the merged collector — e.g. a single worker of a pool).
+    pub contexts: usize,
+    /// Shadow memory resident at termination, from the observing pass.
+    pub shadow_bytes: usize,
+}
+
+/// Per-detection resource ceilings. `None` (the default) means
+/// unlimited; enforcement is free when unlimited.
+///
+/// * `max_events` bounds the number of events a detection may process.
+///   It is exact and deterministic: the affordable prefix is replayed
+///   (sequentially) for faithful partial metrics, then
+///   [`EngineError::BudgetExhausted`] is returned.
+/// * `max_shadow_bytes` bounds resident shadow memory. It is checked
+///   periodically (every 4096 events) against a cheap
+///   O(shards) resident-size estimate; in a parallel run each worker
+///   checks its own shadow share, so the trip point may vary with the
+///   worker count — the guarantee is graceful termination, not a
+///   byte-stable threshold.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum events one detection may process.
+    pub max_events: Option<u64>,
+    /// Maximum resident shadow bytes (per sequential detection, or per
+    /// worker in a parallel run).
+    pub max_shadow_bytes: Option<usize>,
+}
+
+impl Budget {
+    /// Is every ceiling disabled?
+    pub fn is_unlimited(&self) -> bool {
+        self.max_events.is_none() && self.max_shadow_bytes.is_none()
+    }
+}
+
+/// What to inject, for [`FaultPlan`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic (caught by the pool; surfaces as
+    /// [`EngineError::WorkerPanic`]).
+    Panic,
+    /// Stall for the given number of milliseconds (cancellation-aware:
+    /// the sleep is cut short once a peer's watchdog fails the run).
+    Delay(u64),
+    /// Go silent: stop processing and never publish another handoff —
+    /// a model of a worker that died without unwinding. Surfaces as
+    /// [`EngineError::HandoffTimeout`] when a peer was waiting on it,
+    /// or [`EngineError::WorkerLost`] otherwise.
+    DropHandoff,
+}
+
+/// A deterministic injected fault: at the `at_event`-th event of worker
+/// `worker`, do `kind`. Off by default; when armed, the only per-event
+/// cost on the victim worker is one integer compare (other workers pay
+/// nothing — their trigger resolves to `u64::MAX`).
+///
+/// Parses from `panic:W:N`, `delay:W:N:MS`, and `drop:W:N` (the
+/// `trace replay --fault` spelling).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The worker the fault is injected into.
+    pub worker: usize,
+    /// The event index (in the full stream scan) at which it fires.
+    pub at_event: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FaultKind::Panic => write!(f, "panic:{}:{}", self.worker, self.at_event),
+            FaultKind::Delay(ms) => write!(f, "delay:{}:{}:{ms}", self.worker, self.at_event),
+            FaultKind::DropHandoff => write!(f, "drop:{}:{}", self.worker, self.at_event),
+        }
+    }
+}
+
+/// A fault spec [`FaultPlan::from_str`] could not parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseFaultError(pub String);
+
+impl fmt::Display for ParseFaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bad fault spec {:?} (expected panic:W:N, delay:W:N:MS or drop:W:N)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseFaultError {}
+
+impl FromStr for FaultPlan {
+    type Err = ParseFaultError;
+
+    fn from_str(s: &str) -> Result<FaultPlan, ParseFaultError> {
+        let bad = || ParseFaultError(s.to_string());
+        let num = |t: &str| t.trim().parse::<u64>().map_err(|_| bad());
+        let parts: Vec<&str> = s.split(':').collect();
+        let (kind, worker, at_event) = match parts.as_slice() {
+            ["panic", w, n] => (FaultKind::Panic, num(w)?, num(n)?),
+            ["delay", w, n, ms] => (FaultKind::Delay(num(ms)?), num(w)?, num(n)?),
+            ["drop", w, n] => (FaultKind::DropHandoff, num(w)?, num(n)?),
+            _ => return Err(bad()),
+        };
+        Ok(FaultPlan {
+            worker: usize::try_from(worker).map_err(|_| bad())?,
+            at_event,
+            kind,
+        })
+    }
+}
+
+/// Everything configurable about one engine run beyond the worker
+/// count. [`EngineOptions::default`] reproduces the historical engine
+/// behavior exactly (balanced schedule, 10 s handoff watchdog, no
+/// global watchdog, no budgets, no faults).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Shard-to-worker scheduling mode.
+    pub schedule: Schedule,
+    /// How long a receiver waits on one shard handoff before failing
+    /// the run with [`EngineError::HandoffTimeout`].
+    pub handoff_timeout: Duration,
+    /// Optional wall-clock ceiling for the whole detection
+    /// ([`EngineError::Watchdog`] when exceeded). `None` = unlimited.
+    pub watchdog: Option<Duration>,
+    /// Resource budgets.
+    pub budget: Budget,
+    /// Deterministic fault injection (tests/CI only; `None` in
+    /// production use).
+    pub fault: Option<FaultPlan>,
+}
+
+impl Default for EngineOptions {
+    fn default() -> EngineOptions {
+        EngineOptions {
+            schedule: Schedule::default(),
+            handoff_timeout: Duration::from_secs(10),
+            watchdog: None,
+            budget: Budget::default(),
+            fault: None,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// Defaults with an explicit schedule.
+    pub fn scheduled(schedule: Schedule) -> EngineOptions {
+        EngineOptions {
+            schedule,
+            ..EngineOptions::default()
+        }
+    }
+}
 
 /// A sensible worker count for this machine: the available parallelism,
 /// clamped to the shard count (extra workers would own no shards).
@@ -96,15 +427,23 @@ pub fn default_workers() -> usize {
         .min(NUM_SHARDS)
 }
 
+/// Unwrap an engine result the way the pre-`Result` engine behaved: a
+/// failure (necessarily a genuine worker panic back then) propagated as
+/// a panic out of the coordinator.
+pub(crate) fn expect_engine<T>(result: Result<T, EngineError>) -> T {
+    result.unwrap_or_else(|e| panic!("parallel replay failed: {e}"))
+}
+
 /// Replay `events` under `cfg` on `workers` scoped threads with the
 /// default [`Schedule::Balanced`] plan and merge the fragments into the
 /// sequential detection result. `workers` is clamped to
 /// `1..=`[`NUM_SHARDS`]; the output is identical for every worker count.
 /// At 1 worker this routes through the plain sequential detector loop —
 /// no pool, no ownership gate (use [`run_sharded_with_plan`] to force
-/// the worker machinery at width 1).
+/// the worker machinery at width 1). Panics when the engine fails; use
+/// [`try_run_sharded`] to handle failure as a value.
 pub fn run_sharded(cfg: DetectorConfig, events: &[Event], workers: usize) -> MergedDetection {
-    run_sharded_scheduled(cfg, events, workers, Schedule::default())
+    expect_engine(try_run_sharded(cfg, events, workers))
 }
 
 /// [`run_sharded`] with an explicit scheduling mode.
@@ -114,13 +453,7 @@ pub fn run_sharded_scheduled(
     workers: usize,
     schedule: Schedule,
 ) -> MergedDetection {
-    let workers = workers.clamp(1, NUM_SHARDS);
-    if workers <= 1 {
-        return run_sequential(cfg, events);
-    }
-    let seeds = Arc::new(compute_promotion_seeds(cfg, events));
-    let plan = Arc::new(make_plan(cfg, &seeds, events, workers, schedule));
-    run_planned(cfg, events, &seeds, &plan)
+    expect_engine(try_run_sharded_scheduled(cfg, events, workers, schedule))
 }
 
 /// Replay under an explicit precomputed [`SchedulePlan`], always through
@@ -131,71 +464,258 @@ pub fn run_sharded_with_plan(
     events: &[Event],
     plan: Arc<SchedulePlan>,
 ) -> MergedDetection {
-    let seeds = Arc::new(compute_promotion_seeds(cfg, events));
-    run_planned(cfg, events, &seeds, &plan)
+    expect_engine(try_run_sharded_with_plan(cfg, events, plan))
 }
 
 /// Replay `events` once per configuration on **one** scoped worker pool:
 /// each worker thread processes every configuration's job in order, so a
 /// tool fan-out over the same trace pays thread spawn/join once instead
 /// of once per tool. Results are merged per configuration, in input
-/// order, each byte-identical to its sequential replay.
+/// order, each byte-identical to its sequential replay. Panics when the
+/// engine fails; use [`try_run_many_sharded`] to handle failure.
 pub fn run_many_sharded(
     cfgs: &[DetectorConfig],
     events: &[Event],
     workers: usize,
     schedule: Schedule,
 ) -> Vec<MergedDetection> {
+    expect_engine(try_run_many_sharded(cfgs, events, workers, schedule))
+}
+
+/// Fallible [`run_sharded`].
+pub fn try_run_sharded(
+    cfg: DetectorConfig,
+    events: &[Event],
+    workers: usize,
+) -> Result<MergedDetection, EngineError> {
+    try_run_sharded_opts(cfg, events, workers, EngineOptions::default())
+}
+
+/// Fallible [`run_sharded_scheduled`].
+pub fn try_run_sharded_scheduled(
+    cfg: DetectorConfig,
+    events: &[Event],
+    workers: usize,
+    schedule: Schedule,
+) -> Result<MergedDetection, EngineError> {
+    try_run_sharded_opts(cfg, events, workers, EngineOptions::scheduled(schedule))
+}
+
+/// The full-control engine entry point: schedule, handoff watchdog,
+/// global watchdog, budgets, and fault injection via [`EngineOptions`].
+pub fn try_run_sharded_opts(
+    cfg: DetectorConfig,
+    events: &[Event],
+    workers: usize,
+    opts: EngineOptions,
+) -> Result<MergedDetection, EngineError> {
+    let workers = workers.clamp(1, NUM_SHARDS);
+    if workers <= 1 || exceeds_event_budget(events, &opts) {
+        // Either the sequential fast path proper, or graceful event-
+        // budget termination: the affordable prefix is replayed
+        // sequentially for faithful partial metrics, and the result is
+        // the budget error.
+        return try_run_sequential(cfg, events, opts);
+    }
+    let seeds = Arc::new(compute_promotion_seeds(cfg, events));
+    let plan = Arc::new(make_plan(cfg, &seeds, events, workers, opts.schedule));
+    try_run_planned(cfg, events, &seeds, &plan, opts)
+}
+
+/// Fallible [`run_sharded_with_plan`].
+pub fn try_run_sharded_with_plan(
+    cfg: DetectorConfig,
+    events: &[Event],
+    plan: Arc<SchedulePlan>,
+) -> Result<MergedDetection, EngineError> {
+    try_run_sharded_with_plan_opts(cfg, events, plan, EngineOptions::default())
+}
+
+/// [`try_run_sharded_with_plan`] with explicit [`EngineOptions`] — the
+/// entry point the fault-injection matrix drives (a precomputed plan
+/// pins the handoff topology the faults are aimed at).
+pub fn try_run_sharded_with_plan_opts(
+    cfg: DetectorConfig,
+    events: &[Event],
+    plan: Arc<SchedulePlan>,
+    opts: EngineOptions,
+) -> Result<MergedDetection, EngineError> {
+    if exceeds_event_budget(events, &opts) {
+        return try_run_sequential(cfg, events, opts);
+    }
+    let seeds = Arc::new(compute_promotion_seeds(cfg, events));
+    try_run_planned(cfg, events, &seeds, &plan, opts)
+}
+
+/// Fallible [`run_many_sharded`].
+pub fn try_run_many_sharded(
+    cfgs: &[DetectorConfig],
+    events: &[Event],
+    workers: usize,
+    schedule: Schedule,
+) -> Result<Vec<MergedDetection>, EngineError> {
+    try_run_many_sharded_opts(cfgs, events, workers, EngineOptions::scheduled(schedule))
+}
+
+/// [`try_run_many_sharded`] with explicit [`EngineOptions`]. The whole
+/// fan-out shares one pool and one cancellation domain: the first
+/// failure in any configuration's pass fails the batch.
+pub fn try_run_many_sharded_opts(
+    cfgs: &[DetectorConfig],
+    events: &[Event],
+    workers: usize,
+    opts: EngineOptions,
+) -> Result<Vec<MergedDetection>, EngineError> {
     let workers = workers.clamp(1, NUM_SHARDS);
     if workers <= 1 {
         return cfgs
             .iter()
-            .map(|&cfg| run_sequential(cfg, events))
+            .map(|&cfg| try_run_sequential(cfg, events, opts))
             .collect();
+    }
+    if exceeds_event_budget(events, &opts) {
+        let Some(&cfg) = cfgs.first() else {
+            return Ok(Vec::new());
+        };
+        return Err(try_run_sequential(cfg, events, opts)
+            .expect_err("prefix replay under an exceeded event budget must error"));
     }
     let jobs: Vec<Job> = cfgs
         .iter()
         .map(|&cfg| {
             let seeds = Arc::new(compute_promotion_seeds(cfg, events));
-            let plan = Arc::new(make_plan(cfg, &seeds, events, workers, schedule));
+            let plan = Arc::new(make_plan(cfg, &seeds, events, workers, opts.schedule));
             Job::new(cfg, seeds, plan)
         })
         .collect();
-    let mut per_worker: Vec<Vec<WorkerFragment>> = Vec::with_capacity(workers);
+    let shared = EngineShared::new(&opts);
+    let mut per_worker: Vec<Vec<Option<WorkerFragment>>> = Vec::with_capacity(workers);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|index| {
                 let jobs = &jobs;
+                let shared = &shared;
                 s.spawn(move || {
                     jobs.iter()
-                        .map(|job| worker_pass(events, job, index))
-                        .collect::<Vec<WorkerFragment>>()
+                        .map(|job| worker_pass_guarded(events, job, index, shared, opts))
+                        .collect::<Vec<Option<WorkerFragment>>>()
                 })
             })
             .collect();
-        for h in handles {
-            per_worker.push(h.join().expect("replay worker panicked"));
+        for (index, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(v) => per_worker.push(v),
+                Err(payload) => {
+                    shared.fail(EngineError::WorkerPanic {
+                        worker: index,
+                        payload: panic_message(payload.as_ref()),
+                    });
+                    per_worker.push(Vec::new());
+                }
+            }
         }
     });
+    if let Some(err) = shared.take() {
+        return Err(err);
+    }
     let mut columns: Vec<_> = per_worker.into_iter().map(|v| v.into_iter()).collect();
     cfgs.iter()
         .map(|cfg| {
-            let fragments: Vec<WorkerFragment> =
-                columns.iter_mut().map(|c| c.next().unwrap()).collect();
-            merge_fragments(cfg.context_cap, fragments)
+            let mut fragments = Vec::with_capacity(columns.len());
+            for (worker, c) in columns.iter_mut().enumerate() {
+                match c.next().flatten() {
+                    Some(f) => fragments.push(f),
+                    None => return Err(EngineError::WorkerLost { worker }),
+                }
+            }
+            try_merge_fragments(cfg.context_cap, fragments)
+                .ok_or(EngineError::WorkerLost { worker: 0 })
         })
         .collect()
 }
 
+/// Does `events` overflow the configured event budget?
+fn exceeds_event_budget(events: &[Event], opts: &EngineOptions) -> bool {
+    opts.budget
+        .max_events
+        .is_some_and(|max| events.len() as u64 > max)
+}
+
 /// The single-worker fast path: a plain sequential detector fed through
 /// the ordinary [`EventSink`] loop, sealed into the merged-detection
-/// shape. No seed pre-pass, no plan, no ownership gate per access.
-fn run_sequential(cfg: DetectorConfig, events: &[Event]) -> MergedDetection {
+/// shape. No seed pre-pass, no plan, no ownership gate per access —
+/// just the periodic watchdog/budget poll, which is dormant (two
+/// predictable compares every 4096 events) under default options.
+fn try_run_sequential(
+    cfg: DetectorConfig,
+    events: &[Event],
+    opts: EngineOptions,
+) -> Result<MergedDetection, EngineError> {
+    let limit = opts
+        .budget
+        .max_events
+        .map_or(events.len(), |m| (m as usize).min(events.len()));
+    let truncated = limit < events.len();
+    let deadline = opts.watchdog.map(|d| (Instant::now() + d, d));
+    let shadow_limit = opts.budget.max_shadow_bytes.unwrap_or(usize::MAX);
     let mut det = RaceDetector::new(cfg);
-    for ev in events {
+    for (i, ev) in events[..limit].iter().enumerate() {
+        if i & PERIODIC_MASK == 0 {
+            if let Some((at, d)) = deadline {
+                if Instant::now() >= at {
+                    return Err(EngineError::Watchdog {
+                        limit_ms: d.as_millis() as u64,
+                    });
+                }
+            }
+            if shadow_limit != usize::MAX {
+                let bytes = det.shadow_resident_bytes();
+                if bytes > shadow_limit {
+                    return Err(EngineError::BudgetExhausted {
+                        resource: BudgetResource::ShadowBytes,
+                        limit: shadow_limit as u64,
+                        used: bytes as u64,
+                        partial: PartialMetrics {
+                            events_processed: i as u64,
+                            contexts: det.racy_contexts(),
+                            shadow_bytes: bytes,
+                        },
+                    });
+                }
+            }
+        }
         det.on_event(ev);
     }
-    det.into_detection()
+    if truncated {
+        return Err(EngineError::BudgetExhausted {
+            resource: BudgetResource::Events,
+            limit: limit as u64,
+            used: events.len() as u64,
+            partial: PartialMetrics {
+                events_processed: limit as u64,
+                contexts: det.racy_contexts(),
+                shadow_bytes: det.shadow_resident_bytes(),
+            },
+        });
+    }
+    // Final shadow check: the periodic poll samples every 4096 events,
+    // so a short run that ends over budget is caught here.
+    if shadow_limit != usize::MAX {
+        let bytes = det.shadow_resident_bytes();
+        if bytes > shadow_limit {
+            return Err(EngineError::BudgetExhausted {
+                resource: BudgetResource::ShadowBytes,
+                limit: shadow_limit as u64,
+                used: bytes as u64,
+                partial: PartialMetrics {
+                    events_processed: events.len() as u64,
+                    contexts: det.racy_contexts(),
+                    shadow_bytes: bytes,
+                },
+            });
+        }
+    }
+    Ok(det.into_detection())
 }
 
 fn make_plan(
@@ -237,29 +757,232 @@ impl Job {
             slots,
         }
     }
+
+    /// Kick every handoff condvar so peers blocked in [`wait_for_handoff`]
+    /// re-check the cancellation flag immediately instead of on the next
+    /// tick. Purely a latency fast path — correctness never depends on a
+    /// notification arriving, because every wait is tick-bounded.
+    fn wake_all(&self) {
+        for slot in &self.slots {
+            slot.1.notify_all();
+        }
+    }
 }
 
-fn run_planned(
+/// Lock a mutex, ignoring poison: handoff slots hold plain data
+/// (`Option<ShardHandoff>`), and a panicking peer is reported through
+/// the engine's failure channel — a poisoned flag on the slot carries
+/// no extra information and must not cascade into more panics.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Cross-worker failure channel: the first error wins, flips the
+/// cancellation flag, and every worker drains out at its next periodic
+/// check or handoff-wait wakeup. Also owns the global watchdog deadline
+/// so any polling site can trip it.
+struct EngineShared {
+    cancelled: AtomicBool,
+    failure: Mutex<Option<EngineError>>,
+    deadline: Option<Instant>,
+    watchdog_ms: u64,
+}
+
+impl EngineShared {
+    fn new(opts: &EngineOptions) -> EngineShared {
+        EngineShared {
+            cancelled: AtomicBool::new(false),
+            failure: Mutex::new(None),
+            deadline: opts.watchdog.map(|d| Instant::now() + d),
+            watchdog_ms: opts.watchdog.map_or(0, |d| d.as_millis() as u64),
+        }
+    }
+
+    /// Record `err` if no failure is recorded yet, then cancel everyone.
+    fn fail(&self, err: EngineError) {
+        let mut guard = lock_unpoisoned(&self.failure);
+        if guard.is_none() {
+            *guard = Some(err);
+        }
+        drop(guard);
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Should the calling worker stop? True once any failure is recorded,
+    /// or once the global watchdog deadline passes (which records the
+    /// watchdog failure as a side effect).
+    fn should_stop(&self) -> bool {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(at) = self.deadline {
+            if Instant::now() >= at {
+                self.fail(EngineError::Watchdog {
+                    limit_ms: self.watchdog_ms,
+                });
+                return true;
+            }
+        }
+        false
+    }
+
+    fn take(&self) -> Option<EngineError> {
+        lock_unpoisoned(&self.failure).take()
+    }
+}
+
+/// Render a panic payload for [`EngineError::WorkerPanic`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn try_run_planned(
     cfg: DetectorConfig,
     events: &[Event],
     seeds: &Arc<PromotionSeeds>,
     plan: &Arc<SchedulePlan>,
-) -> MergedDetection {
+    opts: EngineOptions,
+) -> Result<MergedDetection, EngineError> {
     let job = Job::new(cfg, Arc::clone(seeds), Arc::clone(plan));
     let workers = plan.workers();
-    let mut fragments: Vec<WorkerFragment> = Vec::with_capacity(workers);
+    let shared = EngineShared::new(&opts);
+    let mut results: Vec<Option<WorkerFragment>> = Vec::with_capacity(workers);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|index| {
                 let job = &job;
-                s.spawn(move || worker_pass(events, job, index))
+                let shared = &shared;
+                s.spawn(move || worker_pass_guarded(events, job, index, shared, opts))
             })
             .collect();
-        for h in handles {
-            fragments.push(h.join().expect("replay worker panicked"));
+        for (index, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(fragment) => results.push(fragment),
+                Err(payload) => {
+                    // catch_unwind should have absorbed this; a panic
+                    // escaping the guard (e.g. from a Drop) still must
+                    // not abort the whole process.
+                    shared.fail(EngineError::WorkerPanic {
+                        worker: index,
+                        payload: panic_message(payload.as_ref()),
+                    });
+                    results.push(None);
+                }
+            }
         }
     });
-    merge_fragments(cfg.context_cap, fragments)
+    finish_engine(cfg, &shared, results)
+}
+
+/// Coordinator epilogue: surface the first recorded failure, detect
+/// silently-lost workers, or merge the complete fragment set.
+fn finish_engine(
+    cfg: DetectorConfig,
+    shared: &EngineShared,
+    results: Vec<Option<WorkerFragment>>,
+) -> Result<MergedDetection, EngineError> {
+    if let Some(err) = shared.take() {
+        return Err(err);
+    }
+    let mut fragments = Vec::with_capacity(results.len());
+    for (worker, r) in results.into_iter().enumerate() {
+        match r {
+            Some(f) => fragments.push(f),
+            None => return Err(EngineError::WorkerLost { worker }),
+        }
+    }
+    try_merge_fragments(cfg.context_cap, fragments).ok_or(EngineError::WorkerLost { worker: 0 })
+}
+
+/// [`worker_pass`] under a panic guard: a panic becomes a recorded
+/// [`EngineError::WorkerPanic`] plus cancellation, and any early exit
+/// (panic, fault, cancellation, budget) wakes all blocked peers so they
+/// drain promptly instead of on the next wait tick.
+fn worker_pass_guarded(
+    events: &[Event],
+    job: &Job,
+    index: usize,
+    shared: &EngineShared,
+    opts: EngineOptions,
+) -> Option<WorkerFragment> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        worker_pass(events, job, index, shared, opts)
+    }));
+    let fragment = match result {
+        Ok(f) => f,
+        Err(payload) => {
+            shared.fail(EngineError::WorkerPanic {
+                worker: index,
+                payload: panic_message(payload.as_ref()),
+            });
+            None
+        }
+    };
+    if fragment.is_none() {
+        job.wake_all();
+    }
+    fragment
+}
+
+/// Wait for the handoff published into `slot`, bounded by the per-handoff
+/// timeout and the engine's cancellation flag. Returns `None` (after
+/// recording [`EngineError::HandoffTimeout`] if it was a timeout) when
+/// the wait must be abandoned.
+fn wait_for_handoff(
+    slot: &(Mutex<Option<ShardHandoff>>, Condvar),
+    t: &ShardTransfer,
+    index: usize,
+    shared: &EngineShared,
+    opts: EngineOptions,
+) -> Option<ShardHandoff> {
+    let start = Instant::now();
+    let deadline = start + opts.handoff_timeout;
+    let mut guard = lock_unpoisoned(&slot.0);
+    loop {
+        if let Some(h) = guard.take() {
+            return Some(h);
+        }
+        if shared.should_stop() {
+            return None;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            shared.fail(EngineError::HandoffTimeout {
+                worker: index,
+                shard: t.shard,
+                boundary: t.boundary,
+                waited_ms: start.elapsed().as_millis() as u64,
+            });
+            return None;
+        }
+        let wait = HANDOFF_TICK.min(deadline - now);
+        guard = match slot.1.wait_timeout(guard, wait) {
+            Ok((g, _)) => g,
+            Err(p) => p.into_inner().0,
+        };
+    }
+}
+
+/// Sleep `ms` milliseconds in cancellation-aware ticks. Returns `false`
+/// (caller should drain out) if the engine cancelled mid-sleep.
+fn injected_delay(ms: u64, shared: &EngineShared) -> bool {
+    let deadline = Instant::now() + Duration::from_millis(ms);
+    loop {
+        if shared.should_stop() {
+            return false;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return true;
+        }
+        std::thread::sleep(DELAY_TICK.min(deadline - now));
+    }
 }
 
 /// One worker's scan of the whole event slice: route inline, process
@@ -270,7 +993,18 @@ fn run_planned(
 /// induction over boundaries: every worker reaches every boundary (all
 /// workers scan the full slice), and a worker that waits has already
 /// published everything its peers at this boundary could need.
-fn worker_pass(events: &[Event], job: &Job, index: usize) -> WorkerFragment {
+///
+/// Returns `None` when the worker drains out early — cancellation,
+/// handoff timeout, shadow budget, or an injected fault. All failure
+/// modes other than [`FaultKind::DropHandoff`] (deliberately a *silent*
+/// death) record their reason in `shared` before returning.
+fn worker_pass(
+    events: &[Event],
+    job: &Job,
+    index: usize,
+    shared: &EngineShared,
+    opts: EngineOptions,
+) -> Option<WorkerFragment> {
     let Job {
         cfg,
         seeds,
@@ -285,23 +1019,64 @@ fn worker_pass(events: &[Event], job: &Job, index: usize) -> WorkerFragment {
     let mut cur = *plan.assignment(0);
     let boundaries = plan.boundaries();
     let mut next_phase = 1usize;
+    let (fault_at, fault_kind) = match opts.fault {
+        Some(f) if f.worker == index => (f.at_event, Some(f.kind)),
+        _ => (u64::MAX, None),
+    };
+    let shadow_limit = opts.budget.max_shadow_bytes.unwrap_or(usize::MAX);
     for (i, ev) in events.iter().enumerate() {
+        if i & PERIODIC_MASK == 0 {
+            if shared.should_stop() {
+                return None;
+            }
+            if shadow_limit != usize::MAX {
+                let bytes = det.shadow_resident_bytes();
+                if bytes > shadow_limit {
+                    shared.fail(EngineError::BudgetExhausted {
+                        resource: BudgetResource::ShadowBytes,
+                        limit: shadow_limit as u64,
+                        used: bytes as u64,
+                        partial: PartialMetrics {
+                            events_processed: i as u64,
+                            contexts: 0,
+                            shadow_bytes: bytes,
+                        },
+                    });
+                    return None;
+                }
+            }
+        }
+        // The fault site is checked *before* the boundary protocol, so
+        // `at_event == boundary` injects before the shard export and
+        // `at_event == boundary + 1` injects just after it.
+        if i as u64 == fault_at {
+            match fault_kind {
+                Some(FaultKind::Panic) => {
+                    panic!("injected fault: worker {index} panics at event {i}")
+                }
+                Some(FaultKind::Delay(ms)) if !injected_delay(ms, shared) => return None,
+                Some(FaultKind::Delay(_)) => {}
+                // Silent worker death: no export, no error recorded.
+                // A waiting peer reports HandoffTimeout; otherwise the
+                // coordinator reports WorkerLost for the missing
+                // fragment.
+                Some(FaultKind::DropHandoff) => return None,
+                None => {}
+            }
+        }
         while next_phase <= boundaries.len() && i as u64 >= boundaries[next_phase - 1] {
             let b = next_phase - 1;
             for (t, slot) in transfers.iter().zip(slots) {
                 if t.boundary == b && t.from == index {
                     let handoff = det.export_shard(t.shard);
-                    *slot.0.lock().expect("handoff slot poisoned") = Some(handoff);
+                    *lock_unpoisoned(&slot.0) = Some(handoff);
                     slot.1.notify_all();
                 }
             }
             for (t, slot) in transfers.iter().zip(slots) {
                 if t.boundary == b && t.to == index {
-                    let mut guard = slot.0.lock().expect("handoff slot poisoned");
-                    while guard.is_none() {
-                        guard = slot.1.wait(guard).expect("handoff slot poisoned");
-                    }
-                    det.import_shard(guard.take().unwrap());
+                    let handoff = wait_for_handoff(slot, t, index, shared, opts)?;
+                    det.import_shard(handoff);
                 }
             }
             det.enter_phase(next_phase);
@@ -316,7 +1091,25 @@ fn worker_pass(events: &[Event], job: &Job, index: usize) -> WorkerFragment {
             det.on_event_at(i as u64, ev);
         }
     }
-    det.into_fragment()
+    // Final shadow check, mirroring the sequential path: short runs
+    // that end over budget between periodic polls are caught here.
+    if shadow_limit != usize::MAX {
+        let bytes = det.shadow_resident_bytes();
+        if bytes > shadow_limit {
+            shared.fail(EngineError::BudgetExhausted {
+                resource: BudgetResource::ShadowBytes,
+                limit: shadow_limit as u64,
+                used: bytes as u64,
+                partial: PartialMetrics {
+                    events_processed: events.len() as u64,
+                    contexts: 0,
+                    shadow_bytes: bytes,
+                },
+            });
+            return None;
+        }
+    }
+    Some(det.into_fragment())
 }
 
 #[cfg(test)]
@@ -595,5 +1388,149 @@ mod tests {
         let b = run_sharded(cfg, &trace.events, 64);
         assert_eq!(a.reports.reports(), b.reports.reports());
         assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn fault_plan_parses_and_round_trips() {
+        for (s, plan) in [
+            (
+                "panic:1:100",
+                FaultPlan {
+                    worker: 1,
+                    at_event: 100,
+                    kind: FaultKind::Panic,
+                },
+            ),
+            (
+                "delay:0:42:2500",
+                FaultPlan {
+                    worker: 0,
+                    at_event: 42,
+                    kind: FaultKind::Delay(2500),
+                },
+            ),
+            (
+                "drop:3:7",
+                FaultPlan {
+                    worker: 3,
+                    at_event: 7,
+                    kind: FaultKind::DropHandoff,
+                },
+            ),
+        ] {
+            assert_eq!(s.parse::<FaultPlan>().unwrap(), plan, "parse {s:?}");
+            assert_eq!(plan.to_string().parse::<FaultPlan>().unwrap(), plan);
+        }
+        for bad in [
+            "",
+            "panic",
+            "panic:1",
+            "panic:1:2:3",
+            "delay:1:2",
+            "drop:1:2:3",
+            "boom:1:2",
+            "panic:x:2",
+            "panic:1:y",
+            "delay:1:2:z",
+        ] {
+            assert!(bad.parse::<FaultPlan>().is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn event_budget_reports_partial_metrics_from_the_prefix() {
+        let m = mixed_module();
+        let trace = record_run(&m, VmConfig::round_robin(), "test").unwrap();
+        let cfg = DetectorConfig::helgrind_lib(MsmMode::Short);
+        let budget = (trace.events.len() / 2) as u64;
+        let opts = EngineOptions {
+            budget: Budget {
+                max_events: Some(budget),
+                max_shadow_bytes: None,
+            },
+            ..EngineOptions::default()
+        };
+        // Ground truth: a sequential detector over the affordable prefix.
+        let mut prefix = RaceDetector::new(cfg);
+        for ev in &trace.events[..budget as usize] {
+            prefix.on_event(ev);
+        }
+        for workers in [1, 2, 4] {
+            let err = try_run_sharded_opts(cfg, &trace.events, workers, opts)
+                .expect_err("budget must trip");
+            match err {
+                EngineError::BudgetExhausted {
+                    resource: BudgetResource::Events,
+                    limit,
+                    used,
+                    partial,
+                } => {
+                    assert_eq!(limit, budget);
+                    assert_eq!(used, trace.events.len() as u64);
+                    assert_eq!(partial.events_processed, budget);
+                    assert_eq!(
+                        partial.contexts,
+                        prefix.racy_contexts(),
+                        "partial metrics diverge at {workers} workers"
+                    );
+                }
+                other => panic!("expected event-budget error, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn shadow_budget_trips_with_partial_metrics() {
+        let m = mixed_module();
+        let trace = record_run(&m, VmConfig::round_robin(), "test").unwrap();
+        let cfg = DetectorConfig::helgrind_lib(MsmMode::Short);
+        let opts = EngineOptions {
+            budget: Budget {
+                max_events: None,
+                max_shadow_bytes: Some(1),
+            },
+            ..EngineOptions::default()
+        };
+        for workers in [1, 2] {
+            let err = try_run_sharded_opts(cfg, &trace.events, workers, opts)
+                .expect_err("a 1-byte shadow budget must trip");
+            match err {
+                EngineError::BudgetExhausted {
+                    resource: BudgetResource::ShadowBytes,
+                    limit,
+                    used,
+                    ..
+                } => {
+                    assert_eq!(limit, 1);
+                    assert!(used > 1);
+                }
+                other => panic!("expected shadow-budget error, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_default_options_stay_byte_identical_to_sequential() {
+        let m = mixed_module();
+        let trace = record_run(&m, VmConfig::round_robin(), "test").unwrap();
+        let cfg = DetectorConfig::helgrind_lib_spin(MsmMode::Short);
+        let mut seq = RaceDetector::new(cfg);
+        trace.replay(&mut seq);
+        for schedule in [Schedule::Static, Schedule::Balanced] {
+            for workers in [2, 4, 8] {
+                let merged = try_run_sharded_opts(
+                    cfg,
+                    &trace.events,
+                    workers,
+                    EngineOptions::scheduled(schedule),
+                )
+                .unwrap();
+                assert_matches_sequential(
+                    &merged,
+                    &seq,
+                    &format!("opts path, {workers} workers, {schedule}"),
+                );
+            }
+        }
     }
 }

@@ -20,7 +20,7 @@
 //! spin windows that accepted the same loops. Harnesses exploit this by
 //! caching [`ExecutedRun`]s per fingerprint and fanning detection out.
 
-use crate::parallel::Schedule;
+use crate::parallel::{expect_engine, EngineError, EngineOptions, Schedule};
 use crate::{AnalysisOutcome, AnalyzeError, DescribedReport, Tool};
 use spinrace_detector::{DetectorConfig, MsmMode, RaceDetector};
 use spinrace_spinfind::{SpinCriteria, SpinFinder};
@@ -345,19 +345,24 @@ impl ExecutedRun {
     /// [`ExecutedRun::detect`] for every worker count and schedule; at
     /// 1 worker this takes the sequential fast path (no pool, no
     /// ownership gate — same cost as [`ExecutedRun::detect`]).
+    ///
+    /// Panics when the replay engine fails (a genuine worker panic is
+    /// the only way that can happen without explicit [`EngineOptions`]);
+    /// use [`ExecutedRun::try_detect_parallel`] to handle failure as a
+    /// value.
     pub fn detect_parallel(&self, workers: usize) -> AnalysisOutcome {
-        self.detect_with_parallel(self.prepared.default_config(), workers)
+        expect_engine(self.try_detect_parallel(workers))
     }
 
     /// [`ExecutedRun::detect_parallel`] with an explicit scheduling mode.
     pub fn detect_parallel_scheduled(&self, workers: usize, schedule: Schedule) -> AnalysisOutcome {
-        self.detect_with_parallel_scheduled(self.prepared.default_config(), workers, schedule)
+        expect_engine(self.try_detect_parallel_scheduled(workers, schedule))
     }
 
     /// Parallel replay under an explicit detector configuration (labelled
     /// with this module's own tool).
     pub fn detect_with_parallel(&self, cfg: DetectorConfig, workers: usize) -> AnalysisOutcome {
-        self.detect_with_parallel_scheduled(cfg, workers, Schedule::default())
+        expect_engine(self.try_detect_with_parallel(cfg, workers))
     }
 
     /// [`ExecutedRun::detect_with_parallel`] with an explicit schedule.
@@ -367,13 +372,13 @@ impl ExecutedRun {
         workers: usize,
         schedule: Schedule,
     ) -> AnalysisOutcome {
-        self.parallel_outcome(self.prepared.tool.label(), cfg, workers, schedule)
+        expect_engine(self.try_detect_with_parallel_scheduled(cfg, workers, schedule))
     }
 
     /// Parallel replay under *another tool's* configuration — the
     /// fingerprint-sharing contract of [`ExecutedRun::detect_as`] applies.
     pub fn detect_as_parallel(&self, tool: Tool, workers: usize) -> AnalysisOutcome {
-        self.detect_as_parallel_scheduled(tool, workers, Schedule::default())
+        expect_engine(self.try_detect_as_parallel(tool, workers))
     }
 
     /// [`ExecutedRun::detect_as_parallel`] with an explicit schedule.
@@ -383,12 +388,7 @@ impl ExecutedRun {
         workers: usize,
         schedule: Schedule,
     ) -> AnalysisOutcome {
-        self.parallel_outcome(
-            tool.label(),
-            self.prepared.config_for(tool),
-            workers,
-            schedule,
-        )
+        expect_engine(self.try_detect_as_parallel_scheduled(tool, workers, schedule))
     }
 
     /// Parallel fan-out: one recorded execution, many parallel detections
@@ -399,24 +399,126 @@ impl ExecutedRun {
         cfgs: &[DetectorConfig],
         workers: usize,
     ) -> Vec<AnalysisOutcome> {
-        let label = self.prepared.tool.label();
-        crate::parallel::run_many_sharded(cfgs, &self.trace.events, workers, Schedule::default())
-            .into_iter()
-            .map(|merged| self.merged_outcome(label.clone(), merged))
-            .collect()
+        expect_engine(self.try_detect_many_parallel(cfgs, workers))
     }
 
     /// Tool fan-out on one shared pool: replay once per tool in `tools`,
     /// each labelled with its own tool. Every tool must satisfy the
     /// fingerprint-sharing contract of [`ExecutedRun::detect_as`].
     pub fn detect_many_as_parallel(&self, tools: &[Tool], workers: usize) -> Vec<AnalysisOutcome> {
+        expect_engine(self.try_detect_many_as_parallel(tools, workers))
+    }
+
+    // ---- fallible parallel replay ----
+
+    /// Fallible [`ExecutedRun::detect_parallel`]: a worker panic, handoff
+    /// timeout, watchdog trip, or exhausted budget comes back as a
+    /// structured [`EngineError`] instead of a panic or a hang.
+    pub fn try_detect_parallel(&self, workers: usize) -> Result<AnalysisOutcome, EngineError> {
+        self.try_detect_with_parallel(self.prepared.default_config(), workers)
+    }
+
+    /// Fallible [`ExecutedRun::detect_parallel_scheduled`].
+    pub fn try_detect_parallel_scheduled(
+        &self,
+        workers: usize,
+        schedule: Schedule,
+    ) -> Result<AnalysisOutcome, EngineError> {
+        self.try_detect_with_parallel_scheduled(self.prepared.default_config(), workers, schedule)
+    }
+
+    /// Fallible [`ExecutedRun::detect_with_parallel`].
+    pub fn try_detect_with_parallel(
+        &self,
+        cfg: DetectorConfig,
+        workers: usize,
+    ) -> Result<AnalysisOutcome, EngineError> {
+        self.try_detect_with_parallel_scheduled(cfg, workers, Schedule::default())
+    }
+
+    /// Fallible [`ExecutedRun::detect_with_parallel_scheduled`].
+    pub fn try_detect_with_parallel_scheduled(
+        &self,
+        cfg: DetectorConfig,
+        workers: usize,
+        schedule: Schedule,
+    ) -> Result<AnalysisOutcome, EngineError> {
+        self.parallel_outcome(
+            self.prepared.tool.label(),
+            cfg,
+            workers,
+            EngineOptions::scheduled(schedule),
+        )
+    }
+
+    /// Fallible [`ExecutedRun::detect_as_parallel`].
+    pub fn try_detect_as_parallel(
+        &self,
+        tool: Tool,
+        workers: usize,
+    ) -> Result<AnalysisOutcome, EngineError> {
+        self.try_detect_as_parallel_scheduled(tool, workers, Schedule::default())
+    }
+
+    /// Fallible [`ExecutedRun::detect_as_parallel_scheduled`].
+    pub fn try_detect_as_parallel_scheduled(
+        &self,
+        tool: Tool,
+        workers: usize,
+        schedule: Schedule,
+    ) -> Result<AnalysisOutcome, EngineError> {
+        self.try_detect_as_parallel_opts(tool, workers, EngineOptions::scheduled(schedule))
+    }
+
+    /// Parallel replay under another tool's configuration with full
+    /// [`EngineOptions`] control — schedule, watchdogs, budgets, and
+    /// fault injection. This is the entry point `trace replay --fault`
+    /// drives.
+    pub fn try_detect_as_parallel_opts(
+        &self,
+        tool: Tool,
+        workers: usize,
+        opts: EngineOptions,
+    ) -> Result<AnalysisOutcome, EngineError> {
+        self.parallel_outcome(tool.label(), self.prepared.config_for(tool), workers, opts)
+    }
+
+    /// Fallible [`ExecutedRun::detect_many_parallel`].
+    pub fn try_detect_many_parallel(
+        &self,
+        cfgs: &[DetectorConfig],
+        workers: usize,
+    ) -> Result<Vec<AnalysisOutcome>, EngineError> {
+        let label = self.prepared.tool.label();
+        Ok(crate::parallel::try_run_many_sharded(
+            cfgs,
+            &self.trace.events,
+            workers,
+            Schedule::default(),
+        )?
+        .into_iter()
+        .map(|merged| self.merged_outcome(label.clone(), merged))
+        .collect())
+    }
+
+    /// Fallible [`ExecutedRun::detect_many_as_parallel`].
+    pub fn try_detect_many_as_parallel(
+        &self,
+        tools: &[Tool],
+        workers: usize,
+    ) -> Result<Vec<AnalysisOutcome>, EngineError> {
         let cfgs: Vec<DetectorConfig> =
             tools.iter().map(|&t| self.prepared.config_for(t)).collect();
-        crate::parallel::run_many_sharded(&cfgs, &self.trace.events, workers, Schedule::default())
-            .into_iter()
-            .zip(tools)
-            .map(|(merged, tool)| self.merged_outcome(tool.label(), merged))
-            .collect()
+        Ok(crate::parallel::try_run_many_sharded(
+            &cfgs,
+            &self.trace.events,
+            workers,
+            Schedule::default(),
+        )?
+        .into_iter()
+        .zip(tools)
+        .map(|(merged, tool)| self.merged_outcome(tool.label(), merged))
+        .collect())
     }
 
     fn parallel_outcome(
@@ -424,11 +526,10 @@ impl ExecutedRun {
         label: String,
         cfg: DetectorConfig,
         workers: usize,
-        schedule: Schedule,
-    ) -> AnalysisOutcome {
-        let merged =
-            crate::parallel::run_sharded_scheduled(cfg, &self.trace.events, workers, schedule);
-        self.merged_outcome(label, merged)
+        opts: EngineOptions,
+    ) -> Result<AnalysisOutcome, EngineError> {
+        let merged = crate::parallel::try_run_sharded_opts(cfg, &self.trace.events, workers, opts)?;
+        Ok(self.merged_outcome(label, merged))
     }
 
     fn merged_outcome(

@@ -295,6 +295,11 @@ impl RaceDetector {
     pub fn shadow_iter_bytes(&self) -> usize {
         self.shadow.approx_bytes()
     }
+    /// Cheap O(shards) lower bound on shadow bytes — probe tables and
+    /// page slabs without the per-page walk. For hot-path budget polls.
+    pub fn shadow_resident_bytes(&self) -> usize {
+        self.shadow.resident_bytes()
+    }
     /// Allocated shadow pages (diagnostics).
     pub fn shadow_pages(&self) -> usize {
         self.shadow.page_count()

@@ -47,8 +47,8 @@ pub use reference::ReferenceDetector;
 pub use report::{AccessSummary, RaceKind, RaceReport, ReportCollector};
 pub use shadow::{shard_of, ExtractedShard, NUM_SHARDS};
 pub use sharded::{
-    compute_promotion_seeds, event_route, merge_fragments, shard_occupancy, EventRoute,
-    MergedDetection, PromotionSeeds, Schedule, SchedulePlan, ShardHandoff, ShardSpec,
+    compute_promotion_seeds, event_route, merge_fragments, shard_occupancy, try_merge_fragments,
+    EventRoute, MergedDetection, PromotionSeeds, Schedule, SchedulePlan, ShardHandoff, ShardSpec,
     ShardTransfer, WorkerFragment,
 };
 pub use vc::{Epoch, VectorClock};

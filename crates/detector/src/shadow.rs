@@ -351,6 +351,22 @@ impl ShadowTable {
             })
             .sum()
     }
+
+    /// Cheap lower bound on retained bytes: probe tables and page slabs
+    /// only, skipping the per-page walk over promoted read vectors that
+    /// [`approx_bytes`](ShadowTable::approx_bytes) pays for. O(shards),
+    /// suitable for polling on the replay hot path (budget checks).
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.shards
+            .iter()
+            .map(|s| {
+                s.keys.capacity() * size_of::<u64>()
+                    + s.slots.capacity() * size_of::<u32>()
+                    + s.pages.capacity() * size_of::<Page>()
+            })
+            .sum()
+    }
 }
 
 /// A shard lifted out of one [`ShadowTable`] for an ownership handoff

@@ -700,10 +700,14 @@ pub struct MergedDetection {
 /// metrics); shadow bytes sum across workers; replicated state is read
 /// from the logger worker.
 pub fn merge_fragments(cap: usize, fragments: Vec<WorkerFragment>) -> MergedDetection {
-    let logger = fragments
-        .iter()
-        .find(|f| f.spec.is_logger())
-        .expect("fragment set must include worker 0");
+    try_merge_fragments(cap, fragments).expect("fragment set must include worker 0")
+}
+
+/// [`merge_fragments`], returning `None` instead of panicking when the
+/// fragment set has no logger (worker 0) fragment — the shape a merge
+/// sees when a worker died without producing its fragment.
+pub fn try_merge_fragments(cap: usize, fragments: Vec<WorkerFragment>) -> Option<MergedDetection> {
+    let logger = fragments.iter().find(|f| f.spec.is_logger())?;
     let (thread_vc_bytes, lib_sync_bytes, atomic_bytes, spin_sync_bytes, promoted_locations) = (
         logger.thread_vc_bytes,
         logger.lib_sync_bytes,
@@ -768,11 +772,11 @@ pub fn merge_fragments(cap: usize, fragments: Vec<WorkerFragment>) -> MergedDete
         lockset_bytes: table.approx_bytes(),
         report_bytes: reports.approx_bytes(),
     };
-    MergedDetection {
+    Some(MergedDetection {
         reports,
         metrics,
         promoted_locations,
-    }
+    })
 }
 
 /// Where one event of a parallel replay must go: broadcast to every

@@ -135,9 +135,18 @@ pub(crate) fn lineup_outcomes(
             Ok(run) => {
                 vm_runs += 1;
                 let member_tools: Vec<Tool> = members.iter().map(|&ti| tools[ti]).collect();
-                let outs = run.detect_many_as_parallel(&member_tools, parallel::default_workers());
-                for (ti, out) in members.into_iter().zip(outs) {
-                    results[ti] = Some(Ok(out));
+                match run.try_detect_many_as_parallel(&member_tools, parallel::default_workers()) {
+                    Ok(outs) => {
+                        for (ti, out) in members.into_iter().zip(outs) {
+                            results[ti] = Some(Ok(out));
+                        }
+                    }
+                    Err(e) => {
+                        let msg = format!("parallel replay failed: {e}");
+                        for ti in members {
+                            results[ti] = Some(Err(msg.clone()));
+                        }
+                    }
                 }
             }
             Err(e) => {

@@ -227,16 +227,22 @@ impl WorkloadSpec {
     }
 
     /// Parse a spec back out of a module name produced by
-    /// [`WorkloadSpec::name`]. Returns `None` for non-workload names.
+    /// [`WorkloadSpec::name`]. Returns `None` for non-workload names —
+    /// including truncated, garbled, or absurdly-sized fields: the name
+    /// may come from an untrusted trace header, and `build()` on an
+    /// unbounded spec could spin for hours, divide by zero
+    /// (`addr_space == 0`), or allocate without limit. Parsed fields are
+    /// therefore held to the same bounds a plausible generated workload
+    /// satisfies: `1..=1024` threads, a nonzero address space, skew
+    /// `<= 64`, and at most `65536` injected races.
     pub fn from_name(name: &str) -> Option<WorkloadSpec> {
         let rest = name.strip_prefix("wl-")?;
         let (family_str, rest) = rest.split_at(rest.find("-t")?);
         let family: Family = family_str.parse().ok()?;
         let mut spec = WorkloadSpec::new(family);
         for part in rest.split('-').filter(|p| !p.is_empty()) {
-            // `split_at_checked`, not `split_at`: the name may come from
-            // an untrusted trace header, and a multi-byte first character
-            // must parse as "not a workload name", never panic.
+            // `split_at_checked`, not `split_at`: a multi-byte first
+            // character must parse as "not a workload name", never panic.
             let (key, value) = part.split_at_checked(1)?;
             match key {
                 "t" => spec.threads = value.parse().ok()?,
@@ -248,7 +254,11 @@ impl WorkloadSpec {
                 _ => return None,
             }
         }
-        Some(spec)
+        let plausible = (1..=1024).contains(&spec.threads)
+            && spec.addr_space >= 1
+            && spec.skew <= 64
+            && spec.races <= 65536;
+        plausible.then_some(spec)
     }
 
     /// Build the module and its oracle.
@@ -291,6 +301,54 @@ mod tests {
         assert_eq!(WorkloadSpec::from_name("wl-zipf-t2-é3"), None);
         assert_eq!(WorkloadSpec::from_name("wl-zipf-t2-x9"), None);
         assert_eq!(WorkloadSpec::from_name("wl-ring-t"), None);
+    }
+
+    /// Each malformed shape an untrusted trace header can take: truncated
+    /// names, garbled fields, and digits that parse but describe a
+    /// workload no generator would emit (`build()` on those could divide
+    /// by zero, allocate absurdly, or spin for hours).
+    #[test]
+    fn from_name_rejects_truncated_and_garbled_fields() {
+        for (name, why) in [
+            ("wl-", "family and fields both missing"),
+            ("wl-zipf", "no -t field at all"),
+            ("wl-zipf-", "dangling separator"),
+            ("wl-zipf-t", "key with empty value"),
+            ("wl-zipf-t2-e", "later key with empty value"),
+            ("wl-zipf-t2-a12x4", "non-digit splice inside a value"),
+            ("wl-zipf-t-2", "value detached from its key"),
+            ("wl-zipf-t2-e99999999999999999999", "value overflows u32"),
+            ("wl-zipf-t2-s99999999999999999999", "seed overflows u64"),
+            ("wl-zipf-t2-q7", "unknown key"),
+            ("wl-zipf-t2-Т7", "multi-byte key (Cyrillic Т)"),
+        ] {
+            assert_eq!(WorkloadSpec::from_name(name), None, "{why}: {name:?}");
+        }
+    }
+
+    /// Parsed-but-implausible field values are rejected too: `from_name`
+    /// feeds `build()`, so bounds are the line between "replay rebuilds
+    /// the module" and "a hostile header makes replay hang or abort".
+    #[test]
+    fn from_name_rejects_implausible_bounds() {
+        for (name, why) in [
+            ("wl-zipf-t0", "zero threads"),
+            ("wl-zipf-t2000000", "absurd thread count"),
+            (
+                "wl-zipf-t2-a0",
+                "empty address space (division by zero in families)",
+            ),
+            (
+                "wl-zipf-t2-k4000000000",
+                "absurd skew (per-round squaring loop)",
+            ),
+            ("wl-zipf-t2-r4000000000", "absurd race-injection count"),
+        ] {
+            assert_eq!(WorkloadSpec::from_name(name), None, "{why}: {name:?}");
+        }
+        // The boundary values themselves stay accepted.
+        assert!(WorkloadSpec::from_name("wl-zipf-t1024-k64-r65536").is_some());
+        assert!(WorkloadSpec::from_name("wl-zipf-t1-a1-k0-r0").is_some());
     }
 
     #[test]

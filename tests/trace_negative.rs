@@ -149,3 +149,73 @@ fn errors_render_actionable_messages() {
     let msg = Trace::from_json(&c.to_json()).unwrap_err().to_string();
     assert!(msg.contains("truncated"), "{msg}");
 }
+
+// ---- randomized byte mutations of the serialized artifact ----
+
+use proptest::prelude::*;
+use std::panic::catch_unwind;
+use std::sync::OnceLock;
+
+/// One serialized trace, built once — the mutation cases only need its
+/// bytes, and recording a fresh run per case would dominate the suite.
+fn base_json() -> &'static [u8] {
+    static JSON: OnceLock<String> = OnceLock::new();
+    JSON.get_or_init(|| recorded().1.to_json()).as_bytes()
+}
+
+/// Decode mutated bytes the way the `trace` CLI does: UTF-8 validation
+/// first (`read_to_string` refuses invalid bytes), then the trace
+/// parser. Returns `true` when either layer rejected the input.
+fn decode_rejects(bytes: &[u8]) -> bool {
+    match std::str::from_utf8(bytes) {
+        Err(_) => true,
+        Ok(s) => Trace::from_json(s).is_err(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The document is a single JSON object, so every strict prefix is
+    /// malformed — and must come back as a typed error, never a panic.
+    #[test]
+    fn truncation_is_always_rejected_without_panicking(pos in 0usize..1 << 16) {
+        let json = base_json();
+        let cut = pos % json.len();
+        let rejected = catch_unwind(move || decode_rejects(&json[..cut]))
+            .expect("truncated trace decode panicked");
+        prop_assert!(rejected, "truncation at byte {cut} decoded successfully");
+    }
+
+    /// Splicing a random run of bytes out of the document must never
+    /// panic the load path. (It nearly always breaks parsing; the rare
+    /// splice that leaves valid JSON — digits removed from inside a
+    /// number, say — may legitimately decode, which is fine.)
+    #[test]
+    fn byte_splices_never_panic(pos in 0usize..1 << 16, len in 1usize..64) {
+        let json = base_json();
+        let pos = pos % json.len();
+        let len = len.min(json.len() - pos);
+        let mut bytes = json.to_vec();
+        bytes.drain(pos..pos + len);
+        let outcome = catch_unwind(move || {
+            decode_rejects(&bytes);
+        });
+        prop_assert!(outcome.is_ok(), "spliced trace decode panicked");
+    }
+
+    /// Flipping any byte to any other value must never panic the load
+    /// path — whether the flip lands in structure (parse error), a
+    /// string (usually fine), or breaks UTF-8 (rejected before parsing).
+    #[test]
+    fn byte_flips_never_panic(pos in 0usize..1 << 16, flip in 1u8..=255) {
+        let json = base_json();
+        let pos = pos % json.len();
+        let mut bytes = json.to_vec();
+        bytes[pos] ^= flip;
+        let outcome = catch_unwind(move || {
+            decode_rejects(&bytes);
+        });
+        prop_assert!(outcome.is_ok(), "byte-flipped trace decode panicked");
+    }
+}
