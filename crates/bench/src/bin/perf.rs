@@ -32,7 +32,12 @@
 //!   **per-shard occupancy histogram** (the skew the scheduler packs
 //!   around) and a **scheduled-vs-static pair** of parallel series: the
 //!   occupancy-balanced LPT schedule against static modular ownership,
-//!   on the same stream at the same width.
+//!   on the same stream at the same width. Since schema v6 each row
+//!   also carries **trace-format figures**: bytes/event of the JSON and
+//!   binary encodings, columnar encode/decode throughput, and the peak
+//!   resident chunk bytes of streamed replay — the quick smoke gates the
+//!   binary size to ≤ 1/8 of JSON, the decode floor, and the streaming
+//!   peak to a four-chunk budget (the O(chunk) memory claim).
 //!
 //! Results land in `BENCH_detector.json` at the repo root — the perf
 //! trajectory the CI `perf-smoke` step guards.
@@ -53,8 +58,10 @@ use spinrace_core::{parallel, Schedule, Session, Tool};
 use spinrace_detector::{
     shard_occupancy, DetectorConfig, MsmMode, RaceDetector, ReferenceDetector, NUM_SHARDS,
 };
+use spinrace_tracefmt::{decode_trace, encode_trace, ChunkedTraceReader, DEFAULT_CHUNK_EVENTS};
 use spinrace_vm::{Event, EventSink, Trace};
 use spinrace_workloads::{Family, WorkloadSpec};
+use std::io::Cursor;
 use std::time::Instant;
 
 /// Checked-in floor for the production detector, in events/sec. The CI
@@ -78,6 +85,20 @@ const SCALING_WORKERS: [usize; 4] = [1, 2, 4, 8];
 /// ~16 M ev/s single-core release measurement on the 1M-event zipf
 /// stream; /5 in the quick gate leaves room for slow shared runners.
 const WORKLOAD_FLOOR_EVENTS_PER_SEC: f64 = 10_000_000.0;
+
+/// Floor for binary trace *decode* throughput (columnar chunks →
+/// `Vec<Event>`), in events/sec — the replay-startup cost the chunked
+/// format exists to keep negligible next to detection. Set from the
+/// ≥30 M ev/s target the format was designed against; /5 in the quick
+/// gate leaves room for slow shared runners.
+const DECODE_FLOOR_EVENTS_PER_SEC: f64 = 30_000_000.0;
+
+/// Maximum binary trace size as a fraction of the JSON encoding of the
+/// same stream: the quick smoke fails if the columnar format compresses
+/// any long stream to *more* than `1/8` of its JSON bytes. (Measured
+/// ratios sit near 1/14; 1/8 catches a column codec silently degrading
+/// to something JSON-shaped without flaking on stream-shape variance.)
+const COMPRESSION_GATE_DENOM: usize = 8;
 
 /// One (program, tool) measurement.
 struct Row {
@@ -112,6 +133,52 @@ struct WorkloadRow {
     shard_occupancy: [u64; NUM_SHARDS],
     shadow_bytes: usize,
     contexts: usize,
+    /// On-disk codec measurements for the same stream in both trace
+    /// encodings (the v6 additions).
+    codec: CodecRow,
+}
+
+/// Trace-format measurements for one long stream: size of both
+/// encodings, columnar encode/decode throughput, and the peak resident
+/// bytes of chunk-at-a-time streaming replay — the O(chunk) number the
+/// chunked reader exists to deliver.
+struct CodecRow {
+    json_bytes: usize,
+    binary_bytes: usize,
+    encode_events_per_sec: f64,
+    decode_events_per_sec: f64,
+    streaming_chunks: u32,
+    streaming_peak_resident_bytes: usize,
+}
+
+/// Measure both trace encodings of an already-recorded stream: bytes on
+/// the wire, encode/decode throughput of the columnar format, and a
+/// streamed replay into a fresh detector to read the decode-ahead
+/// pipeline's peak resident chunk memory.
+fn measure_codec(trace: &Trace, cfg: DetectorConfig, min_secs: f64) -> CodecRow {
+    let n = trace.events.len();
+    let json_bytes = trace.to_json().len();
+    let binary = encode_trace(trace);
+    let encode_events_per_sec = timed_events_per_sec(n, min_secs, || {
+        let bytes = encode_trace(trace);
+        std::hint::black_box(&bytes);
+    });
+    let decode_events_per_sec = timed_events_per_sec(n, min_secs, || {
+        let decoded = decode_trace(&binary).expect("decode recorded trace");
+        std::hint::black_box(&decoded);
+    });
+    let mut det = RaceDetector::new(cfg);
+    let reader = ChunkedTraceReader::new(Cursor::new(&binary[..])).expect("open recorded trace");
+    let stats = reader.replay_into(&mut det).expect("stream recorded trace");
+    assert_eq!(stats.events, n as u64, "streamed replay saw every event");
+    CodecRow {
+        json_bytes,
+        binary_bytes: binary.len(),
+        encode_events_per_sec,
+        decode_events_per_sec,
+        streaming_chunks: stats.chunks,
+        streaming_peak_resident_bytes: stats.peak_resident_bytes,
+    }
 }
 
 /// The generated long streams: ≥1M events each, sized so steady-state
@@ -193,6 +260,7 @@ fn measure_workloads(quick: bool, min_secs: f64) -> (Vec<WorkloadRow>, Trace, De
         );
         let occ_max = occupancy.iter().copied().max().unwrap_or(0);
         let occ_total: u64 = occupancy.iter().sum();
+        let codec = measure_codec(trace, cfg, min_secs);
         println!(
             "{:>14} {:<24} {:>8} events  (trace replay {:>6.2} M, parallel×{PARALLEL_WORKERS} balanced {:>6.2} M / static {:>6.2} M ev/s, hottest shard {:.2}x even)  shadow {} B [{}]",
             wl.spec.family.name(),
@@ -205,6 +273,18 @@ fn measure_workloads(quick: bool, min_secs: f64) -> (Vec<WorkloadRow>, Trace, De
             out.metrics.shadow_bytes,
             wl.oracle.describe(),
         );
+        println!(
+            "{:>14} {:<24} trace {:.2} B/ev binary vs {:.2} B/ev json ({:.1}x smaller); encode {:>6.2} M, decode {:>6.2} M ev/s; streamed {} chunk(s), peak {} KiB resident",
+            "",
+            "",
+            codec.binary_bytes as f64 / trace.events.len().max(1) as f64,
+            codec.json_bytes as f64 / trace.events.len().max(1) as f64,
+            codec.json_bytes as f64 / codec.binary_bytes.max(1) as f64,
+            codec.encode_events_per_sec / 1e6,
+            codec.decode_events_per_sec / 1e6,
+            codec.streaming_chunks,
+            codec.streaming_peak_resident_bytes / 1024,
+        );
         rows.push(WorkloadRow {
             spec: spec.name(),
             family: wl.spec.family.name().to_string(),
@@ -216,6 +296,7 @@ fn measure_workloads(quick: bool, min_secs: f64) -> (Vec<WorkloadRow>, Trace, De
             shard_occupancy: occupancy,
             shadow_bytes: out.metrics.shadow_bytes,
             contexts: out.contexts,
+            codec,
         });
         if spec.family == Family::Zipf {
             scaling_trace = Some(run.into_trace());
@@ -408,6 +489,48 @@ fn main() {
              more than 5x below the checked-in floor of {WORKLOAD_FLOOR_EVENTS_PER_SEC:.0} ev/s"
         );
         std::process::exit(1);
+    }
+    // Trace-format gates, on every long stream quick mode measures.
+    // Compression is deterministic (same stream → same bytes), so its
+    // gate takes no noise margin; the decode floor gets the same /5 the
+    // other throughput floors use. The streaming-peak bound is the
+    // O(chunk) claim made executable: the decode-ahead pipeline holds at
+    // most the chunk being detected plus the chunk being decoded plus
+    // one in the channel, so peak resident chunk memory must stay under
+    // four chunks' worth regardless of stream length.
+    for row in &workload_rows {
+        let c = &row.codec;
+        if quick && c.binary_bytes * COMPRESSION_GATE_DENOM > c.json_bytes {
+            eprintln!(
+                "PERF REGRESSION: binary trace of {} is {} bytes, more than 1/{} of its \
+                 {}-byte JSON encoding ({:.1}x smaller; required ≥ {}x)",
+                row.spec,
+                c.binary_bytes,
+                COMPRESSION_GATE_DENOM,
+                c.json_bytes,
+                c.json_bytes as f64 / c.binary_bytes.max(1) as f64,
+                COMPRESSION_GATE_DENOM,
+            );
+            std::process::exit(1);
+        }
+        if quick && c.decode_events_per_sec < DECODE_FLOOR_EVENTS_PER_SEC / 5.0 {
+            eprintln!(
+                "PERF REGRESSION: binary trace decode of {} at {:.0} ev/s is more than 5x \
+                 below the checked-in floor of {DECODE_FLOOR_EVENTS_PER_SEC:.0} ev/s",
+                row.spec, c.decode_events_per_sec,
+            );
+            std::process::exit(1);
+        }
+        let chunk_budget = 4 * DEFAULT_CHUNK_EVENTS * std::mem::size_of::<Event>();
+        if quick && c.streaming_peak_resident_bytes > chunk_budget {
+            eprintln!(
+                "PERF REGRESSION: streaming replay of {} held {} bytes of decoded chunks at \
+                 peak, above the four-chunk budget of {} bytes — the reader is no longer \
+                 O(chunk)",
+                row.spec, c.streaming_peak_resident_bytes, chunk_budget,
+            );
+            std::process::exit(1);
+        }
     }
     // Parallel replay must pay for itself — judged on the long scaling
     // stream, where the scoped-pool spawn constant and the W× sync-event
@@ -693,15 +816,29 @@ fn write_json(
                 "shard_occupancy": r.shard_occupancy.to_vec(),
                 "shadow_bytes": r.shadow_bytes as u64,
                 "contexts": r.contexts as u64,
+                "trace_json_bytes": r.codec.json_bytes as u64,
+                "trace_binary_bytes": r.codec.binary_bytes as u64,
+                "trace_bytes_per_event": {
+                    "json": r.codec.json_bytes as f64 / r.events.max(1) as f64,
+                    "binary": r.codec.binary_bytes as f64 / r.events.max(1) as f64,
+                },
+                "trace_compression_ratio": r.codec.json_bytes as f64
+                    / r.codec.binary_bytes.max(1) as f64,
+                "trace_encode_events_per_sec": r.codec.encode_events_per_sec,
+                "trace_decode_events_per_sec": r.codec.decode_events_per_sec,
+                "streaming_chunks": r.codec.streaming_chunks as u64,
+                "streaming_peak_resident_bytes": r.codec.streaming_peak_resident_bytes as u64,
             })
         })
         .collect();
     let doc = serde_json::json!({
-        "schema": "spinrace-perf-v5",
+        "schema": "spinrace-perf-v6",
         "quick": quick,
         "cores": cores as u64,
         "floor_events_per_sec": FLOOR_EVENTS_PER_SEC,
         "workload_floor_events_per_sec": WORKLOAD_FLOOR_EVENTS_PER_SEC,
+        "decode_floor_events_per_sec": DECODE_FLOOR_EVENTS_PER_SEC,
+        "compression_gate_denom": COMPRESSION_GATE_DENOM as u64,
         "parallel_workers": PARALLEL_WORKERS as u64,
         "results": serde_json::Value::Seq(results),
         "workloads": serde_json::Value::Seq(workloads),

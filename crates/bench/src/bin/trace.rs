@@ -7,14 +7,16 @@
 //!
 //! ```text
 //! trace record --program <name> [--tool <TOOL>] [--seed N] [--obscure]
-//!              [--scale N] [--out FILE] [--json FILE]
+//!              [--scale N] [--out FILE] [--format json|binary] [--json FILE]
 //! trace gen --family <ring|spinflag|barrier|zipf|fanout> [--threads N]
 //!           [--events TOTAL] [--addr-space N] [--skew K] [--races N]
-//!           [--seed N] [--tool <TOOL>] [--out FILE] [--json FILE]
+//!           [--seed N] [--tool <TOOL>] [--out FILE] [--format json|binary]
+//!           [--json FILE]
 //! trace replay FILE [--tool <TOOL>] [--long-msm] [--cap N]
 //!              [--workers N] [--schedule static|balanced] [--json FILE]
 //!              [--fault panic:W:N|delay:W:N:MS|drop:W:N] [--watchdog MS]
 //!              [--handoff-timeout MS] [--max-events N] [--max-shadow-bytes N]
+//! trace convert IN OUT [--format json|binary] [--chunk-events N]
 //! trace inspect FILE [--events N]
 //! trace stats FILE
 //! ```
@@ -22,6 +24,18 @@
 //! Exit codes: `0` success, `1` runtime failure (I/O, engine error,
 //! oracle violation), `2` usage or malformed input (bad flags, bad
 //! fault spec, undecodable trace file).
+//!
+//! **Trace formats.** Every file-taking command auto-detects the on-disk
+//! encoding by its first bytes: the binary columnar format of
+//! `spinrace-tracefmt` (magic `SPINRTRC`) or the JSON debug format.
+//! `record` and `gen` write binary by default — `--format json`, or an
+//! `--out` path ending in `.json`, selects JSON. `convert` rewrites a
+//! trace in the other encoding (or an explicit `--format`). A
+//! **sequential** `replay` of a binary trace streams it chunk-by-chunk
+//! through the detector (decode one chunk ahead; peak memory O(chunk),
+//! detection starts before the file is fully read); parallel replay and
+//! JSON input decode the full stream first. The detection outcome is
+//! identical in all cases.
 //!
 //! `replay --fault` injects a deterministic fault into one pool worker
 //! (see `spinrace_core::parallel::FaultPlan`); `--watchdog` bounds the
@@ -63,9 +77,11 @@ use spinrace_detector::MsmMode;
 use spinrace_detector::{shard_occupancy, NUM_SHARDS};
 use spinrace_suites::all_programs;
 use spinrace_synclib::LibStyle;
-use spinrace_vm::{Event, Trace};
+use spinrace_tracefmt::{ChunkedTraceReader, TraceFormat};
+use spinrace_vm::{Event, Trace, TraceHeader};
 use spinrace_workloads::{Family, WorkloadSpec};
 use std::collections::BTreeMap;
+use std::io::BufReader;
 use std::process::exit;
 use std::time::{Duration, Instant};
 
@@ -75,10 +91,13 @@ fn main() {
         Some("record") => record(&args[1..]),
         Some("gen") => gen(&args[1..]),
         Some("replay") => replay(&args[1..]),
+        Some("convert") => convert(&args[1..]),
         Some("inspect") => inspect(&args[1..]),
         Some("stats") => stats(&args[1..]),
         _ => {
-            eprintln!("usage: trace <record|gen|replay|inspect|stats> ...  (see --help in source)");
+            eprintln!(
+                "usage: trace <record|gen|replay|convert|inspect|stats> ...  (see --help in source)"
+            );
             2
         }
     };
@@ -118,23 +137,87 @@ fn parse_tool(s: &str) -> Tool {
     }
 }
 
-/// Load a trace file, exiting with code 2 (malformed input) on an
-/// unreadable or undecodable file — one diagnostic line, no panic.
-fn load(path: &str) -> Trace {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
+/// Identify a trace file's on-disk encoding from its first bytes,
+/// exiting with code 2 (malformed input) on an unreadable file or one in
+/// neither encoding — one diagnostic line, no panic.
+fn sniff_path(path: &str) -> TraceFormat {
+    use std::io::Read as _;
+    let mut head = [0u8; 16];
+    let n = std::fs::File::open(path)
+        .and_then(|mut f| f.read(&mut head))
+        .unwrap_or_else(|e| {
             eprintln!("error: cannot read {path}: {e}");
             exit(2);
+        });
+    match spinrace_tracefmt::sniff_format(&head[..n]) {
+        Ok(fmt) => fmt,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            exit(2);
         }
-    };
-    match Trace::from_json(&text) {
+    }
+}
+
+/// Load a full trace in either encoding, exiting with code 2 on an
+/// unreadable or undecodable file.
+fn load(path: &str) -> Trace {
+    match spinrace_tracefmt::load_trace_file(std::path::Path::new(path)) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: {path}: {e}");
             exit(2);
         }
     }
+}
+
+/// Open a binary trace as a streaming chunk reader (header validated),
+/// exiting with code 2 on failure.
+fn open_stream(path: &str) -> ChunkedTraceReader<BufReader<std::fs::File>> {
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        exit(2);
+    });
+    match ChunkedTraceReader::new(BufReader::new(file)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            exit(2);
+        }
+    }
+}
+
+/// The trace encoding `record`/`gen` should write: an explicit
+/// `--format`, else inferred from an `--out` path ending in `.json`,
+/// else binary.
+fn out_format(args: &[String]) -> TraceFormat {
+    match opt(args, "--format").as_deref() {
+        Some("binary") => TraceFormat::Binary,
+        Some("json") => TraceFormat::Json,
+        Some(other) => {
+            eprintln!("error: --format expects json or binary, got {other:?}");
+            exit(2);
+        }
+        None => match opt(args, "--out") {
+            Some(p) if p.ends_with(".json") => TraceFormat::Json,
+            _ => TraceFormat::Binary,
+        },
+    }
+}
+
+/// Write `trace` to `path` in `format`, reporting the file size. Returns
+/// the exit-code contribution (`1` on I/O failure).
+#[must_use]
+fn write_trace(path: &str, trace: &Trace, format: TraceFormat) -> i32 {
+    if let Err(e) = spinrace_tracefmt::write_trace_file(std::path::Path::new(path), trace, format) {
+        eprintln!("error: {e}");
+        return 1;
+    }
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {path} ({format}, {bytes} bytes, {:.2} bytes/event)",
+        bytes as f64 / (trace.events.len() as f64).max(1.0)
+    );
+    0
 }
 
 /// The stable detection-outcome schema shared by `record --json` (live
@@ -233,12 +316,10 @@ fn record(args: &[String]) -> i32 {
             return 1;
         }
     };
-    let out_path = opt(args, "--out").unwrap_or_else(|| format!("{name}.trace.json"));
+    let format = out_format(args);
+    let out_path =
+        opt(args, "--out").unwrap_or_else(|| format!("{name}.trace.{}", format.extension()));
     let trace = run.trace();
-    if let Err(e) = std::fs::write(&out_path, trace.to_json() + "\n") {
-        eprintln!("error: cannot write {out_path}: {e}");
-        return 1;
-    }
     println!(
         "recorded {name} under {}: {} events, {} steps, fingerprint {:#018x}",
         trace.header.tool_label,
@@ -250,7 +331,10 @@ fn record(args: &[String]) -> i32 {
         "live detection on the recording run: {} racy context(s), {} promoted location(s)",
         outcome.contexts, outcome.promoted_locations
     );
-    println!("wrote {out_path}");
+    let write_code = write_trace(&out_path, trace, format);
+    if write_code != 0 {
+        return write_code;
+    }
     maybe_write_json(args, &outcome)
 }
 
@@ -307,12 +391,10 @@ fn gen(args: &[String]) -> i32 {
             return 1;
         }
     };
-    let out_path = opt(args, "--out").unwrap_or_else(|| format!("{}.trace.json", spec.name()));
+    let format = out_format(args);
+    let out_path = opt(args, "--out")
+        .unwrap_or_else(|| format!("{}.trace.{}", spec.name(), format.extension()));
     let trace = run.trace();
-    if let Err(e) = std::fs::write(&out_path, trace.to_json() + "\n") {
-        eprintln!("error: cannot write {out_path}: {e}");
-        return 1;
-    }
     println!(
         "generated {} under {}: {} events, {} steps, fingerprint {:#018x}",
         spec.name(),
@@ -322,7 +404,10 @@ fn gen(args: &[String]) -> i32 {
         trace.header.module_fingerprint,
     );
     println!("oracle: {}", wl.oracle.describe());
-    println!("wrote {out_path}");
+    let write_code = write_trace(&out_path, trace, format);
+    if write_code != 0 {
+        return write_code;
+    }
     let json_code = maybe_write_json(args, &outcome);
     if json_code != 0 {
         return json_code;
@@ -355,15 +440,7 @@ fn replay(args: &[String]) -> i32 {
         );
         return 2;
     };
-    let trace = load(path);
-    let tool = match opt(args, "--tool") {
-        Some(s) => parse_tool(&s),
-        None if trace.header.tool_label.is_empty() => {
-            eprintln!("error: trace has no recorded tool label; pass --tool");
-            return 2;
-        }
-        None => parse_tool(&trace.header.tool_label),
-    };
+    let format = sniff_path(path);
     let msm = if has(args, "--long-msm") {
         MsmMode::Long
     } else {
@@ -418,6 +495,23 @@ fn replay(args: &[String]) -> i32 {
             max_shadow_bytes: (max_shadow > 0).then_some(max_shadow as usize),
         },
         fault,
+    };
+
+    // Sequential replay of a binary trace streams it chunk-by-chunk —
+    // O(chunk) peak memory, detection overlapped with decoding, same
+    // outcome. The parallel engine shards over a full event slice, and
+    // JSON has no chunk framing, so both take the full-decode path.
+    if format == TraceFormat::Binary && workers == 0 {
+        return replay_streamed(args, path, msm, cap);
+    }
+    let trace = load(path);
+    let tool = match opt(args, "--tool") {
+        Some(s) => parse_tool(&s),
+        None if trace.header.tool_label.is_empty() => {
+            eprintln!("error: trace has no recorded tool label; pass --tool");
+            return 2;
+        }
+        None => parse_tool(&trace.header.tool_label),
     };
 
     // Rebuild a prepared module the trace matches, so reports resolve to
@@ -541,20 +635,130 @@ fn nolib_styles(tool: Tool) -> &'static [LibStyle] {
     }
 }
 
+/// Streaming sequential replay of a binary trace: the chunk reader
+/// decodes one chunk ahead of the detector, so the stream is never
+/// materialized. Outcome (and `--json` bytes) identical to the
+/// full-decode path.
+fn replay_streamed(args: &[String], path: &str, msm: MsmMode, cap: usize) -> i32 {
+    let reader = open_stream(path);
+    let header = reader.header().clone();
+    let tool = match opt(args, "--tool") {
+        Some(s) => parse_tool(&s),
+        None if header.tool_label.is_empty() => {
+            eprintln!("error: trace has no recorded tool label; pass --tool");
+            return 2;
+        }
+        None => parse_tool(&header.tool_label),
+    };
+    match prepared_for_replay(&header, tool, msm, cap) {
+        Some(prepared) => {
+            let t0 = Instant::now();
+            let (out, stats) = match prepared.try_detect_streamed_as(tool, reader) {
+                Ok(r) => r,
+                Err(spinrace_core::AnalyzeError::Trace(e)) => {
+                    eprintln!("error: {path}: {e}");
+                    return 2;
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            };
+            let secs = t0.elapsed().as_secs_f64();
+            println!(
+                "replayed {} events under {} [sequential, streamed {} chunk(s), peak {} KiB \
+                 resident]: {} racy context(s), {} promoted location(s) ({:.2} M ev/s, \
+                 decode+detector)",
+                stats.events,
+                out.tool_label,
+                stats.chunks,
+                stats.peak_resident_bytes / 1024,
+                out.contexts,
+                out.promoted_locations,
+                stats.events as f64 / secs.max(1e-9) / 1e6,
+            );
+            for r in out.reports.iter().take(10) {
+                println!(
+                    "  {:?} race on {} (t{} vs t{})",
+                    r.report.kind, r.location, r.report.prior.tid, r.report.current.tid
+                );
+            }
+            if out.reports.len() > 10 {
+                println!("  … {} more", out.reports.len() - 10);
+            }
+            maybe_write_json(args, &out)
+        }
+        None => {
+            eprintln!(
+                "note: could not rebuild module {:?} (unknown program or fingerprint drift); \
+                 replaying without source locations",
+                header.module_name
+            );
+            if opt(args, "--json").is_some() {
+                eprintln!("error: --json needs a rebuildable module (source locations)");
+                return 1;
+            }
+            let cfg = tool.detector_config(msm, cap);
+            let mut det = spinrace_detector::RaceDetector::new(cfg);
+            let t0 = Instant::now();
+            let stats = match reader.replay_into(&mut det) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return 2;
+                }
+            };
+            let secs = t0.elapsed().as_secs_f64();
+            println!(
+                "replayed {} events under {} [streamed {} chunk(s), peak {} KiB resident]: {} \
+                 racy context(s), {} promoted location(s) ({:.2} M ev/s, decode+detector)",
+                stats.events,
+                tool.label(),
+                stats.chunks,
+                stats.peak_resident_bytes / 1024,
+                det.racy_contexts(),
+                det.promoted_locations(),
+                stats.events as f64 / secs.max(1e-9) / 1e6,
+            );
+            for r in det.reports().reports().iter().take(10) {
+                println!(
+                    "  {:?} race at {:#x} (t{} vs t{})",
+                    r.kind, r.addr, r.prior.tid, r.current.tid
+                );
+            }
+            0
+        }
+    }
+}
+
 /// Bind the trace to a freshly prepared module. Prefers the preparation
 /// of `tool` (a fingerprint match means the replay equals a live `tool`
 /// run); falls back to the recording tool's preparation with a warning.
 /// Returns `None` when the program is unknown or no probed scale
 /// reproduces the recorded module.
 fn rebuild_run(trace: &Trace, tool: Tool, msm: MsmMode, cap: usize) -> Option<ExecutedRun> {
-    if let Some(prepared) = prepared_matching(trace, tool, msm, cap) {
-        return ExecutedRun::from_trace(prepared, trace.clone()).ok();
+    let prepared = prepared_for_replay(&trace.header, tool, msm, cap)?;
+    ExecutedRun::from_trace(prepared, trace.clone()).ok()
+}
+
+/// The preparation a replay should bind to: the *requested* tool's when
+/// its fingerprint matches the header (the replay then equals a live
+/// `tool` run), else the recording tool's, with a plain warning that the
+/// results describe the recorded stream.
+fn prepared_for_replay(
+    header: &TraceHeader,
+    tool: Tool,
+    msm: MsmMode,
+    cap: usize,
+) -> Option<spinrace_core::PreparedModule> {
+    if let Some(prepared) = prepared_matching(header, tool, msm, cap) {
+        return Some(prepared);
     }
-    let rec_tool: Tool = trace.header.tool_label.parse().ok()?;
+    let rec_tool: Tool = header.tool_label.parse().ok()?;
     if rec_tool == tool {
         return None;
     }
-    let prepared = prepared_matching(trace, rec_tool, msm, cap)?;
+    let prepared = prepared_matching(header, rec_tool, msm, cap)?;
     eprintln!(
         "note: stream was recorded from the `{}` preparation; results show that stream under \
          `{}`'s detector configuration, NOT what a live `{}` run would report",
@@ -562,24 +766,23 @@ fn rebuild_run(trace: &Trace, tool: Tool, msm: MsmMode, cap: usize) -> Option<Ex
         tool.label(),
         tool.label(),
     );
-    ExecutedRun::from_trace(prepared, trace.clone()).ok()
+    Some(prepared)
 }
 
 /// Re-prepare the program named in the trace header under `prep_tool`,
 /// probing scales `1..=MAX_SCALE` (the header does not record the scale),
 /// and return the preparation whose fingerprint matches the recording.
 fn prepared_matching(
-    trace: &Trace,
+    header: &TraceHeader,
     prep_tool: Tool,
     msm: MsmMode,
     cap: usize,
 ) -> Option<spinrace_core::PreparedModule> {
     // Lowered (nolib) modules are renamed `<name>.nolib`.
-    let base = trace
-        .header
+    let base = header
         .module_name
         .strip_suffix(".nolib")
-        .unwrap_or(&trace.header.module_name);
+        .unwrap_or(&header.module_name);
     // Generated workloads encode their full spec in the module name, so
     // the rebuild needs no program table and no scale probing — only the
     // nolib style is still a free preparation input.
@@ -589,11 +792,11 @@ fn prepared_matching(
             let prepared = Session::for_module(&module)
                 .msm(msm)
                 .cap(cap)
-                .vm_config(trace.header.vm)
+                .vm_config(header.vm)
                 .nolib_style(style)
                 .prepare(prep_tool);
             let Ok(prepared) = prepared else { continue };
-            if prepared.fingerprint() == trace.header.module_fingerprint {
+            if prepared.fingerprint() == header.module_fingerprint {
                 return Some(prepared);
             }
         }
@@ -611,11 +814,11 @@ fn prepared_matching(
             let prepared = Session::for_module(&module)
                 .msm(msm)
                 .cap(cap)
-                .vm_config(trace.header.vm)
+                .vm_config(header.vm)
                 .nolib_style(style)
                 .prepare(prep_tool);
             let Ok(prepared) = prepared else { continue };
-            if prepared.fingerprint() == trace.header.module_fingerprint {
+            if prepared.fingerprint() == header.module_fingerprint {
                 return Some(prepared);
             }
         }
@@ -623,14 +826,76 @@ fn prepared_matching(
     None
 }
 
-fn inspect(args: &[String]) -> i32 {
-    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: trace inspect FILE [--events N]");
+/// `convert`: rewrite a trace in the other on-disk encoding (or an
+/// explicit `--format`), reporting both sizes and the ratio.
+fn convert(args: &[String]) -> i32 {
+    let positional = args.iter().filter(|a| !a.starts_with("--"));
+    // `--format binary` / `--chunk-events N` values also appear as
+    // non-flag args, so track flag values to skip them.
+    let flag_values: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i > 0 && ["--format", "--chunk-events"].contains(&args[i - 1].as_str()))
+        .map(|(_, a)| a)
+        .collect();
+    let mut positional = positional.filter(|a| !flag_values.contains(a));
+    let (Some(input), Some(output)) = (positional.next(), positional.next()) else {
+        eprintln!("usage: trace convert IN OUT [--format json|binary] [--chunk-events N]");
         return 2;
     };
-    let trace = load(path);
-    let n: usize = num_opt(args, "--events", 10);
-    let h = &trace.header;
+    let in_format = sniff_path(input);
+    let trace = load(input);
+    let out_fmt = match opt(args, "--format").as_deref() {
+        Some("binary") => TraceFormat::Binary,
+        Some("json") => TraceFormat::Json,
+        Some(other) => {
+            eprintln!("error: --format expects json or binary, got {other:?}");
+            return 2;
+        }
+        // Default: the other direction — json→binary, binary→json.
+        None => match in_format {
+            TraceFormat::Json => TraceFormat::Binary,
+            TraceFormat::Binary => TraceFormat::Json,
+        },
+    };
+    let chunk_events: usize = num_opt(
+        args,
+        "--chunk-events",
+        spinrace_tracefmt::DEFAULT_CHUNK_EVENTS,
+    );
+    if chunk_events == 0 {
+        eprintln!("error: --chunk-events must be at least 1");
+        return 2;
+    }
+    let bytes = match out_fmt {
+        TraceFormat::Binary => spinrace_tracefmt::encode_trace_chunked(&trace, chunk_events),
+        TraceFormat::Json => trace.to_json().into_bytes(),
+    };
+    if let Err(e) = std::fs::write(output, &bytes) {
+        eprintln!("error: cannot write {output}: {e}");
+        return 1;
+    }
+    let in_bytes = std::fs::metadata(input).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "converted {input} ({in_format}, {in_bytes} bytes) -> {output} ({out_fmt}, {} bytes, \
+         {:.2} bytes/event, {:.1}x {})",
+        bytes.len(),
+        bytes.len() as f64 / (trace.events.len() as f64).max(1.0),
+        if bytes.len() as u64 <= in_bytes {
+            in_bytes as f64 / (bytes.len() as f64).max(1.0)
+        } else {
+            bytes.len() as f64 / (in_bytes as f64).max(1.0)
+        },
+        if bytes.len() as u64 <= in_bytes {
+            "smaller"
+        } else {
+            "larger"
+        },
+    );
+    0
+}
+
+fn print_header(h: &TraceHeader, summary: &spinrace_vm::RunSummary) {
     println!("version:     {}", h.version);
     println!("module:      {}", h.module_name);
     println!("fingerprint: {:#018x}", h.module_fingerprint);
@@ -646,17 +911,136 @@ fn inspect(args: &[String]) -> i32 {
     println!("events:      {}", h.events);
     println!(
         "summary:     {} steps, {} threads, {} spin enter(s), {} spin exit(s), {} memory words",
-        trace.summary.steps,
-        trace.summary.threads_created,
-        trace.summary.spin_enters,
-        trace.summary.spin_exits,
-        trace.summary.memory_words,
+        summary.steps,
+        summary.threads_created,
+        summary.spin_enters,
+        summary.spin_exits,
+        summary.memory_words,
     );
-    println!("first {} event(s):", n.min(trace.events.len()));
-    for ev in trace.events.iter().take(n) {
-        println!("  {ev:?}");
+}
+
+fn inspect(args: &[String]) -> i32 {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: trace inspect FILE [--events N]");
+        return 2;
+    };
+    let n: usize = num_opt(args, "--events", 10);
+    let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    match sniff_path(path) {
+        TraceFormat::Binary => {
+            // Streamed: the header block and the first chunk(s) are all
+            // that is read — inspecting a multi-gigabyte trace is cheap.
+            let mut reader = open_stream(path);
+            println!(
+                "format:      binary ({} chunk(s) of ≤{} events, {file_bytes} bytes)",
+                reader.chunk_count(),
+                reader.chunk_target()
+            );
+            print_header(reader.header(), reader.summary());
+            let total = reader.header().events as usize;
+            println!("first {} event(s):", n.min(total));
+            let mut shown = 0usize;
+            while shown < n {
+                match reader.next_chunk() {
+                    Ok(Some(chunk)) => {
+                        for ev in chunk.iter().take(n - shown) {
+                            println!("  {ev:?}");
+                        }
+                        shown += chunk.len().min(n - shown);
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        eprintln!("error: {path}: {e}");
+                        return 2;
+                    }
+                }
+            }
+        }
+        TraceFormat::Json => {
+            let trace = load(path);
+            println!("format:      json ({file_bytes} bytes)");
+            print_header(&trace.header, &trace.summary);
+            println!("first {} event(s):", n.min(trace.events.len()));
+            for ev in trace.events.iter().take(n) {
+                println!("  {ev:?}");
+            }
+        }
     }
     0
+}
+
+/// Streaming accumulator for `stats`: everything the report needs, fed
+/// chunk-by-chunk so a binary trace is never materialized.
+#[derive(Default)]
+struct StatsAcc {
+    kinds: BTreeMap<&'static str, u64>,
+    per_thread: BTreeMap<u32, u64>,
+    plain: u64,
+    total: u64,
+    addrs: std::collections::BTreeSet<u64>,
+    occ: [u64; NUM_SHARDS],
+}
+
+impl StatsAcc {
+    fn add_chunk(&mut self, events: &[Event]) {
+        for ev in events {
+            *self.kinds.entry(kind_of(ev)).or_default() += 1;
+            *self.per_thread.entry(ev.tid()).or_default() += 1;
+            if ev.is_plain_access() {
+                self.plain += 1;
+            }
+            if let Some(addr) = ev.data_addr() {
+                self.addrs.insert(addr);
+            }
+        }
+        self.total += events.len() as u64;
+        // Shard occupancy is a per-event histogram — additive across
+        // chunks.
+        let occ = shard_occupancy(events);
+        for (acc, c) in self.occ.iter_mut().zip(occ) {
+            *acc += c;
+        }
+    }
+
+    fn print(&self, file_bytes: u64) {
+        println!(
+            "{} events, {} distinct data addresses",
+            self.total,
+            self.addrs.len()
+        );
+        println!(
+            "file size: {file_bytes} bytes ({:.2} bytes/event)",
+            file_bytes as f64 / (self.total as f64).max(1.0)
+        );
+        println!(
+            "plain (race-checked) accesses: {} ({:.1}%)",
+            self.plain,
+            100.0 * self.plain as f64 / self.total.max(1) as f64
+        );
+        println!("by kind:");
+        for (k, c) in &self.kinds {
+            println!("  {k:<16} {c:>10}");
+        }
+        println!("by thread:");
+        for (t, c) in &self.per_thread {
+            println!("  t{t:<15} {c:>10}");
+        }
+        // Per-shard occupancy: how the parallel engine's shadow-shard
+        // partition sees this stream. `max/mean` > 1 quantifies skew —
+        // the imbalance the balanced schedule packs around and static
+        // ownership cannot.
+        let occ_total: u64 = self.occ.iter().sum();
+        let occ_max = self.occ.iter().copied().max().unwrap_or(0);
+        println!("shard occupancy (plain accesses per shadow shard):");
+        for (s, c) in self.occ.iter().enumerate() {
+            println!("  shard {s:<9} {c:>10}");
+        }
+        println!(
+            "  skew: hottest shard carries {:.2}x an even 1/{} share",
+            occ_max as f64 * NUM_SHARDS as f64 / occ_total.max(1) as f64,
+            NUM_SHARDS
+        );
+    }
 }
 
 fn stats(args: &[String]) -> i32 {
@@ -664,51 +1048,25 @@ fn stats(args: &[String]) -> i32 {
         eprintln!("usage: trace stats FILE");
         return 2;
     };
-    let trace = load(path);
-    let mut kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
-    let mut per_thread: BTreeMap<u32, u64> = BTreeMap::new();
-    let mut plain = 0u64;
-    let mut addrs = std::collections::BTreeSet::new();
-    for ev in &trace.events {
-        *kinds.entry(kind_of(ev)).or_default() += 1;
-        *per_thread.entry(ev.tid()).or_default() += 1;
-        if ev.is_plain_access() {
-            plain += 1;
+    let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    let mut acc = StatsAcc::default();
+    match sniff_path(path) {
+        TraceFormat::Binary => {
+            let mut reader = open_stream(path);
+            loop {
+                match reader.next_chunk() {
+                    Ok(Some(chunk)) => acc.add_chunk(&chunk),
+                    Ok(None) => break,
+                    Err(e) => {
+                        eprintln!("error: {path}: {e}");
+                        return 2;
+                    }
+                }
+            }
         }
-        if let Some(addr) = ev.data_addr() {
-            addrs.insert(addr);
-        }
+        TraceFormat::Json => acc.add_chunk(&load(path).events),
     }
-    let total = trace.events.len() as u64;
-    println!("{total} events, {} distinct data addresses", addrs.len());
-    println!(
-        "plain (race-checked) accesses: {plain} ({:.1}%)",
-        100.0 * plain as f64 / total.max(1) as f64
-    );
-    println!("by kind:");
-    for (k, c) in &kinds {
-        println!("  {k:<16} {c:>10}");
-    }
-    println!("by thread:");
-    for (t, c) in &per_thread {
-        println!("  t{t:<15} {c:>10}");
-    }
-    // Per-shard occupancy: how the parallel engine's shadow-shard
-    // partition sees this stream. `max/mean` > 1 quantifies skew — the
-    // imbalance the balanced schedule packs around and static ownership
-    // cannot.
-    let occ = shard_occupancy(&trace.events);
-    let occ_total: u64 = occ.iter().sum();
-    let occ_max = occ.iter().copied().max().unwrap_or(0);
-    println!("shard occupancy (plain accesses per shadow shard):");
-    for (s, c) in occ.iter().enumerate() {
-        println!("  shard {s:<9} {c:>10}");
-    }
-    println!(
-        "  skew: hottest shard carries {:.2}x an even 1/{} share",
-        occ_max as f64 * NUM_SHARDS as f64 / occ_total.max(1) as f64,
-        NUM_SHARDS
-    );
+    acc.print(file_bytes);
     0
 }
 

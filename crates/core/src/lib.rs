@@ -66,7 +66,7 @@ pub use session::{ExecutedRun, PreparedModule, Session};
 use spinrace_detector::{DetectorMetrics, MsmMode, RaceReport};
 use spinrace_synclib::{LibStyle, LowerError};
 use spinrace_tir::Module;
-use spinrace_vm::{RunSummary, VmConfig, VmError};
+use spinrace_vm::{RunSummary, TraceError, VmConfig, VmError};
 use std::fmt;
 use std::str::FromStr;
 
@@ -330,6 +330,8 @@ pub enum AnalyzeError {
         /// Fingerprint of the prepared module.
         module_fingerprint: u64,
     },
+    /// A trace file could not be read or decoded (either encoding).
+    Trace(TraceError),
 }
 
 impl fmt::Display for AnalyzeError {
@@ -345,6 +347,7 @@ impl fmt::Display for AnalyzeError {
                 "trace fingerprint {trace_fingerprint:#018x} does not match prepared module \
                  {module_fingerprint:#018x}"
             ),
+            AnalyzeError::Trace(e) => write!(f, "{e}"),
         }
     }
 }
@@ -359,6 +362,11 @@ impl From<LowerError> for AnalyzeError {
 impl From<VmError> for AnalyzeError {
     fn from(e: VmError) -> Self {
         AnalyzeError::Vm(e)
+    }
+}
+impl From<TraceError> for AnalyzeError {
+    fn from(e: TraceError) -> Self {
+        AnalyzeError::Trace(e)
     }
 }
 

@@ -26,7 +26,10 @@ use spinrace_detector::{DetectorConfig, MsmMode, RaceDetector};
 use spinrace_spinfind::{SpinCriteria, SpinFinder};
 use spinrace_synclib::{lower_to_spinlib_styled, LibStyle};
 use spinrace_tir::Module;
+use spinrace_tracefmt::{ChunkedTraceReader, StreamStats};
 use spinrace_vm::{run_module, RunSummary, Tee, Trace, TraceRecorder, VmConfig};
+use std::io;
+use std::path::Path;
 
 /// A configured analysis session over one source module.
 #[derive(Clone, Copy, Debug)]
@@ -214,6 +217,64 @@ impl PreparedModule {
         ))
     }
 
+    /// Replay a binary trace **stream** under this module's own tool
+    /// without materializing the event vector: the reader decodes one
+    /// chunk ahead of the detector, so peak memory is O(chunk) rather
+    /// than O(trace) and detection starts before the file has been fully
+    /// read. Sequential-only — the parallel engine shards over a full
+    /// event slice and goes through [`ExecutedRun`] instead.
+    ///
+    /// Fails with [`AnalyzeError::TraceMismatch`] when the stream's
+    /// fingerprint does not match this prepared module, and with
+    /// [`AnalyzeError::Trace`] on any decode error (corruption is
+    /// detected per chunk, possibly mid-replay).
+    pub fn try_detect_streamed<R: io::Read + Send>(
+        &self,
+        reader: ChunkedTraceReader<R>,
+    ) -> Result<(AnalysisOutcome, StreamStats), AnalyzeError> {
+        self.try_detect_streamed_with(self.default_config(), reader)
+    }
+
+    /// [`Self::try_detect_streamed`] under an explicit detector
+    /// configuration (labelled with this module's own tool).
+    pub fn try_detect_streamed_with<R: io::Read + Send>(
+        &self,
+        cfg: DetectorConfig,
+        reader: ChunkedTraceReader<R>,
+    ) -> Result<(AnalysisOutcome, StreamStats), AnalyzeError> {
+        self.streamed_outcome(self.tool.label(), cfg, reader)
+    }
+
+    /// [`Self::try_detect_streamed`] under *another tool's* configuration
+    /// and label — the streaming counterpart of
+    /// [`ExecutedRun::detect_as`], with the same fingerprint-sharing
+    /// contract.
+    pub fn try_detect_streamed_as<R: io::Read + Send>(
+        &self,
+        tool: Tool,
+        reader: ChunkedTraceReader<R>,
+    ) -> Result<(AnalysisOutcome, StreamStats), AnalyzeError> {
+        self.streamed_outcome(tool.label(), self.config_for(tool), reader)
+    }
+
+    fn streamed_outcome<R: io::Read + Send>(
+        &self,
+        label: String,
+        cfg: DetectorConfig,
+        reader: ChunkedTraceReader<R>,
+    ) -> Result<(AnalysisOutcome, StreamStats), AnalyzeError> {
+        if reader.header().module_fingerprint != self.fingerprint {
+            return Err(AnalyzeError::TraceMismatch {
+                trace_fingerprint: reader.header().module_fingerprint,
+                module_fingerprint: self.fingerprint,
+            });
+        }
+        let summary = reader.summary().clone();
+        let mut det = RaceDetector::new(cfg);
+        let stats = reader.replay_into(&mut det)?;
+        Ok((self.assemble(label, det, summary), stats))
+    }
+
     /// Build the user-facing outcome from a finished detector.
     fn assemble(
         &self,
@@ -283,6 +344,21 @@ impl ExecutedRun {
             });
         }
         Ok(ExecutedRun { prepared, trace })
+    }
+
+    /// Rebuild an executed run from a trace **file** in either on-disk
+    /// encoding (binary columnar or JSON, told apart by their first
+    /// bytes) — the same fingerprint check as [`Self::from_trace`]. The
+    /// whole stream is materialized; it is the right entry point for the
+    /// parallel replay engine and detection fan-out. For bounded-memory
+    /// sequential replay, open a [`ChunkedTraceReader`] and use
+    /// [`PreparedModule::try_detect_streamed`].
+    pub fn from_trace_file(
+        prepared: PreparedModule,
+        path: &Path,
+    ) -> Result<ExecutedRun, AnalyzeError> {
+        let trace = spinrace_tracefmt::load_trace_file(path)?;
+        ExecutedRun::from_trace(prepared, trace)
     }
 
     /// The recorded trace.
@@ -681,6 +757,112 @@ mod tests {
         let replayed = run.detect();
         assert_eq!(replayed.contexts, live.contexts);
         assert_eq!(replayed.reports.len(), live.reports.len());
+    }
+
+    /// Streaming replay of the binary encoding produces the same outcome
+    /// as the in-memory replay, with O(chunk) resident memory.
+    #[test]
+    fn streamed_detection_matches_in_memory_detection() {
+        let m = racy();
+        for tool in [Tool::HelgrindLib, Tool::HelgrindLibSpin { window: 7 }] {
+            let run = Session::for_module(&m)
+                .prepare(tool)
+                .unwrap()
+                .execute()
+                .unwrap();
+            let expected = run.detect();
+            // Tiny chunks force many boundaries through the pipeline.
+            let bytes = spinrace_tracefmt::encode_trace_chunked(run.trace(), 8);
+            let reader = ChunkedTraceReader::new(&bytes[..]).unwrap();
+            let (streamed, stats) = run.prepared().try_detect_streamed(reader).unwrap();
+            assert_eq!(streamed.contexts, expected.contexts, "{}", tool.label());
+            assert_eq!(streamed.reports.len(), expected.reports.len());
+            for (a, b) in streamed.reports.iter().zip(&expected.reports) {
+                assert_eq!(a.location, b.location);
+                assert_eq!(a.report, b.report);
+            }
+            assert_eq!(streamed.metrics, expected.metrics);
+            assert_eq!(streamed.summary, expected.summary);
+            assert_eq!(stats.events, run.trace().events.len() as u64);
+        }
+    }
+
+    #[test]
+    fn streamed_detection_rejects_foreign_streams() {
+        // A flag handoff: the spin tool instruments the waiter loop, so
+        // its prepared module differs from the plain one.
+        let mut mb = ModuleBuilder::new("handoff");
+        let flag = mb.global("flag", 1);
+        let waiter = mb.function("waiter", 1, |f| {
+            let head = f.new_block();
+            let done = f.new_block();
+            f.jump(head);
+            f.switch_to(head);
+            let v = f.load(flag.at(0));
+            f.branch(v, done, head);
+            f.switch_to(done);
+            f.ret(None);
+        });
+        mb.entry("main", |f| {
+            let t = f.spawn(waiter, 0);
+            f.store(flag.at(0), 1);
+            f.join(t);
+            f.ret(None);
+        });
+        let m = mb.finish().unwrap();
+        let session = Session::for_module(&m);
+        let run = session
+            .prepare(Tool::HelgrindLibSpin { window: 7 })
+            .unwrap()
+            .execute()
+            .unwrap();
+        let plain = session.prepare(Tool::HelgrindLib).unwrap();
+        assert_ne!(plain.fingerprint(), run.prepared().fingerprint());
+        let bytes = spinrace_tracefmt::encode_trace(run.trace());
+        let reader = ChunkedTraceReader::new(&bytes[..]).unwrap();
+        assert!(matches!(
+            plain.try_detect_streamed(reader),
+            Err(AnalyzeError::TraceMismatch { .. })
+        ));
+    }
+
+    /// `from_trace_file` accepts both on-disk encodings and applies the
+    /// fingerprint check.
+    #[test]
+    fn from_trace_file_loads_either_encoding() {
+        let m = racy();
+        let session = Session::for_module(&m);
+        let run = session
+            .prepare(Tool::HelgrindLib)
+            .unwrap()
+            .execute()
+            .unwrap();
+        let expected = run.detect();
+        let dir = std::env::temp_dir().join(format!(
+            "spinrace-session-{}-{}",
+            std::process::id(),
+            run.trace().header.module_fingerprint
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        for format in [
+            spinrace_tracefmt::TraceFormat::Binary,
+            spinrace_tracefmt::TraceFormat::Json,
+        ] {
+            let path = dir.join(format!("t.{}", format.extension()));
+            spinrace_tracefmt::write_trace_file(&path, run.trace(), format).unwrap();
+            let prepared = session.prepare(Tool::HelgrindLib).unwrap();
+            let reloaded = ExecutedRun::from_trace_file(prepared, &path).unwrap();
+            let out = reloaded.detect();
+            assert_eq!(out.contexts, expected.contexts, "{format}");
+            assert_eq!(out.reports.len(), expected.reports.len(), "{format}");
+        }
+        let missing = dir.join("nope.sptrace");
+        let prepared = session.prepare(Tool::HelgrindLib).unwrap();
+        assert!(matches!(
+            ExecutedRun::from_trace_file(prepared, &missing),
+            Err(AnalyzeError::Trace(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

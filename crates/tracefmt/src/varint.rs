@@ -1,0 +1,111 @@
+//! LEB128 varints and zigzag mapping — the per-column primitive codec.
+//!
+//! Every numeric column of the binary trace format is a sequence of
+//! unsigned LEB128 varints; signed quantities (deltas, values) map
+//! through zigzag first so small magnitudes of either sign stay short.
+//! Decoding is fully bounds-checked: an overlong varint (more than 10
+//! bytes) or a truncated one is a structured [`TraceError::Corrupt`],
+//! never a panic or a silent wrap.
+
+use spinrace_vm::TraceError;
+
+/// Append `v` as an unsigned LEB128 varint.
+#[inline]
+pub fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+/// Decode an unsigned LEB128 varint from `buf` at `*pos`, advancing
+/// `*pos` past it.
+#[inline]
+pub fn get_uvarint(buf: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    // Fast path: with delta coding most column values are a single
+    // byte, so peel that case off before the general loop.
+    if let Some(&b) = buf.get(*pos) {
+        if b < 0x80 {
+            *pos += 1;
+            return Ok(u64::from(b));
+        }
+    }
+    get_uvarint_multi(buf, pos)
+}
+
+/// The general multi-byte (or truncated/overlong) case of
+/// [`get_uvarint`].
+fn get_uvarint_multi(buf: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let Some(&b) = buf.get(*pos) else {
+            return Err(TraceError::Corrupt("truncated varint".into()));
+        };
+        *pos += 1;
+        if shift == 63 && b > 1 {
+            return Err(TraceError::Corrupt("overlong varint".into()));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(TraceError::Corrupt("overlong varint".into()));
+        }
+    }
+}
+
+/// Map a signed value onto unsigned so small magnitudes of either sign
+/// produce short varints.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_round_trips_edge_values() {
+        let mut buf = Vec::new();
+        let values = [0, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            put_uvarint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_uvarint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes stay small: the whole point.
+        assert!(zigzag(-1) < 128 && zigzag(1) < 128);
+    }
+
+    #[test]
+    fn truncated_and_overlong_varints_are_errors() {
+        // Continuation bit set but no next byte.
+        let mut pos = 0;
+        assert!(get_uvarint(&[0x80], &mut pos).is_err());
+        // Eleven continuation bytes exceed a u64.
+        let overlong = [0xff; 11];
+        let mut pos = 0;
+        assert!(get_uvarint(&overlong, &mut pos).is_err());
+    }
+}

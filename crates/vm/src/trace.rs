@@ -124,7 +124,10 @@ impl Trace {
     }
 }
 
-/// Trace decoding failures.
+/// Trace decoding failures — one type across both on-disk encodings
+/// (the JSON debug format and the binary columnar format of
+/// `spinrace-tracefmt`), so every load path surfaces the same structured
+/// errors.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceError {
     /// The text is not a valid trace document.
@@ -143,6 +146,30 @@ pub enum TraceError {
         /// Events actually present.
         actual: u64,
     },
+    /// The file does not start with the binary trace magic (and is not
+    /// JSON either) — wrong file, or the first bytes were destroyed.
+    Magic,
+    /// A binary chunk's stored checksum disagrees with its contents:
+    /// corruption localized to one chunk, detected before any of its
+    /// events are handed to a detector.
+    Checksum {
+        /// Zero-based index of the corrupt chunk.
+        chunk: u32,
+    },
+    /// The binary stream holds a different number of chunks than its
+    /// header block claims (truncated mid-stream, or trailing garbage).
+    ChunkCount {
+        /// Chunk count claimed by the header block.
+        header: u32,
+        /// Chunks actually present before the stream ended or broke.
+        actual: u32,
+    },
+    /// Structural corruption inside an otherwise-framed binary block
+    /// (bad column lengths, out-of-range dictionary index, overlong
+    /// varint, …).
+    Corrupt(String),
+    /// An I/O failure while streaming the trace from its source.
+    Io(String),
 }
 
 impl fmt::Display for TraceError {
@@ -158,6 +185,18 @@ impl fmt::Display for TraceError {
                     "trace truncated: header says {header} events, found {actual}"
                 )
             }
+            TraceError::Magic => write!(f, "not a trace file: bad magic bytes"),
+            TraceError::Checksum { chunk } => {
+                write!(f, "trace chunk {chunk} is corrupt (checksum mismatch)")
+            }
+            TraceError::ChunkCount { header, actual } => {
+                write!(
+                    f,
+                    "trace truncated: header says {header} chunk(s), found {actual}"
+                )
+            }
+            TraceError::Corrupt(m) => write!(f, "corrupt trace: {m}"),
+            TraceError::Io(m) => write!(f, "trace read failed: {m}"),
         }
     }
 }

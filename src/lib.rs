@@ -21,6 +21,8 @@
 //! * [`suites`] — the `data-race-test`-style suite and PARSEC-style workloads
 //! * [`workloads`] — parameterized workload generators with computable
 //!   ground-truth race oracles
+//! * [`tracefmt`] — the binary columnar trace encoding with chunked
+//!   streaming replay
 //! * [`report`] — tables and experiment summaries
 //! * [`core`] — the staged [`core::Session`] pipeline (prepare → execute
 //!   → detect over a replayable [`vm::Trace`]) and the one-call
@@ -34,6 +36,7 @@ pub use spinrace_spinfind as spinfind;
 pub use spinrace_suites as suites;
 pub use spinrace_synclib as synclib;
 pub use spinrace_tir as tir;
+pub use spinrace_tracefmt as tracefmt;
 pub use spinrace_vm as vm;
 pub use spinrace_workloads as workloads;
 

@@ -219,3 +219,205 @@ proptest! {
         prop_assert!(outcome.is_ok(), "byte-flipped trace decode panicked");
     }
 }
+
+// ---- binary (columnar) format negative paths ----
+
+use spinrace::tracefmt::{
+    decode_trace, encode_trace_chunked, fnv1a, load_trace_bytes, BINARY_FORMAT_VERSION, MAGIC,
+};
+
+/// One binary-encoded trace, built once, chunked small enough that the
+/// recorded ring stream spans several chunks — the mutation cases need
+/// real chunk boundaries, not a single-chunk degenerate file.
+fn base_binary() -> &'static [u8] {
+    static BIN: OnceLock<Vec<u8>> = OnceLock::new();
+    BIN.get_or_init(|| encode_trace_chunked(&recorded().1, 16))
+}
+
+/// Read one LEB128 varint out of a test buffer (trusted input — the
+/// tests walk files they just encoded).
+fn leb(bytes: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = bytes[*pos];
+        *pos += 1;
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+/// Byte offset of the header block's `chunk_count`/`chunk_target` pair,
+/// and of the header checksum right after it.
+fn header_counts_offsets(bytes: &[u8]) -> (usize, usize) {
+    let mut pos = MAGIC.len() + 4; // magic + binary version
+    let header_len = leb(bytes, &mut pos);
+    pos += header_len as usize;
+    let summary_len = leb(bytes, &mut pos);
+    pos += summary_len as usize;
+    (pos, pos + 8)
+}
+
+#[test]
+fn bad_magic_is_a_magic_error() {
+    // A corrupted magic byte, and inputs that are neither encoding.
+    let mut bytes = base_binary().to_vec();
+    bytes[0] ^= 0xff;
+    assert!(matches!(decode_trace(&bytes), Err(TraceError::Magic)));
+    for garbage in [&b""[..], b"SPINRTRX", b"\x00\x01\x02\x03"] {
+        assert!(matches!(load_trace_bytes(garbage), Err(TraceError::Magic)));
+    }
+}
+
+#[test]
+fn binary_version_bump_is_a_version_error_before_checksum() {
+    // A future binary version must be reported as such even though the
+    // patched bytes also break the header checksum: version is checked
+    // first, so the user sees "version 99", not "checksum mismatch".
+    let mut bytes = base_binary().to_vec();
+    bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&99u32.to_le_bytes());
+    match decode_trace(&bytes) {
+        Err(TraceError::Version { found, supported }) => {
+            assert_eq!((found, supported), (99, BINARY_FORMAT_VERSION));
+        }
+        other => panic!("expected a version error, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_chunk_is_reported_as_the_chunk_shortfall() {
+    let bytes = base_binary();
+    let (counts_pos, checksum_pos) = header_counts_offsets(bytes);
+    let header_block_end = checksum_pos + 8;
+    let total_chunks = u32::from_le_bytes(bytes[counts_pos..][..4].try_into().unwrap());
+    assert!(total_chunks > 1, "the base stream must span several chunks");
+    // Cutting into the final chunk's checksum loses exactly one chunk.
+    match decode_trace(&bytes[..bytes.len() - 4]) {
+        Err(TraceError::ChunkCount { header, actual }) => {
+            assert_eq!((header, actual), (total_chunks, total_chunks - 1));
+        }
+        other => panic!("expected a chunk-count error, got {other:?}"),
+    }
+    // Cutting just past the header block loses every chunk.
+    match decode_trace(&bytes[..header_block_end]) {
+        Err(TraceError::ChunkCount { header, actual }) => {
+            assert_eq!((header, actual), (total_chunks, 0));
+        }
+        other => panic!("expected a chunk-count error, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupted_column_data_fails_the_chunk_checksum() {
+    // The final byte of the file is the last chunk's checksum; a byte a
+    // little before it sits inside that chunk's column data. Both flips
+    // must localize to a checksum failure on that chunk.
+    let bytes = base_binary();
+    let (counts_pos, _) = header_counts_offsets(bytes);
+    let total_chunks = u32::from_le_bytes(bytes[counts_pos..][..4].try_into().unwrap());
+    for tamper in [bytes.len() - 1, bytes.len() - 12] {
+        let mut bad = bytes.to_vec();
+        bad[tamper] ^= 0x01;
+        match decode_trace(&bad) {
+            Err(TraceError::Checksum { chunk }) => assert_eq!(chunk, total_chunks - 1),
+            // A flip landing in a column-length varint can instead run
+            // the reader off the end of the stream — also structured.
+            Err(TraceError::ChunkCount { .. }) => {}
+            other => panic!("expected a checksum error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn header_chunk_count_mismatch_is_detected() {
+    // Claim one more chunk than the stream holds, with the header
+    // checksum re-fixed so only the count lies.
+    let bytes = base_binary();
+    let (counts_pos, checksum_pos) = header_counts_offsets(bytes);
+    let total_chunks = u32::from_le_bytes(bytes[counts_pos..][..4].try_into().unwrap());
+    let mut bad = bytes.to_vec();
+    bad[counts_pos..counts_pos + 4].copy_from_slice(&(total_chunks + 1).to_le_bytes());
+    let sum = fnv1a(&bad[..checksum_pos]);
+    bad[checksum_pos..checksum_pos + 8].copy_from_slice(&sum.to_le_bytes());
+    match decode_trace(&bad) {
+        Err(TraceError::ChunkCount { header, actual }) => {
+            assert_eq!((header, actual), (total_chunks + 1, total_chunks));
+        }
+        other => panic!("expected a chunk-count error, got {other:?}"),
+    }
+    // The un-fixed version of the same patch is caught by the checksum.
+    let mut unfixed = bytes.to_vec();
+    unfixed[counts_pos..counts_pos + 4].copy_from_slice(&(total_chunks + 1).to_le_bytes());
+    assert!(matches!(
+        decode_trace(&unfixed),
+        Err(TraceError::Corrupt(_))
+    ));
+}
+
+#[test]
+fn binary_event_count_mismatch_and_trailing_bytes_are_detected() {
+    let (_, trace) = recorded();
+    let n = trace.events.len() as u64;
+    let mut lying = trace.clone();
+    lying.header.events += 3;
+    match decode_trace(&encode_trace_chunked(&lying, 64)) {
+        Err(TraceError::EventCount { header, actual }) => {
+            assert_eq!((header, actual), (n + 3, n));
+        }
+        other => panic!("expected an event-count error, got {other:?}"),
+    }
+    let mut padded = encode_trace_chunked(&trace, 64);
+    padded.push(0);
+    assert!(matches!(decode_trace(&padded), Err(TraceError::Corrupt(_))));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every strict prefix of a binary trace is missing at least its
+    /// final checksum byte, so every one must come back as a typed
+    /// error — never a panic, never a silent partial decode.
+    #[test]
+    fn binary_truncation_is_always_rejected_without_panicking(pos in 0usize..1 << 16) {
+        let bytes = base_binary();
+        let cut = pos % bytes.len();
+        let rejected = catch_unwind(move || load_trace_bytes(&bytes[..cut]).is_err())
+            .expect("truncated binary decode panicked");
+        prop_assert!(rejected, "binary truncation at byte {cut} decoded successfully");
+    }
+
+    /// Splicing a random run of bytes out of the file must never panic
+    /// the load path. (The checksums make a successful decode of a
+    /// spliced file astronomically unlikely, but the property under
+    /// test is no-panic, matching the JSON splice case.)
+    #[test]
+    fn binary_byte_splices_never_panic(pos in 0usize..1 << 16, len in 1usize..64) {
+        let bytes = base_binary();
+        let pos = pos % bytes.len();
+        let len = len.min(bytes.len() - pos);
+        let mut mutated = bytes.to_vec();
+        mutated.drain(pos..pos + len);
+        let outcome = catch_unwind(move || {
+            let _ = load_trace_bytes(&mutated);
+        });
+        prop_assert!(outcome.is_ok(), "spliced binary decode panicked");
+    }
+
+    /// Flipping any byte to any other value must never panic the load
+    /// path — whether it lands in the magic, a length varint, column
+    /// data, or a checksum.
+    #[test]
+    fn binary_byte_flips_never_panic(pos in 0usize..1 << 16, flip in 1u8..=255) {
+        let bytes = base_binary();
+        let pos = pos % bytes.len();
+        let mut mutated = bytes.to_vec();
+        mutated[pos] ^= flip;
+        let outcome = catch_unwind(move || {
+            let _ = load_trace_bytes(&mutated);
+        });
+        prop_assert!(outcome.is_ok(), "byte-flipped binary decode panicked");
+    }
+}

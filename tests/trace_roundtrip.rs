@@ -5,11 +5,21 @@
 //! metrics, promotions, and run summary. This is the end-to-end guarantee
 //! behind "record once, replay everywhere": the serialized artifact
 //! carries everything detection needs.
+//!
+//! The same guarantee is held for the **binary columnar encoding**: the
+//! stream is also encoded with a deliberately tiny chunk target (so the
+//! multi-chunk framing, per-chunk codec reset, and dictionary rebuild
+//! all fire), decoded back to an identical trace, and replayed through
+//! the chunked streaming reader — which must produce the live result
+//! too. A separate case pins json → binary → json as a byte fixed
+//! point.
 
 use proptest::prelude::*;
 use spinrace::core::{Analyzer, ExecutedRun, Session, Tool};
 use spinrace::tir::{Module, ModuleBuilder};
+use spinrace::tracefmt::{decode_trace, encode_trace_chunked, ChunkedTraceReader};
 use spinrace::vm::Trace;
+use std::io::Cursor;
 
 /// A small random workload: `threads` workers, each doing `iters` rounds
 /// of (optionally lock-protected) shared-counter updates, with an
@@ -110,6 +120,37 @@ proptest! {
                 .map_err(|e| TestCaseError(format!("rebind failed: {e}")))?;
             let replayed = rebound.detect();
 
+            // Binary path: a 9-event chunk target forces multi-chunk
+            // framing on all but the tiniest streams. The decoded trace
+            // must be identical, and the chunked *streaming* replay must
+            // reproduce the live outcome as well.
+            let bytes = encode_trace_chunked(run.trace(), 9);
+            let decoded = decode_trace(&bytes)
+                .map_err(|e| TestCaseError(format!("binary decode failed: {e}")))?;
+            prop_assert_eq!(&decoded, run.trace());
+            let reader = ChunkedTraceReader::new(Cursor::new(bytes))
+                .map_err(|e| TestCaseError(format!("binary open failed: {e}")))?;
+            let (streamed, stats) = session
+                .prepare(tool)
+                .unwrap()
+                .try_detect_streamed_as(tool, reader)
+                .map_err(|e| TestCaseError(format!("streamed replay failed: {e}")))?;
+            prop_assert_eq!(stats.events as usize, run.trace().events.len());
+            let label = tool.label();
+            prop_assert_eq!(streamed.contexts, live.contexts, "streamed contexts under {}", &label);
+            prop_assert_eq!(
+                streamed.reports.len(),
+                live.reports.len(),
+                "streamed report count under {}",
+                &label
+            );
+            for (a, b) in streamed.reports.iter().zip(&live.reports) {
+                prop_assert_eq!(&a.location, &b.location, "streamed location under {}", &label);
+                prop_assert_eq!(&a.report, &b.report, "streamed report under {}", &label);
+            }
+            prop_assert_eq!(&streamed.metrics, &live.metrics, "streamed metrics under {}", &label);
+            prop_assert_eq!(&streamed.summary, &live.summary, "streamed summary under {}", &label);
+
             let label = tool.label();
             prop_assert_eq!(replayed.contexts, live.contexts, "contexts under {}", &label);
             prop_assert_eq!(
@@ -138,5 +179,32 @@ proptest! {
             prop_assert_eq!(&replayed.summary, &live.summary, "summary under {}", &label);
             prop_assert_eq!(&replayed.tool_label, &label);
         }
+    }
+
+    /// json → binary → json is a byte fixed point: converting a trace
+    /// into the columnar encoding and back must reproduce the original
+    /// JSON document exactly (header, summary, and events all survive
+    /// the column codecs bit-for-bit).
+    #[test]
+    fn json_binary_json_is_a_byte_fixed_point(
+        threads in 1u32..4,
+        iters in 1u8..4,
+        lock in proptest::bool::ANY,
+        flag in proptest::bool::ANY,
+        racy in proptest::bool::ANY,
+        chunk in 1usize..32,
+    ) {
+        let m = build_module(threads, iters, lock, flag, racy);
+        let run = Session::for_module(&m)
+            .prepare(Tool::HelgrindLibSpin { window: 7 })
+            .unwrap()
+            .execute()
+            .unwrap();
+        let json = run.trace().to_json();
+        let reparsed = Trace::from_json(&json)
+            .map_err(|e| TestCaseError(format!("parse failed: {e}")))?;
+        let decoded = decode_trace(&encode_trace_chunked(&reparsed, chunk))
+            .map_err(|e| TestCaseError(format!("binary decode failed: {e}")))?;
+        prop_assert_eq!(decoded.to_json(), json);
     }
 }
