@@ -37,7 +37,12 @@
 //!   binary encodings, columnar encode/decode throughput, and the peak
 //!   resident chunk bytes of streamed replay — the quick smoke gates the
 //!   binary size to ≤ 1/8 of JSON, the decode floor, and the streaming
-//!   peak to a four-chunk budget (the O(chunk) memory claim).
+//!   peak to a four-chunk budget (the O(chunk) memory claim);
+//! * **serve throughput and tail latency** (since schema v7): whole
+//!   analysis sessions — framed trace upload, streamed verdicts, done —
+//!   against an in-process `spinrace-serve` instance under
+//!   [`SERVE_CLIENTS`] concurrent clients, reporting traces/sec and
+//!   p50/p99 end-to-end session latency.
 //!
 //! Results land in `BENCH_detector.json` at the repo root — the perf
 //! trajectory the CI `perf-smoke` step guards.
@@ -45,6 +50,8 @@
 //! ```text
 //! cargo run --release -p spinrace-bench --bin perf            # full run
 //! cargo run --release -p spinrace-bench --bin perf -- --quick # CI smoke
+//! cargo run --release -p spinrace-bench --bin perf -- serve --quick
+//!                              # serve latency gates only (CI serve-smoke)
 //! ```
 //!
 //! `--quick` measures a reduced matrix with shorter timing windows and
@@ -54,7 +61,7 @@
 //! hash-table slip on the hot path), not CI-machine noise.
 
 use spinrace_bench::bench_tools;
-use spinrace_core::{parallel, Schedule, Session, Tool};
+use spinrace_core::{parallel, DetectRequest, Schedule, Session, Tool};
 use spinrace_detector::{
     shard_occupancy, DetectorConfig, MsmMode, RaceDetector, ReferenceDetector, NUM_SHARDS,
 };
@@ -62,7 +69,7 @@ use spinrace_tracefmt::{decode_trace, encode_trace, ChunkedTraceReader, DEFAULT_
 use spinrace_vm::{Event, EventSink, Trace};
 use spinrace_workloads::{Family, WorkloadSpec};
 use std::io::Cursor;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Checked-in floor for the production detector, in events/sec. The CI
 /// smoke fails when measured throughput is more than 5× below this. Set
@@ -92,6 +99,24 @@ const WORKLOAD_FLOOR_EVENTS_PER_SEC: f64 = 10_000_000.0;
 /// ≥30 M ev/s target the format was designed against; /5 in the quick
 /// gate leaves room for slow shared runners.
 const DECODE_FLOOR_EVENTS_PER_SEC: f64 = 30_000_000.0;
+
+/// Concurrent clients of the `serve` latency bench: one per core the
+/// ≥4-core gate assumes, uploading back-to-back against an in-process
+/// `spinrace-serve` instance with the same number of session slots.
+const SERVE_CLIENTS: usize = 4;
+
+/// Floor for serve throughput, in whole trace uploads (request → framed
+/// verdicts → done) per second across [`SERVE_CLIENTS`] concurrent
+/// clients. Release-mode measurements sit well into the hundreds for
+/// the ~100k-event bench stream; the floor only catches a server that
+/// has stopped overlapping sessions or started copying uploads
+/// wholesale.
+const SERVE_FLOOR_TRACES_PER_SEC: f64 = 20.0;
+
+/// Ceiling for the p99 end-to-end session latency of the serve bench,
+/// in milliseconds. Generous on purpose: it flags a session slot being
+/// starved (admission no longer overlaps uploads), not runner jitter.
+const SERVE_P99_CEILING_MS: f64 = 1_000.0;
 
 /// Maximum binary trace size as a fraction of the JSON encoding of the
 /// same stream: the quick smoke fails if the columnar format compresses
@@ -250,7 +275,7 @@ fn measure_workloads(quick: bool, min_secs: f64) -> (Vec<WorkloadRow>, Trace, De
         // One more replay with locations resolved, judged against the
         // workload's ground truth (exact victim/thread-pair matching —
         // valid for race-free and any future seeded spec alike).
-        let out = run.detect_with(cfg);
+        let out = run.run(&DetectRequest::config(cfg)).into_single();
         let verdict = spinrace_suites::judge_outcome(&wl.oracle, &out);
         assert!(
             verdict.pass(),
@@ -312,6 +337,9 @@ fn measure_workloads(quick: bool, min_secs: f64) -> (Vec<WorkloadRow>, Trace, De
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    if args.first().map(String::as_str) == Some("serve") {
+        serve_only(quick);
+    }
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -446,6 +474,9 @@ fn main() {
         workload_min_eps / 1e6,
     );
 
+    let serve_row = measure_serve(quick);
+    print_serve_row(&serve_row);
+
     write_json(
         &out_path,
         quick,
@@ -460,6 +491,7 @@ fn main() {
         },
         cores,
         &scaling,
+        &serve_row,
     );
     println!("wrote {out_path}");
 
@@ -761,6 +793,143 @@ struct Summary {
     geomean_speedup: f64,
 }
 
+/// The serve latency bench: throughput and tail latency of whole
+/// analysis sessions (framed upload → streamed verdicts → done) against
+/// an in-process server under [`SERVE_CLIENTS`] concurrent clients.
+struct ServeRow {
+    clients: usize,
+    uploads: usize,
+    events_per_upload: usize,
+    traces_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Stand up a `spinrace-serve` instance on a loopback port, hammer it
+/// with [`SERVE_CLIENTS`] clients uploading the same pre-encoded stream
+/// back-to-back for a fixed window, and report traces/sec plus p50/p99
+/// end-to-end session latency.
+fn measure_serve(quick: bool) -> ServeRow {
+    let spec = WorkloadSpec::new(Family::Ring)
+        .threads(4)
+        .addr_space(256)
+        .seed(5)
+        .with_total_events(if quick { 20_000 } else { 100_000 });
+    let wl = spec.build();
+    let tool: Tool = "lib+spin".parse().expect("bench tool label");
+    let trace = Session::for_module(&wl.module)
+        .vm_config(spec.vm_config())
+        .prepare(tool)
+        .expect("prepare serve workload")
+        .execute()
+        .expect("vm run")
+        .into_trace();
+    let events_per_upload = trace.events.len();
+    let bytes = encode_trace(&trace);
+    let params = serde_json::Value::Map(vec![(
+        serde_json::Value::Str("tools".into()),
+        serde_json::Value::Seq(vec![serde_json::Value::Str(tool.label())]),
+    )]);
+
+    let handle = spinrace_serve::serve(
+        "127.0.0.1:0",
+        spinrace_serve::ServeOptions {
+            sessions: SERVE_CLIENTS,
+            cores: parallel::default_workers(),
+            ..Default::default()
+        },
+    )
+    .expect("bind serve bench server");
+    let addr = handle.addr().to_string();
+    let window = Duration::from_secs_f64(if quick { 1.0 } else { 3.0 });
+
+    let start = Instant::now();
+    let deadline = start + window;
+    let latencies: Vec<f64> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..SERVE_CLIENTS)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut lats = Vec::new();
+                    while Instant::now() < deadline {
+                        let t0 = Instant::now();
+                        let out = spinrace_serve::run_client(&addr, &params, &bytes)
+                            .expect("serve bench client io");
+                        assert!(
+                            out.succeeded(),
+                            "serve bench session failed: {:?}",
+                            out.error
+                        );
+                        lats.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("serve bench client"))
+            .collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    handle.shutdown();
+
+    let mut sorted = latencies.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| sorted[((sorted.len() as f64 * p) as usize).min(sorted.len() - 1)];
+    ServeRow {
+        clients: SERVE_CLIENTS,
+        uploads: latencies.len(),
+        events_per_upload,
+        traces_per_sec: latencies.len() as f64 / elapsed,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+    }
+}
+
+/// `perf serve [--quick]`: only the serve latency bench, with its gates
+/// — the CI `serve-smoke` entry point. Nothing is written; the full
+/// `perf` run records the same row into `BENCH_detector.json`.
+fn serve_only(quick: bool) -> ! {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let row = measure_serve(quick);
+    print_serve_row(&row);
+    if quick && cores >= SERVE_CLIENTS {
+        if row.traces_per_sec < SERVE_FLOOR_TRACES_PER_SEC {
+            eprintln!(
+                "PERF REGRESSION: serve sustained only {:.1} trace(s)/sec across \
+                 {SERVE_CLIENTS} clients on {cores} cores; required ≥ \
+                 {SERVE_FLOOR_TRACES_PER_SEC:.0}",
+                row.traces_per_sec,
+            );
+            std::process::exit(1);
+        }
+        if row.p99_ms > SERVE_P99_CEILING_MS {
+            eprintln!(
+                "PERF REGRESSION: serve p99 session latency of {:.1} ms across \
+                 {SERVE_CLIENTS} clients on {cores} cores is above the \
+                 {SERVE_P99_CEILING_MS:.0} ms ceiling",
+                row.p99_ms,
+            );
+            std::process::exit(1);
+        }
+    } else if quick {
+        println!(
+            "note: {cores} core(s) < {SERVE_CLIENTS} clients — the serve latency gates are \
+             vacuous and were skipped"
+        );
+    }
+    std::process::exit(0);
+}
+
+fn print_serve_row(row: &ServeRow) {
+    println!(
+        "serve: {} upload(s) of {} events across {} concurrent client(s) — {:.1} traces/sec, \
+         p50 {:.1} ms, p99 {:.1} ms",
+        row.uploads, row.events_per_upload, row.clients, row.traces_per_sec, row.p50_ms, row.p99_ms,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     path: &str,
     quick: bool,
@@ -769,6 +938,7 @@ fn write_json(
     summary: Summary,
     cores: usize,
     scaling: &Scaling,
+    serve: &ServeRow,
 ) {
     let results: Vec<serde_json::Value> = rows
         .iter()
@@ -832,7 +1002,7 @@ fn write_json(
         })
         .collect();
     let doc = serde_json::json!({
-        "schema": "spinrace-perf-v6",
+        "schema": "spinrace-perf-v7",
         "quick": quick,
         "cores": cores as u64,
         "floor_events_per_sec": FLOOR_EVENTS_PER_SEC,
@@ -842,6 +1012,16 @@ fn write_json(
         "parallel_workers": PARALLEL_WORKERS as u64,
         "results": serde_json::Value::Seq(results),
         "workloads": serde_json::Value::Seq(workloads),
+        "serve": {
+            "clients": serve.clients as u64,
+            "uploads": serve.uploads as u64,
+            "events_per_upload": serve.events_per_upload as u64,
+            "traces_per_sec": serve.traces_per_sec,
+            "p50_ms": serve.p50_ms,
+            "p99_ms": serve.p99_ms,
+            "floor_traces_per_sec": SERVE_FLOOR_TRACES_PER_SEC,
+            "p99_ceiling_ms": SERVE_P99_CEILING_MS,
+        },
         "parallel_scaling": {
             "program": scaling.program.as_str(),
             "tool": scaling.tool.as_str(),

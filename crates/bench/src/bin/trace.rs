@@ -19,6 +19,12 @@
 //! trace convert IN OUT [--format json|binary] [--chunk-events N]
 //! trace inspect FILE [--events N]
 //! trace stats FILE
+//! trace serve [--addr HOST:PORT] [--sessions N] [--cores N] [--max-events N]
+//!             [--max-shadow-bytes N] [--watchdog MS] [--stdin]
+//! trace client FILE --addr HOST:PORT [--tool <TOOL>] [--workers N]
+//!              [--schedule static|balanced] [--long-msm] [--cap N]
+//!              [--max-events N] [--max-shadow-bytes N] [--watchdog MS]
+//!              [--json FILE]
 //! ```
 //!
 //! Exit codes: `0` success, `1` runtime failure (I/O, engine error,
@@ -69,14 +75,20 @@
 //! stable schema shared by `record` (live detection) and `replay`: the CI
 //! `replay-determinism` job byte-compares these files across worker
 //! counts and against the live run.
+//!
+//! `serve` runs the `spinrace-serve` analysis server (TCP, or one
+//! session over stdin/stdout with `--stdin`); `client` uploads a trace
+//! file to a running server and prints the streamed verdicts — its
+//! `--json` output is byte-identical to `replay --json` of the same
+//! file, which the CI `serve-smoke` job checks.
 
 use spinrace_core::{
-    AnalysisOutcome, Budget, EngineOptions, ExecutedRun, FaultPlan, Schedule, Session, Tool,
+    AnalysisOutcome, Budget, DetectRequest, EngineOptions, FaultPlan, Schedule, Session, Tool,
 };
 use spinrace_detector::MsmMode;
 use spinrace_detector::{shard_occupancy, NUM_SHARDS};
-use spinrace_suites::all_programs;
-use spinrace_synclib::LibStyle;
+use spinrace_serve::outcome_json;
+use spinrace_suites::{all_programs, prepared_for_replay, rebuild_run, MAX_SCALE};
 use spinrace_tracefmt::{ChunkedTraceReader, TraceFormat};
 use spinrace_vm::{Event, Trace, TraceHeader};
 use spinrace_workloads::{Family, WorkloadSpec};
@@ -94,9 +106,12 @@ fn main() {
         Some("convert") => convert(&args[1..]),
         Some("inspect") => inspect(&args[1..]),
         Some("stats") => stats(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("client") => client_cmd(&args[1..]),
         _ => {
             eprintln!(
-                "usage: trace <record|gen|replay|convert|inspect|stats> ...  (see --help in source)"
+                "usage: trace <record|gen|replay|convert|inspect|stats|serve|client> ...  \
+                 (see --help in source)"
             );
             2
         }
@@ -218,33 +233,6 @@ fn write_trace(path: &str, trace: &Trace, format: TraceFormat) -> i32 {
         bytes as f64 / (trace.events.len() as f64).max(1.0)
     );
     0
-}
-
-/// The stable detection-outcome schema shared by `record --json` (live
-/// detection) and `replay --json` (sequential or parallel replay): if two
-/// runs report identical results, their JSON is byte-identical.
-fn outcome_json(out: &AnalysisOutcome) -> serde_json::Value {
-    let reports: Vec<serde_json::Value> = out
-        .reports
-        .iter()
-        .map(|r| {
-            serde_json::json!({
-                "location": r.location.as_str(),
-                "report": r.report,
-            })
-        })
-        .collect();
-    serde_json::json!({
-        "schema": "spinrace-detection-v1",
-        "module": out.module_name.as_str(),
-        "tool": out.tool_label.as_str(),
-        "contexts": out.contexts as u64,
-        "promoted_locations": out.promoted_locations as u64,
-        "spin_loops_found": out.spin_loops_found as u64,
-        "reports": serde_json::Value::Seq(reports),
-        "metrics": out.metrics,
-        "summary": out.summary,
-    })
 }
 
 /// Write the outcome JSON when `--json FILE` was given. Returns the
@@ -524,16 +512,17 @@ fn replay(args: &[String]) -> i32 {
     match rebuild_run(&trace, tool, msm, cap) {
         Some(run) => {
             let t0 = Instant::now();
-            let out = if workers > 0 {
-                match run.try_detect_as_parallel_opts(tool, workers, opts) {
-                    Ok(o) => o,
-                    Err(e) => {
-                        eprintln!("error: {e}");
-                        return 1;
-                    }
-                }
+            let req = if workers > 0 {
+                DetectRequest::tool(tool).parallel(workers).options(opts)
             } else {
-                run.detect_as(tool)
+                DetectRequest::tool(tool).sequential()
+            };
+            let out = match run.try_run(&req) {
+                Ok(o) => o.into_single(),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
             };
             let secs = t0.elapsed().as_secs_f64();
             let mode = if workers > 0 {
@@ -621,20 +610,6 @@ fn replay(args: &[String]) -> i32 {
     }
 }
 
-/// Largest `--scale` `record` accepts, and the last scale `replay` probes
-/// when rebinding a trace to its module.
-const MAX_SCALE: u32 = 32;
-
-/// The nolib library styles a tool's preparation can have used (only
-/// nolib lowering is style-sensitive).
-fn nolib_styles(tool: Tool) -> &'static [LibStyle] {
-    if matches!(tool, Tool::HelgrindNolibSpin { .. }) {
-        &[LibStyle::Textbook, LibStyle::Obscure]
-    } else {
-        &[LibStyle::Textbook]
-    }
-}
-
 /// Streaming sequential replay of a binary trace: the chunk reader
 /// decodes one chunk ahead of the detector, so the stream is never
 /// materialized. Outcome (and `--json` bytes) identical to the
@@ -653,8 +628,9 @@ fn replay_streamed(args: &[String], path: &str, msm: MsmMode, cap: usize) -> i32
     match prepared_for_replay(&header, tool, msm, cap) {
         Some(prepared) => {
             let t0 = Instant::now();
-            let (out, stats) = match prepared.try_detect_streamed_as(tool, reader) {
-                Ok(r) => r,
+            let req = DetectRequest::tool(tool).streamed();
+            let (out, stats) = match prepared.try_run_streamed(&req, reader) {
+                Ok((o, stats)) => (o.into_single(), stats),
                 Err(spinrace_core::AnalyzeError::Trace(e)) => {
                     eprintln!("error: {path}: {e}");
                     return 2;
@@ -729,101 +705,6 @@ fn replay_streamed(args: &[String], path: &str, msm: MsmMode, cap: usize) -> i32
             0
         }
     }
-}
-
-/// Bind the trace to a freshly prepared module. Prefers the preparation
-/// of `tool` (a fingerprint match means the replay equals a live `tool`
-/// run); falls back to the recording tool's preparation with a warning.
-/// Returns `None` when the program is unknown or no probed scale
-/// reproduces the recorded module.
-fn rebuild_run(trace: &Trace, tool: Tool, msm: MsmMode, cap: usize) -> Option<ExecutedRun> {
-    let prepared = prepared_for_replay(&trace.header, tool, msm, cap)?;
-    ExecutedRun::from_trace(prepared, trace.clone()).ok()
-}
-
-/// The preparation a replay should bind to: the *requested* tool's when
-/// its fingerprint matches the header (the replay then equals a live
-/// `tool` run), else the recording tool's, with a plain warning that the
-/// results describe the recorded stream.
-fn prepared_for_replay(
-    header: &TraceHeader,
-    tool: Tool,
-    msm: MsmMode,
-    cap: usize,
-) -> Option<spinrace_core::PreparedModule> {
-    if let Some(prepared) = prepared_matching(header, tool, msm, cap) {
-        return Some(prepared);
-    }
-    let rec_tool: Tool = header.tool_label.parse().ok()?;
-    if rec_tool == tool {
-        return None;
-    }
-    let prepared = prepared_matching(header, rec_tool, msm, cap)?;
-    eprintln!(
-        "note: stream was recorded from the `{}` preparation; results show that stream under \
-         `{}`'s detector configuration, NOT what a live `{}` run would report",
-        rec_tool.label(),
-        tool.label(),
-        tool.label(),
-    );
-    Some(prepared)
-}
-
-/// Re-prepare the program named in the trace header under `prep_tool`,
-/// probing scales `1..=MAX_SCALE` (the header does not record the scale),
-/// and return the preparation whose fingerprint matches the recording.
-fn prepared_matching(
-    header: &TraceHeader,
-    prep_tool: Tool,
-    msm: MsmMode,
-    cap: usize,
-) -> Option<spinrace_core::PreparedModule> {
-    // Lowered (nolib) modules are renamed `<name>.nolib`.
-    let base = header
-        .module_name
-        .strip_suffix(".nolib")
-        .unwrap_or(&header.module_name);
-    // Generated workloads encode their full spec in the module name, so
-    // the rebuild needs no program table and no scale probing — only the
-    // nolib style is still a free preparation input.
-    if let Some(spec) = WorkloadSpec::from_name(base) {
-        let module = spec.build().module;
-        for &style in nolib_styles(prep_tool) {
-            let prepared = Session::for_module(&module)
-                .msm(msm)
-                .cap(cap)
-                .vm_config(header.vm)
-                .nolib_style(style)
-                .prepare(prep_tool);
-            let Ok(prepared) = prepared else { continue };
-            if prepared.fingerprint() == header.module_fingerprint {
-                return Some(prepared);
-            }
-        }
-        return None;
-    }
-    let programs = all_programs();
-    let prog = programs.iter().find(|p| p.name == base)?;
-    // The header records neither the scale nor the nolib library style
-    // (both are preparation inputs, not run configuration), so probe:
-    // every scale record accepts, and — for nolib tools, whose lowering
-    // is the only style-sensitive phase — both library styles.
-    for scale in 1..=MAX_SCALE {
-        let module = (prog.build)(prog.threads, prog.size * scale);
-        for &style in nolib_styles(prep_tool) {
-            let prepared = Session::for_module(&module)
-                .msm(msm)
-                .cap(cap)
-                .vm_config(header.vm)
-                .nolib_style(style)
-                .prepare(prep_tool);
-            let Ok(prepared) = prepared else { continue };
-            if prepared.fingerprint() == header.module_fingerprint {
-                return Some(prepared);
-            }
-        }
-    }
-    None
 }
 
 /// `convert`: rewrite a trace in the other on-disk encoding (or an
@@ -1067,6 +948,197 @@ fn stats(args: &[String]) -> i32 {
         TraceFormat::Json => acc.add_chunk(&load(path).events),
     }
     acc.print(file_bytes);
+    0
+}
+
+/// `serve`: run the analysis server. TCP by default (`--addr`, default
+/// `127.0.0.1:0`; the bound address is printed first so scripts can
+/// parse it), or exactly one session over stdin/stdout with `--stdin`.
+fn serve_cmd(args: &[String]) -> i32 {
+    let zero_is_none = |n: u64| (n > 0).then_some(n);
+    let opts = spinrace_serve::ServeOptions {
+        sessions: num_opt(args, "--sessions", 4),
+        cores: num_opt(args, "--cores", spinrace_core::default_workers()),
+        max_events: zero_is_none(num_opt(args, "--max-events", 0)),
+        max_shadow_bytes: zero_is_none(num_opt(args, "--max-shadow-bytes", 0)).map(|n| n as usize),
+        watchdog_ms: zero_is_none(num_opt(args, "--watchdog", 0)),
+    };
+    if has(args, "--stdin") {
+        return match spinrace_serve::serve_stdin(opts) {
+            Ok((outcomes, events)) => {
+                eprintln!("session done: {outcomes} outcome(s), {events} event(s)");
+                0
+            }
+            Err(code) => {
+                eprintln!("error: session failed ({code})");
+                1
+            }
+        };
+    }
+    let addr = opt(args, "--addr").unwrap_or_else(|| "127.0.0.1:0".into());
+    let handle = match spinrace_serve::serve(&addr, opts) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            return 1;
+        }
+    };
+    println!("listening on {}", handle.addr());
+    for event in handle.events() {
+        match event {
+            spinrace_serve::SessionEvent::Started { peer } => println!("session {peer}: started"),
+            spinrace_serve::SessionEvent::Finished {
+                peer,
+                outcomes,
+                events,
+            } => println!("session {peer}: done ({outcomes} outcome(s), {events} event(s))"),
+            spinrace_serve::SessionEvent::Failed { peer, code } => {
+                println!("session {peer}: failed ({code})")
+            }
+        }
+    }
+    0
+}
+
+/// `client`: upload a trace file to a running server and print the
+/// streamed verdicts. `--json FILE` writes the server's outcome
+/// document — byte-identical to `replay --json` of the same file.
+fn client_cmd(args: &[String]) -> i32 {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!(
+            "usage: trace client FILE --addr HOST:PORT [--tool T] [--workers N] \
+             [--schedule static|balanced] [--long-msm] [--cap N] [--max-events N] \
+             [--max-shadow-bytes N] [--watchdog MS] [--json FILE]"
+        );
+        return 2;
+    };
+    let Some(addr) = opt(args, "--addr") else {
+        eprintln!("error: --addr HOST:PORT is required");
+        return 2;
+    };
+    // The wire format is the binary chunk encoding; a JSON trace is
+    // transparently re-encoded for upload.
+    let (bytes, header_tool) = match sniff_path(path) {
+        TraceFormat::Binary => {
+            let label = open_stream(path).header().tool_label.clone();
+            match std::fs::read(path) {
+                Ok(b) => (b, label),
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return 2;
+                }
+            }
+        }
+        TraceFormat::Json => {
+            let trace = load(path);
+            let label = trace.header.tool_label.clone();
+            (
+                spinrace_tracefmt::encode_trace_chunked(
+                    &trace,
+                    spinrace_tracefmt::DEFAULT_CHUNK_EVENTS,
+                ),
+                label,
+            )
+        }
+    };
+    let tool = match opt(args, "--tool") {
+        Some(s) => parse_tool(&s),
+        None if header_tool.is_empty() => {
+            eprintln!("error: trace has no recorded tool label; pass --tool");
+            return 2;
+        }
+        None => parse_tool(&header_tool),
+    };
+    let mut entries: Vec<(serde_json::Value, serde_json::Value)> = vec![
+        (
+            serde_json::Value::Str("tools".into()),
+            serde_json::Value::Seq(vec![serde_json::Value::Str(tool.label())]),
+        ),
+        (
+            serde_json::Value::Str("workers".into()),
+            serde_json::Value::U64(num_opt(args, "--workers", 0)),
+        ),
+        (
+            serde_json::Value::Str("cap".into()),
+            serde_json::Value::U64(num_opt(args, "--cap", 1000)),
+        ),
+        (
+            serde_json::Value::Str("long_msm".into()),
+            serde_json::Value::Bool(has(args, "--long-msm")),
+        ),
+    ];
+    if let Some(s) = opt(args, "--schedule") {
+        entries.push((
+            serde_json::Value::Str("schedule".into()),
+            serde_json::Value::Str(s),
+        ));
+    }
+    for (flag, field) in [
+        ("--max-events", "max_events"),
+        ("--max-shadow-bytes", "max_shadow_bytes"),
+        ("--watchdog", "watchdog_ms"),
+    ] {
+        let n: u64 = num_opt(args, flag, 0);
+        if n > 0 {
+            entries.push((
+                serde_json::Value::Str(field.into()),
+                serde_json::Value::U64(n),
+            ));
+        }
+    }
+    let params = serde_json::Value::Map(entries);
+    let outcome = match spinrace_serve::run_client(&addr, &params, &bytes) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {addr}: {e}");
+            return 1;
+        }
+    };
+    if let Some(err) = &outcome.error {
+        eprintln!(
+            "error: server rejected session: {} ({})",
+            err.message, err.code
+        );
+        if let Some((events, contexts, shadow)) = err.partial {
+            eprintln!(
+                "partial metrics: {events} event(s) processed, {contexts} racy context(s), \
+                 {shadow} shadow byte(s)"
+            );
+        }
+        return 1;
+    }
+    for (tool_label, payload) in &outcome.outcomes {
+        let doc: serde_json::Value = match serde_json::from_str(payload) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: undecodable outcome frame: {}", e.0);
+                return 1;
+            }
+        };
+        println!(
+            "server replayed under {}: {} racy context(s), {} promoted location(s) \
+             ({} verdict frame(s) streamed)",
+            tool_label,
+            doc["contexts"].as_u64().unwrap_or(0),
+            doc["promoted_locations"].as_u64().unwrap_or(0),
+            outcome.verdicts,
+        );
+    }
+    if outcome.done.is_none() {
+        eprintln!("error: connection closed before the session's done frame");
+        return 1;
+    }
+    if let Some(json_path) = opt(args, "--json") {
+        let Some((_, payload)) = outcome.outcomes.first() else {
+            eprintln!("error: no outcome frame to write");
+            return 1;
+        };
+        if let Err(e) = std::fs::write(&json_path, payload) {
+            eprintln!("error: cannot write {json_path}: {e}");
+            return 1;
+        }
+        println!("wrote {json_path}");
+    }
     0
 }
 

@@ -55,13 +55,15 @@
 //! session (prepare → live detect, no recording).
 
 pub mod parallel;
+pub mod request;
 pub mod session;
 
 pub use parallel::{
-    Budget, BudgetResource, EngineError, EngineOptions, FaultKind, FaultPlan, PartialMetrics,
-    Schedule,
+    default_workers, Budget, BudgetResource, EngineError, EngineOptions, FaultKind, FaultPlan,
+    PartialMetrics, Schedule,
 };
-pub use session::{ExecutedRun, PreparedModule, Session};
+pub use request::{DetectMode, DetectOutcome, DetectRequest, DetectTarget};
+pub use session::{ExecutedRun, PreparedModule, Session, StreamProgress};
 
 use spinrace_detector::{DetectorMetrics, MsmMode, RaceReport};
 use spinrace_synclib::{LibStyle, LowerError};
@@ -332,6 +334,9 @@ pub enum AnalyzeError {
     },
     /// A trace file could not be read or decoded (either encoding).
     Trace(TraceError),
+    /// The replay engine failed or a resource budget tripped
+    /// ([`EngineError`] from a [`DetectRequest`] execution).
+    Engine(EngineError),
 }
 
 impl fmt::Display for AnalyzeError {
@@ -348,6 +353,7 @@ impl fmt::Display for AnalyzeError {
                  {module_fingerprint:#018x}"
             ),
             AnalyzeError::Trace(e) => write!(f, "{e}"),
+            AnalyzeError::Engine(e) => write!(f, "{e}"),
         }
     }
 }
@@ -367,6 +373,14 @@ impl From<VmError> for AnalyzeError {
 impl From<TraceError> for AnalyzeError {
     fn from(e: TraceError) -> Self {
         AnalyzeError::Trace(e)
+    }
+}
+impl From<EngineError> for AnalyzeError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Trace(e) => AnalyzeError::Trace(e),
+            other => AnalyzeError::Engine(other),
+        }
     }
 }
 

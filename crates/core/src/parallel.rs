@@ -115,7 +115,7 @@ pub use spinrace_detector::Schedule;
 /// How often (in events) workers poll for cancellation, the watchdog,
 /// and the shadow budget: every 4096 events, so the hot loop pays one
 /// masked compare per event in the common case.
-const PERIODIC_MASK: usize = 0xFFF;
+pub(crate) const PERIODIC_MASK: usize = 0xFFF;
 
 /// Granularity of a handoff wait: a stalled receiver re-checks the
 /// cancellation flag at least this often, so a peer's failure unblocks
@@ -293,6 +293,18 @@ impl Budget {
     pub fn is_unlimited(&self) -> bool {
         self.max_events.is_none() && self.max_shadow_bytes.is_none()
     }
+
+    /// Bound the number of events one detection may process.
+    pub fn with_max_events(mut self, max_events: u64) -> Budget {
+        self.max_events = Some(max_events);
+        self
+    }
+
+    /// Bound the resident shadow bytes of one detection.
+    pub fn with_max_shadow_bytes(mut self, max_shadow_bytes: usize) -> Budget {
+        self.max_shadow_bytes = Some(max_shadow_bytes);
+        self
+    }
 }
 
 /// What to inject, for [`FaultPlan`].
@@ -415,6 +427,36 @@ impl EngineOptions {
             schedule,
             ..EngineOptions::default()
         }
+    }
+
+    /// Set the shard-to-worker scheduling mode.
+    pub fn with_schedule(mut self, schedule: Schedule) -> EngineOptions {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Set the per-handoff wait ceiling.
+    pub fn with_handoff_timeout(mut self, limit: Duration) -> EngineOptions {
+        self.handoff_timeout = limit;
+        self
+    }
+
+    /// Bound the whole detection by a wall-clock watchdog.
+    pub fn with_watchdog(mut self, limit: Duration) -> EngineOptions {
+        self.watchdog = Some(limit);
+        self
+    }
+
+    /// Set resource budgets.
+    pub fn with_budget(mut self, budget: Budget) -> EngineOptions {
+        self.budget = budget;
+        self
+    }
+
+    /// Arm deterministic fault injection (tests/CI only).
+    pub fn with_fault(mut self, fault: FaultPlan) -> EngineOptions {
+        self.fault = Some(fault);
+        self
     }
 }
 

@@ -8,11 +8,14 @@
 //! 2. [`PreparedModule::execute`] interprets the prepared module once and
 //!    records the event stream as a replayable [`Trace`] inside an
 //!    [`ExecutedRun`];
-//! 3. [`ExecutedRun::detect`] / [`ExecutedRun::detect_many`] /
-//!    [`ExecutedRun::detect_as`] replay the trace under any number of
-//!    detector configurations — each replay is equivalent to having run
-//!    that detector live (the VM hands events to sinks by reference,
-//!    synchronously, and detectors are deterministic).
+//! 3. [`ExecutedRun::run`] executes a [`DetectRequest`] — replay the
+//!    trace under any fan-out of tools/configurations, sequentially or
+//!    on the parallel sharded engine, with schedules, watchdogs, and
+//!    budgets — and each replay is equivalent to having run that
+//!    detector live (the VM hands events to sinks by reference,
+//!    synchronously, and detectors are deterministic). The historical
+//!    `detect_*` method family remains as thin wrappers over `run`;
+//!    see [`crate::request`] for the mapping.
 //!
 //! Because the VM is deterministic, two tools whose preparation produced
 //! the same module (same [`Module::fingerprint`]) see the same stream —
@@ -20,16 +23,26 @@
 //! spin windows that accepted the same loops. Harnesses exploit this by
 //! caching [`ExecutedRun`]s per fingerprint and fanning detection out.
 
-use crate::parallel::{expect_engine, EngineError, EngineOptions, Schedule};
+use crate::parallel::{
+    expect_engine, BudgetResource, EngineError, EngineOptions, PartialMetrics, Schedule,
+    PERIODIC_MASK,
+};
+use crate::request::{DetectMode, DetectOutcome, DetectRequest, DetectTarget};
 use crate::{AnalysisOutcome, AnalyzeError, DescribedReport, Tool};
 use spinrace_detector::{DetectorConfig, MsmMode, RaceDetector};
 use spinrace_spinfind::{SpinCriteria, SpinFinder};
 use spinrace_synclib::{lower_to_spinlib_styled, LibStyle};
 use spinrace_tir::Module;
-use spinrace_tracefmt::{ChunkedTraceReader, StreamStats};
-use spinrace_vm::{run_module, RunSummary, Tee, Trace, TraceRecorder, VmConfig};
+use spinrace_tracefmt::{chunk_mem, ChunkedTraceReader, StreamStats};
+use spinrace_vm::{
+    run_module, Event, EventSink, RunSummary, Tee, Trace, TraceError, TraceRecorder, VmConfig,
+};
 use std::io;
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A configured analysis session over one source module.
 #[derive(Clone, Copy, Debug)]
@@ -217,52 +230,60 @@ impl PreparedModule {
         ))
     }
 
-    /// Replay a binary trace **stream** under this module's own tool
+    /// Resolve a request's targets against this prepared module: each
+    /// target becomes a `(tool label, detector configuration)` pair, in
+    /// request order.
+    pub(crate) fn resolve_targets(&self, req: &DetectRequest) -> Vec<(String, DetectorConfig)> {
+        req.targets()
+            .iter()
+            .map(|t| match *t {
+                DetectTarget::Own => (self.tool.label(), self.default_config()),
+                DetectTarget::Tool(tool) => (tool.label(), self.config_for(tool)),
+                DetectTarget::Config(cfg) => (self.tool.label(), cfg),
+            })
+            .collect()
+    }
+
+    /// Execute a [`DetectRequest`] against a binary trace **stream**
     /// without materializing the event vector: the reader decodes one
-    /// chunk ahead of the detector, so peak memory is O(chunk) rather
-    /// than O(trace) and detection starts before the file has been fully
-    /// read. Sequential-only — the parallel engine shards over a full
-    /// event slice and goes through [`ExecutedRun`] instead.
+    /// chunk ahead of the detectors, so peak memory is O(chunk) rather
+    /// than O(trace) and detection starts before the stream has been
+    /// fully read. Replay is sequential regardless of the request's
+    /// [`DetectMode`] (the parallel engine shards over a full event
+    /// slice and goes through [`ExecutedRun`] instead), but the
+    /// request's targets fan out on one pass and its watchdog/budget
+    /// [`EngineOptions`] are enforced.
     ///
     /// Fails with [`AnalyzeError::TraceMismatch`] when the stream's
-    /// fingerprint does not match this prepared module, and with
+    /// fingerprint does not match this prepared module, with
     /// [`AnalyzeError::Trace`] on any decode error (corruption is
-    /// detected per chunk, possibly mid-replay).
-    pub fn try_detect_streamed<R: io::Read + Send>(
+    /// detected per chunk, possibly mid-replay), and with
+    /// [`AnalyzeError::Engine`] on a tripped watchdog or budget
+    /// (event-budget trips replay exactly the affordable prefix and
+    /// carry faithful [`PartialMetrics`]).
+    pub fn try_run_streamed<R: io::Read + Send>(
         &self,
+        req: &DetectRequest,
         reader: ChunkedTraceReader<R>,
-    ) -> Result<(AnalysisOutcome, StreamStats), AnalyzeError> {
-        self.try_detect_streamed_with(self.default_config(), reader)
+    ) -> Result<(DetectOutcome, StreamStats), AnalyzeError> {
+        self.try_run_streamed_observed(req, reader, |_| {})
     }
 
-    /// [`Self::try_detect_streamed`] under an explicit detector
-    /// configuration (labelled with this module's own tool).
-    pub fn try_detect_streamed_with<R: io::Read + Send>(
+    /// [`Self::try_run_streamed`] with a per-chunk progress observer:
+    /// after each decoded chunk has been fed to every target, `observe`
+    /// is called once per target with the running totals and the
+    /// reports that chunk newly produced — the hook a streaming server
+    /// uses to push incremental verdicts before end-of-upload.
+    pub fn try_run_streamed_observed<R, F>(
         &self,
-        cfg: DetectorConfig,
-        reader: ChunkedTraceReader<R>,
-    ) -> Result<(AnalysisOutcome, StreamStats), AnalyzeError> {
-        self.streamed_outcome(self.tool.label(), cfg, reader)
-    }
-
-    /// [`Self::try_detect_streamed`] under *another tool's* configuration
-    /// and label — the streaming counterpart of
-    /// [`ExecutedRun::detect_as`], with the same fingerprint-sharing
-    /// contract.
-    pub fn try_detect_streamed_as<R: io::Read + Send>(
-        &self,
-        tool: Tool,
-        reader: ChunkedTraceReader<R>,
-    ) -> Result<(AnalysisOutcome, StreamStats), AnalyzeError> {
-        self.streamed_outcome(tool.label(), self.config_for(tool), reader)
-    }
-
-    fn streamed_outcome<R: io::Read + Send>(
-        &self,
-        label: String,
-        cfg: DetectorConfig,
-        reader: ChunkedTraceReader<R>,
-    ) -> Result<(AnalysisOutcome, StreamStats), AnalyzeError> {
+        req: &DetectRequest,
+        mut reader: ChunkedTraceReader<R>,
+        mut observe: F,
+    ) -> Result<(DetectOutcome, StreamStats), AnalyzeError>
+    where
+        R: io::Read + Send,
+        F: FnMut(StreamProgress<'_>),
+    {
         if reader.header().module_fingerprint != self.fingerprint {
             return Err(AnalyzeError::TraceMismatch {
                 trace_fingerprint: reader.header().module_fingerprint,
@@ -270,9 +291,201 @@ impl PreparedModule {
             });
         }
         let summary = reader.summary().clone();
-        let mut det = RaceDetector::new(cfg);
-        let stats = reader.replay_into(&mut det)?;
-        Ok((self.assemble(label, det, summary), stats))
+        let total = reader.header().events;
+        let resolved = self.resolve_targets(req);
+        let mut dets: Vec<RaceDetector> = resolved
+            .iter()
+            .map(|&(_, cfg)| RaceDetector::new(cfg))
+            .collect();
+        let mut seen: Vec<usize> = vec![0; dets.len()];
+        let opts = req.engine_options();
+        let limit = opts.budget.max_events.map_or(total, |m| m.min(total));
+        let truncated = limit < total;
+        let deadline = opts.watchdog.map(|d| (Instant::now() + d, d));
+        let shadow_limit = opts.budget.max_shadow_bytes.unwrap_or(usize::MAX);
+
+        // The same decode-ahead pipeline as `ChunkedTraceReader::
+        // replay_into`, with the consumer side widened to many
+        // detectors plus budget/watchdog enforcement mirroring the
+        // engine's sequential pass (periodic checks every 4096 events).
+        let resident = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = sync_channel::<Result<Vec<Event>, TraceError>>(1);
+
+        let stats = std::thread::scope(|scope| -> Result<StreamStats, AnalyzeError> {
+            let decoder_resident = Arc::clone(&resident);
+            let decoder_peak = Arc::clone(&peak);
+            let reader = &mut reader;
+            scope.spawn(move || loop {
+                match reader.next_chunk() {
+                    Ok(Some(chunk)) => {
+                        let now = decoder_resident.fetch_add(chunk_mem(&chunk), Ordering::Relaxed)
+                            + chunk_mem(&chunk);
+                        decoder_peak.fetch_max(now, Ordering::Relaxed);
+                        // A closed receiver means the consumer bailed on
+                        // an earlier error; just stop decoding.
+                        if tx.send(Ok(chunk)).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(None) => return,
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                }
+            });
+
+            let mut stats = StreamStats::default();
+            for msg in rx {
+                let chunk = msg.map_err(AnalyzeError::Trace)?;
+                for ev in &chunk {
+                    if truncated && stats.events == limit {
+                        break;
+                    }
+                    if stats.events & (PERIODIC_MASK as u64) == 0 {
+                        if let Some((at, d)) = deadline {
+                            if Instant::now() >= at {
+                                return Err(EngineError::Watchdog {
+                                    limit_ms: d.as_millis() as u64,
+                                }
+                                .into());
+                            }
+                        }
+                        if shadow_limit != usize::MAX {
+                            for det in &dets {
+                                let bytes = det.shadow_resident_bytes();
+                                if bytes > shadow_limit {
+                                    return Err(EngineError::BudgetExhausted {
+                                        resource: BudgetResource::ShadowBytes,
+                                        limit: shadow_limit as u64,
+                                        used: bytes as u64,
+                                        partial: PartialMetrics {
+                                            events_processed: stats.events,
+                                            contexts: det.racy_contexts(),
+                                            shadow_bytes: bytes,
+                                        },
+                                    }
+                                    .into());
+                                }
+                            }
+                        }
+                    }
+                    for det in &mut dets {
+                        det.on_event(ev);
+                    }
+                    stats.events += 1;
+                }
+                stats.chunks += 1;
+                resident.fetch_sub(chunk_mem(&chunk), Ordering::Relaxed);
+                if truncated && stats.events == limit {
+                    let first = &dets[0];
+                    return Err(EngineError::BudgetExhausted {
+                        resource: BudgetResource::Events,
+                        limit,
+                        used: total,
+                        partial: PartialMetrics {
+                            events_processed: limit,
+                            contexts: first.racy_contexts(),
+                            shadow_bytes: first.shadow_resident_bytes(),
+                        },
+                    }
+                    .into());
+                }
+                for (idx, det) in dets.iter().enumerate() {
+                    let reports = det.reports().reports();
+                    let new: Vec<DescribedReport> = reports[seen[idx]..]
+                        .iter()
+                        .map(|r| DescribedReport {
+                            location: self.module.describe_addr(r.addr),
+                            report: r.clone(),
+                        })
+                        .collect();
+                    seen[idx] = reports.len();
+                    observe(StreamProgress {
+                        target: idx,
+                        tool_label: &resolved[idx].0,
+                        chunk: stats.chunks,
+                        events: stats.events,
+                        contexts: det.racy_contexts(),
+                        new_reports: &new,
+                    });
+                }
+            }
+            // Final shadow check: the periodic poll samples every 4096
+            // events, so a short stream that ends over budget lands here.
+            if shadow_limit != usize::MAX {
+                for det in &dets {
+                    let bytes = det.shadow_resident_bytes();
+                    if bytes > shadow_limit {
+                        return Err(EngineError::BudgetExhausted {
+                            resource: BudgetResource::ShadowBytes,
+                            limit: shadow_limit as u64,
+                            used: bytes as u64,
+                            partial: PartialMetrics {
+                                events_processed: stats.events,
+                                contexts: det.racy_contexts(),
+                                shadow_bytes: bytes,
+                            },
+                        }
+                        .into());
+                    }
+                }
+            }
+            Ok(stats)
+        })?;
+
+        let mut stats = stats;
+        stats.peak_resident_bytes = peak.load(Ordering::Relaxed);
+        let outcomes = resolved
+            .into_iter()
+            .zip(dets)
+            .map(|((label, _), det)| self.assemble(label, det, summary.clone()))
+            .collect();
+        Ok((DetectOutcome { outcomes }, stats))
+    }
+
+    /// Replay a binary trace stream under this module's own tool.
+    ///
+    /// Legacy wrapper: equivalent to
+    /// [`try_run_streamed`](Self::try_run_streamed) with
+    /// [`DetectRequest::own`] — prefer the request form.
+    pub fn try_detect_streamed<R: io::Read + Send>(
+        &self,
+        reader: ChunkedTraceReader<R>,
+    ) -> Result<(AnalysisOutcome, StreamStats), AnalyzeError> {
+        let (out, stats) = self.try_run_streamed(&DetectRequest::own(), reader)?;
+        Ok((out.into_single(), stats))
+    }
+
+    /// Streamed replay under an explicit detector configuration.
+    ///
+    /// Legacy wrapper: equivalent to
+    /// [`try_run_streamed`](Self::try_run_streamed) with
+    /// [`DetectRequest::config`] — prefer the request form.
+    pub fn try_detect_streamed_with<R: io::Read + Send>(
+        &self,
+        cfg: DetectorConfig,
+        reader: ChunkedTraceReader<R>,
+    ) -> Result<(AnalysisOutcome, StreamStats), AnalyzeError> {
+        let (out, stats) = self.try_run_streamed(&DetectRequest::config(cfg), reader)?;
+        Ok((out.into_single(), stats))
+    }
+
+    /// Streamed replay under *another tool's* configuration and label —
+    /// the fingerprint-sharing contract of [`ExecutedRun::detect_as`]
+    /// applies.
+    ///
+    /// Legacy wrapper: equivalent to
+    /// [`try_run_streamed`](Self::try_run_streamed) with
+    /// [`DetectRequest::tool`] — prefer the request form.
+    pub fn try_detect_streamed_as<R: io::Read + Send>(
+        &self,
+        tool: Tool,
+        reader: ChunkedTraceReader<R>,
+    ) -> Result<(AnalysisOutcome, StreamStats), AnalyzeError> {
+        let (out, stats) = self.try_run_streamed(&DetectRequest::tool(tool), reader)?;
+        Ok((out.into_single(), stats))
     }
 
     /// Build the user-facing outcome from a finished detector.
@@ -321,6 +534,26 @@ impl PreparedModule {
             summary,
         }
     }
+}
+
+/// One per-target, per-chunk progress report from
+/// [`PreparedModule::try_run_streamed_observed`]. Borrowed views into
+/// the running detection — copy out what must outlive the callback.
+#[derive(Debug)]
+pub struct StreamProgress<'a> {
+    /// Index of the target within the request's fan-out.
+    pub target: usize,
+    /// The target's tool label.
+    pub tool_label: &'a str,
+    /// Chunks consumed so far (this report fires after chunk `chunk`).
+    pub chunk: u32,
+    /// Events fed to every detector so far.
+    pub events: u64,
+    /// Racy contexts this target has recorded so far.
+    pub contexts: usize,
+    /// Reports this chunk newly produced for this target, described
+    /// against the prepared module.
+    pub new_reports: &'a [DescribedReport],
 }
 
 /// One recorded execution of a prepared module: the trace plus everything
@@ -381,20 +614,81 @@ impl ExecutedRun {
         &self.trace.summary
     }
 
+    // ---- the unified entry point ----
+
+    /// Execute a [`DetectRequest`] against the recorded trace: every
+    /// target replays on the mode the request selects (sequentially, or
+    /// on the parallel sharded engine — multi-target fan-outs share one
+    /// worker pool), under the request's schedule, watchdog, budget,
+    /// and fault options. Outcomes come back in target order and are
+    /// bit-identical across every mode, worker count, and schedule.
+    ///
+    /// [`DetectMode::Streamed`] degenerates to sequential here: the
+    /// trace is already materialized. Bounded-memory streaming goes
+    /// through [`PreparedModule::try_run_streamed`] instead.
+    ///
+    /// Fails with a structured [`EngineError`] on a worker panic, lost
+    /// or timed-out handoff, watchdog trip, or exhausted budget;
+    /// without explicit options none of those can happen and
+    /// [`ExecutedRun::run`] is the convenient form.
+    pub fn try_run(&self, req: &DetectRequest) -> Result<DetectOutcome, EngineError> {
+        let resolved = self.prepared.resolve_targets(req);
+        let workers = match req.mode() {
+            DetectMode::Parallel { workers } => workers,
+            DetectMode::Sequential | DetectMode::Streamed => 1,
+        };
+        let opts = req.engine_options();
+        let outcomes = if resolved.len() == 1 {
+            // The single-target path keeps the engine's full fault and
+            // error machinery exactly as the `try_detect_*` family
+            // exposed it.
+            let (label, cfg) = resolved.into_iter().next().unwrap();
+            let merged =
+                crate::parallel::try_run_sharded_opts(cfg, &self.trace.events, workers, opts)?;
+            vec![self.merged_outcome(label, merged)]
+        } else {
+            let cfgs: Vec<DetectorConfig> = resolved.iter().map(|&(_, cfg)| cfg).collect();
+            crate::parallel::try_run_many_sharded_opts(&cfgs, &self.trace.events, workers, opts)?
+                .into_iter()
+                .zip(resolved)
+                .map(|(merged, (label, _))| self.merged_outcome(label, merged))
+                .collect()
+        };
+        Ok(DetectOutcome { outcomes })
+    }
+
+    /// [`Self::try_run`], unwrapped: panics when the replay engine
+    /// fails (without explicit [`EngineOptions`] the only way that can
+    /// happen is a genuine worker panic).
+    pub fn run(&self, req: &DetectRequest) -> DetectOutcome {
+        expect_engine(self.try_run(req))
+    }
+
+    // ---- legacy wrappers over `run`/`try_run` ----
+
     /// Replay under this module's own tool with the session's defaults.
+    ///
+    /// Legacy wrapper: equivalent to [`run`](Self::run) with
+    /// [`DetectRequest::own`] — prefer the request form.
     pub fn detect(&self) -> AnalysisOutcome {
-        self.detect_with(self.prepared.default_config())
+        self.run(&DetectRequest::own()).into_single()
     }
 
     /// Replay under an explicit detector configuration (labelled with this
     /// module's own tool).
+    ///
+    /// Legacy wrapper: equivalent to [`run`](Self::run) with
+    /// [`DetectRequest::config`] — prefer the request form.
     pub fn detect_with(&self, cfg: DetectorConfig) -> AnalysisOutcome {
-        self.replay_outcome(self.prepared.tool.label(), cfg)
+        self.run(&DetectRequest::config(cfg)).into_single()
     }
 
     /// Replay once per configuration: one execution, many detections.
+    ///
+    /// Legacy wrapper: equivalent to [`run`](Self::run) with
+    /// [`DetectRequest::configs`] — prefer the request form.
     pub fn detect_many(&self, cfgs: &[DetectorConfig]) -> Vec<AnalysisOutcome> {
-        cfgs.iter().map(|&cfg| self.detect_with(cfg)).collect()
+        self.run(&DetectRequest::configs(cfgs)).into_vec()
     }
 
     /// Replay under *another tool's* detector configuration. Only valid
@@ -402,15 +696,11 @@ impl ExecutedRun {
     /// prepared module with the same fingerprint (e.g. `Helgrind+ lib`
     /// and `DRD`, which both run the unmodified module) — harnesses check
     /// fingerprints before sharing.
+    ///
+    /// Legacy wrapper: equivalent to [`run`](Self::run) with
+    /// [`DetectRequest::tool`] — prefer the request form.
     pub fn detect_as(&self, tool: Tool) -> AnalysisOutcome {
-        self.replay_outcome(tool.label(), self.prepared.config_for(tool))
-    }
-
-    fn replay_outcome(&self, label: String, cfg: DetectorConfig) -> AnalysisOutcome {
-        let mut det = RaceDetector::new(cfg);
-        self.trace.replay(&mut det);
-        self.prepared
-            .assemble(label, det, self.trace.summary.clone())
+        self.run(&DetectRequest::tool(tool)).into_single()
     }
 
     // ---- parallel sharded replay (see `crate::parallel`) ----
@@ -422,67 +712,103 @@ impl ExecutedRun {
     /// 1 worker this takes the sequential fast path (no pool, no
     /// ownership gate — same cost as [`ExecutedRun::detect`]).
     ///
-    /// Panics when the replay engine fails (a genuine worker panic is
-    /// the only way that can happen without explicit [`EngineOptions`]);
-    /// use [`ExecutedRun::try_detect_parallel`] to handle failure as a
-    /// value.
+    /// Legacy wrapper: equivalent to [`run`](Self::run) with
+    /// [`DetectRequest::own`]`.parallel(workers)` — prefer the request
+    /// form.
     pub fn detect_parallel(&self, workers: usize) -> AnalysisOutcome {
-        expect_engine(self.try_detect_parallel(workers))
+        self.run(&DetectRequest::own().parallel(workers))
+            .into_single()
     }
 
     /// [`ExecutedRun::detect_parallel`] with an explicit scheduling mode.
+    ///
+    /// Legacy wrapper: equivalent to [`run`](Self::run) with
+    /// [`DetectRequest::own`]`.parallel(workers).scheduled(schedule)`.
     pub fn detect_parallel_scheduled(&self, workers: usize, schedule: Schedule) -> AnalysisOutcome {
-        expect_engine(self.try_detect_parallel_scheduled(workers, schedule))
+        self.run(&DetectRequest::own().parallel(workers).scheduled(schedule))
+            .into_single()
     }
 
     /// Parallel replay under an explicit detector configuration (labelled
     /// with this module's own tool).
+    ///
+    /// Legacy wrapper: equivalent to [`run`](Self::run) with
+    /// [`DetectRequest::config`]`(cfg).parallel(workers)`.
     pub fn detect_with_parallel(&self, cfg: DetectorConfig, workers: usize) -> AnalysisOutcome {
-        expect_engine(self.try_detect_with_parallel(cfg, workers))
+        self.run(&DetectRequest::config(cfg).parallel(workers))
+            .into_single()
     }
 
     /// [`ExecutedRun::detect_with_parallel`] with an explicit schedule.
+    ///
+    /// Legacy wrapper: equivalent to [`run`](Self::run) with
+    /// [`DetectRequest::config`]`(cfg).parallel(workers).scheduled(schedule)`.
     pub fn detect_with_parallel_scheduled(
         &self,
         cfg: DetectorConfig,
         workers: usize,
         schedule: Schedule,
     ) -> AnalysisOutcome {
-        expect_engine(self.try_detect_with_parallel_scheduled(cfg, workers, schedule))
+        self.run(
+            &DetectRequest::config(cfg)
+                .parallel(workers)
+                .scheduled(schedule),
+        )
+        .into_single()
     }
 
     /// Parallel replay under *another tool's* configuration — the
     /// fingerprint-sharing contract of [`ExecutedRun::detect_as`] applies.
+    ///
+    /// Legacy wrapper: equivalent to [`run`](Self::run) with
+    /// [`DetectRequest::tool`]`(tool).parallel(workers)`.
     pub fn detect_as_parallel(&self, tool: Tool, workers: usize) -> AnalysisOutcome {
-        expect_engine(self.try_detect_as_parallel(tool, workers))
+        self.run(&DetectRequest::tool(tool).parallel(workers))
+            .into_single()
     }
 
     /// [`ExecutedRun::detect_as_parallel`] with an explicit schedule.
+    ///
+    /// Legacy wrapper: equivalent to [`run`](Self::run) with
+    /// [`DetectRequest::tool`]`(tool).parallel(workers).scheduled(schedule)`.
     pub fn detect_as_parallel_scheduled(
         &self,
         tool: Tool,
         workers: usize,
         schedule: Schedule,
     ) -> AnalysisOutcome {
-        expect_engine(self.try_detect_as_parallel_scheduled(tool, workers, schedule))
+        self.run(
+            &DetectRequest::tool(tool)
+                .parallel(workers)
+                .scheduled(schedule),
+        )
+        .into_single()
     }
 
     /// Parallel fan-out: one recorded execution, many parallel detections
     /// on **one** shared worker pool (threads are spawned once, not once
     /// per configuration — see [`crate::parallel::run_many_sharded`]).
+    ///
+    /// Legacy wrapper: equivalent to [`run`](Self::run) with
+    /// [`DetectRequest::configs`]`(cfgs).parallel(workers)`.
     pub fn detect_many_parallel(
         &self,
         cfgs: &[DetectorConfig],
         workers: usize,
     ) -> Vec<AnalysisOutcome> {
-        expect_engine(self.try_detect_many_parallel(cfgs, workers))
+        self.run(&DetectRequest::configs(cfgs).parallel(workers))
+            .into_vec()
     }
 
     /// Tool fan-out on one shared pool: replay once per tool in `tools`,
     /// each labelled with its own tool. Every tool must satisfy the
     /// fingerprint-sharing contract of [`ExecutedRun::detect_as`].
+    ///
+    /// Legacy wrapper: equivalent to [`run`](Self::run) with
+    /// [`DetectRequest::tools`]`(tools).parallel(workers)`.
     pub fn detect_many_as_parallel(&self, tools: &[Tool], workers: usize) -> Vec<AnalysisOutcome> {
-        expect_engine(self.try_detect_many_as_parallel(tools, workers))
+        self.run(&DetectRequest::tools(tools).parallel(workers))
+            .into_vec()
     }
 
     // ---- fallible parallel replay ----
@@ -490,122 +816,139 @@ impl ExecutedRun {
     /// Fallible [`ExecutedRun::detect_parallel`]: a worker panic, handoff
     /// timeout, watchdog trip, or exhausted budget comes back as a
     /// structured [`EngineError`] instead of a panic or a hang.
+    ///
+    /// Legacy wrapper: equivalent to [`try_run`](Self::try_run) with
+    /// [`DetectRequest::own`]`.parallel(workers)`.
     pub fn try_detect_parallel(&self, workers: usize) -> Result<AnalysisOutcome, EngineError> {
-        self.try_detect_with_parallel(self.prepared.default_config(), workers)
+        Ok(self
+            .try_run(&DetectRequest::own().parallel(workers))?
+            .into_single())
     }
 
     /// Fallible [`ExecutedRun::detect_parallel_scheduled`].
+    ///
+    /// Legacy wrapper: equivalent to [`try_run`](Self::try_run) with
+    /// [`DetectRequest::own`]`.parallel(workers).scheduled(schedule)`.
     pub fn try_detect_parallel_scheduled(
         &self,
         workers: usize,
         schedule: Schedule,
     ) -> Result<AnalysisOutcome, EngineError> {
-        self.try_detect_with_parallel_scheduled(self.prepared.default_config(), workers, schedule)
+        Ok(self
+            .try_run(&DetectRequest::own().parallel(workers).scheduled(schedule))?
+            .into_single())
     }
 
     /// Fallible [`ExecutedRun::detect_with_parallel`].
+    ///
+    /// Legacy wrapper: equivalent to [`try_run`](Self::try_run) with
+    /// [`DetectRequest::config`]`(cfg).parallel(workers)`.
     pub fn try_detect_with_parallel(
         &self,
         cfg: DetectorConfig,
         workers: usize,
     ) -> Result<AnalysisOutcome, EngineError> {
-        self.try_detect_with_parallel_scheduled(cfg, workers, Schedule::default())
+        Ok(self
+            .try_run(&DetectRequest::config(cfg).parallel(workers))?
+            .into_single())
     }
 
     /// Fallible [`ExecutedRun::detect_with_parallel_scheduled`].
+    ///
+    /// Legacy wrapper: equivalent to [`try_run`](Self::try_run) with
+    /// [`DetectRequest::config`]`(cfg).parallel(workers).scheduled(schedule)`.
     pub fn try_detect_with_parallel_scheduled(
         &self,
         cfg: DetectorConfig,
         workers: usize,
         schedule: Schedule,
     ) -> Result<AnalysisOutcome, EngineError> {
-        self.parallel_outcome(
-            self.prepared.tool.label(),
-            cfg,
-            workers,
-            EngineOptions::scheduled(schedule),
-        )
+        Ok(self
+            .try_run(
+                &DetectRequest::config(cfg)
+                    .parallel(workers)
+                    .scheduled(schedule),
+            )?
+            .into_single())
     }
 
     /// Fallible [`ExecutedRun::detect_as_parallel`].
+    ///
+    /// Legacy wrapper: equivalent to [`try_run`](Self::try_run) with
+    /// [`DetectRequest::tool`]`(tool).parallel(workers)`.
     pub fn try_detect_as_parallel(
         &self,
         tool: Tool,
         workers: usize,
     ) -> Result<AnalysisOutcome, EngineError> {
-        self.try_detect_as_parallel_scheduled(tool, workers, Schedule::default())
+        Ok(self
+            .try_run(&DetectRequest::tool(tool).parallel(workers))?
+            .into_single())
     }
 
     /// Fallible [`ExecutedRun::detect_as_parallel_scheduled`].
+    ///
+    /// Legacy wrapper: equivalent to [`try_run`](Self::try_run) with
+    /// [`DetectRequest::tool`]`(tool).parallel(workers).scheduled(schedule)`.
     pub fn try_detect_as_parallel_scheduled(
         &self,
         tool: Tool,
         workers: usize,
         schedule: Schedule,
     ) -> Result<AnalysisOutcome, EngineError> {
-        self.try_detect_as_parallel_opts(tool, workers, EngineOptions::scheduled(schedule))
+        Ok(self
+            .try_run(
+                &DetectRequest::tool(tool)
+                    .parallel(workers)
+                    .scheduled(schedule),
+            )?
+            .into_single())
     }
 
     /// Parallel replay under another tool's configuration with full
     /// [`EngineOptions`] control — schedule, watchdogs, budgets, and
     /// fault injection. This is the entry point `trace replay --fault`
     /// drives.
+    ///
+    /// Legacy wrapper: equivalent to [`try_run`](Self::try_run) with
+    /// [`DetectRequest::tool`]`(tool).parallel(workers).options(opts)`.
     pub fn try_detect_as_parallel_opts(
         &self,
         tool: Tool,
         workers: usize,
         opts: EngineOptions,
     ) -> Result<AnalysisOutcome, EngineError> {
-        self.parallel_outcome(tool.label(), self.prepared.config_for(tool), workers, opts)
+        Ok(self
+            .try_run(&DetectRequest::tool(tool).parallel(workers).options(opts))?
+            .into_single())
     }
 
     /// Fallible [`ExecutedRun::detect_many_parallel`].
+    ///
+    /// Legacy wrapper: equivalent to [`try_run`](Self::try_run) with
+    /// [`DetectRequest::configs`]`(cfgs).parallel(workers)`.
     pub fn try_detect_many_parallel(
         &self,
         cfgs: &[DetectorConfig],
         workers: usize,
     ) -> Result<Vec<AnalysisOutcome>, EngineError> {
-        let label = self.prepared.tool.label();
-        Ok(crate::parallel::try_run_many_sharded(
-            cfgs,
-            &self.trace.events,
-            workers,
-            Schedule::default(),
-        )?
-        .into_iter()
-        .map(|merged| self.merged_outcome(label.clone(), merged))
-        .collect())
+        Ok(self
+            .try_run(&DetectRequest::configs(cfgs).parallel(workers))?
+            .into_vec())
     }
 
     /// Fallible [`ExecutedRun::detect_many_as_parallel`].
+    ///
+    /// Legacy wrapper: equivalent to [`try_run`](Self::try_run) with
+    /// [`DetectRequest::tools`]`(tools).parallel(workers)`.
     pub fn try_detect_many_as_parallel(
         &self,
         tools: &[Tool],
         workers: usize,
     ) -> Result<Vec<AnalysisOutcome>, EngineError> {
-        let cfgs: Vec<DetectorConfig> =
-            tools.iter().map(|&t| self.prepared.config_for(t)).collect();
-        Ok(crate::parallel::try_run_many_sharded(
-            &cfgs,
-            &self.trace.events,
-            workers,
-            Schedule::default(),
-        )?
-        .into_iter()
-        .zip(tools)
-        .map(|(merged, tool)| self.merged_outcome(tool.label(), merged))
-        .collect())
-    }
-
-    fn parallel_outcome(
-        &self,
-        label: String,
-        cfg: DetectorConfig,
-        workers: usize,
-        opts: EngineOptions,
-    ) -> Result<AnalysisOutcome, EngineError> {
-        let merged = crate::parallel::try_run_sharded_opts(cfg, &self.trace.events, workers, opts)?;
-        Ok(self.merged_outcome(label, merged))
+        Ok(self
+            .try_run(&DetectRequest::tools(tools).parallel(workers))?
+            .into_vec())
     }
 
     fn merged_outcome(
@@ -661,7 +1004,7 @@ mod tests {
                 .unwrap()
                 .execute()
                 .unwrap();
-            let replayed = run.detect();
+            let replayed = run.run(&DetectRequest::own()).into_single();
             assert_eq!(replayed.contexts, live.contexts, "{}", tool.label());
             assert_eq!(replayed.reports.len(), live.reports.len());
             for (a, b) in replayed.reports.iter().zip(&live.reports) {
@@ -682,7 +1025,7 @@ mod tests {
         let drd = session.prepare(Tool::Drd).unwrap();
         assert_eq!(lib.fingerprint(), drd.fingerprint());
         let run = lib.execute().unwrap();
-        let as_drd = run.detect_as(Tool::Drd);
+        let as_drd = run.run(&DetectRequest::tool(Tool::Drd)).into_single();
         let live_drd = Analyzer::tool(Tool::Drd).analyze(&m).unwrap();
         assert_eq!(as_drd.contexts, live_drd.contexts);
         assert_eq!(as_drd.tool_label, "DRD");
@@ -698,7 +1041,9 @@ mod tests {
             .unwrap();
         let short = run.prepared().config_for(Tool::HelgrindLib);
         let capped = short.with_cap(1);
-        let outs = run.detect_many(&[short, capped]);
+        let outs = run
+            .run(&DetectRequest::configs(&[short, capped]))
+            .into_vec();
         assert_eq!(outs.len(), 2);
         assert!(outs[0].contexts >= outs[1].contexts);
         assert_eq!(outs[1].contexts, 1, "cap 1 clamps the context count");
@@ -716,10 +1061,12 @@ mod tests {
         // may replay this recording (the detect_as contract).
         let tools = [Tool::HelgrindLib, Tool::Drd];
         for workers in [1, 2, 4] {
-            let pooled = run.detect_many_as_parallel(&tools, workers);
+            let pooled = run
+                .run(&DetectRequest::tools(&tools).parallel(workers))
+                .into_vec();
             assert_eq!(pooled.len(), tools.len());
             for (tool, out) in tools.iter().zip(&pooled) {
-                let solo = run.detect_as(*tool);
+                let solo = run.run(&DetectRequest::tool(*tool)).into_single();
                 assert_eq!(out.tool_label, solo.tool_label);
                 assert_eq!(out.contexts, solo.contexts, "{workers} workers");
                 assert_eq!(out.reports.len(), solo.reports.len());
@@ -736,10 +1083,12 @@ mod tests {
             .unwrap()
             .execute()
             .unwrap();
-        let seq = run.detect();
+        let seq = run.run(&DetectRequest::own()).into_single();
         for schedule in [Schedule::Static, Schedule::Balanced] {
             for workers in [1, 2, 4, 8] {
-                let par = run.detect_parallel_scheduled(workers, schedule);
+                let par = run
+                    .run(&DetectRequest::own().parallel(workers).scheduled(schedule))
+                    .into_single();
                 assert_eq!(par.contexts, seq.contexts, "{schedule} at {workers}");
                 assert_eq!(par.metrics, seq.metrics, "{schedule} at {workers}");
             }
@@ -754,7 +1103,7 @@ mod tests {
             .unwrap();
         let (run, live) = prepared.execute_detecting().unwrap();
         assert!(!live.is_clean());
-        let replayed = run.detect();
+        let replayed = run.run(&DetectRequest::own()).into_single();
         assert_eq!(replayed.contexts, live.contexts);
         assert_eq!(replayed.reports.len(), live.reports.len());
     }
@@ -770,11 +1119,15 @@ mod tests {
                 .unwrap()
                 .execute()
                 .unwrap();
-            let expected = run.detect();
+            let expected = run.run(&DetectRequest::own()).into_single();
             // Tiny chunks force many boundaries through the pipeline.
             let bytes = spinrace_tracefmt::encode_trace_chunked(run.trace(), 8);
             let reader = ChunkedTraceReader::new(&bytes[..]).unwrap();
-            let (streamed, stats) = run.prepared().try_detect_streamed(reader).unwrap();
+            let (streamed, stats) = run
+                .prepared()
+                .try_run_streamed(&DetectRequest::own(), reader)
+                .unwrap();
+            let streamed = streamed.into_single();
             assert_eq!(streamed.contexts, expected.contexts, "{}", tool.label());
             assert_eq!(streamed.reports.len(), expected.reports.len());
             for (a, b) in streamed.reports.iter().zip(&expected.reports) {
@@ -821,7 +1174,7 @@ mod tests {
         let bytes = spinrace_tracefmt::encode_trace(run.trace());
         let reader = ChunkedTraceReader::new(&bytes[..]).unwrap();
         assert!(matches!(
-            plain.try_detect_streamed(reader),
+            plain.try_run_streamed(&DetectRequest::own(), reader),
             Err(AnalyzeError::TraceMismatch { .. })
         ));
     }
@@ -837,7 +1190,7 @@ mod tests {
             .unwrap()
             .execute()
             .unwrap();
-        let expected = run.detect();
+        let expected = run.run(&DetectRequest::own()).into_single();
         let dir = std::env::temp_dir().join(format!(
             "spinrace-session-{}-{}",
             std::process::id(),
@@ -852,7 +1205,7 @@ mod tests {
             spinrace_tracefmt::write_trace_file(&path, run.trace(), format).unwrap();
             let prepared = session.prepare(Tool::HelgrindLib).unwrap();
             let reloaded = ExecutedRun::from_trace_file(prepared, &path).unwrap();
-            let out = reloaded.detect();
+            let out = reloaded.run(&DetectRequest::own()).into_single();
             assert_eq!(out.contexts, expected.contexts, "{format}");
             assert_eq!(out.reports.len(), expected.reports.len(), "{format}");
         }
@@ -910,5 +1263,141 @@ mod tests {
             .execute()
             .unwrap();
         assert!(ExecutedRun::from_trace(lib, run2.into_trace()).is_ok());
+    }
+
+    /// Every legacy `detect_*` wrapper agrees with its request form —
+    /// the contract that lets the old surface stay as one-liners.
+    #[test]
+    fn legacy_wrappers_delegate_to_requests() {
+        let m = racy();
+        let run = Session::for_module(&m)
+            .prepare(Tool::HelgrindLib)
+            .unwrap()
+            .execute()
+            .unwrap();
+        let via_request = run.run(&DetectRequest::own()).into_single();
+        let legacy = run.detect();
+        assert_eq!(legacy.contexts, via_request.contexts);
+        assert_eq!(legacy.reports.len(), via_request.reports.len());
+        assert_eq!(legacy.metrics, via_request.metrics);
+
+        let par = run.detect_parallel(4);
+        assert_eq!(par.contexts, via_request.contexts);
+        assert_eq!(par.metrics, via_request.metrics);
+
+        let as_drd = run.detect_as(Tool::Drd);
+        let as_drd_req = run.run(&DetectRequest::tool(Tool::Drd)).into_single();
+        assert_eq!(as_drd.tool_label, as_drd_req.tool_label);
+        assert_eq!(as_drd.contexts, as_drd_req.contexts);
+
+        let cfg = run.prepared().default_config().with_cap(1);
+        assert_eq!(
+            run.detect_with(cfg).contexts,
+            run.run(&DetectRequest::config(cfg)).into_single().contexts
+        );
+        assert_eq!(
+            run.try_detect_parallel(2).unwrap().contexts,
+            via_request.contexts
+        );
+    }
+
+    /// A mixed-target request fans out own tool, foreign tool, and an
+    /// explicit configuration on one pass, in target order.
+    #[test]
+    fn mixed_target_requests_fan_out_in_order() {
+        let m = racy();
+        let run = Session::for_module(&m)
+            .prepare(Tool::HelgrindLib)
+            .unwrap()
+            .execute()
+            .unwrap();
+        let capped = run.prepared().default_config().with_cap(1);
+        let req = DetectRequest::own()
+            .and_target(DetectTarget::Tool(Tool::Drd))
+            .and_target(DetectTarget::Config(capped))
+            .parallel(2);
+        let outs = run.run(&req).into_vec();
+        assert_eq!(outs.len(), 3);
+        assert_eq!(outs[0].tool_label, Tool::HelgrindLib.label());
+        assert_eq!(outs[1].tool_label, Tool::Drd.label());
+        assert_eq!(outs[2].tool_label, Tool::HelgrindLib.label());
+        assert_eq!(outs[2].contexts, 1, "capped target honors its config");
+        let solo_drd = run.run(&DetectRequest::tool(Tool::Drd)).into_single();
+        assert_eq!(outs[1].contexts, solo_drd.contexts);
+        assert_eq!(outs[1].metrics, solo_drd.metrics);
+    }
+
+    /// The streamed observer fires once per chunk per target, with
+    /// verdict deltas that sum to the final report list — incremental
+    /// verdicts are available before end-of-stream.
+    #[test]
+    fn streamed_observer_reports_incremental_progress() {
+        let m = racy();
+        let run = Session::for_module(&m)
+            .prepare(Tool::HelgrindLib)
+            .unwrap()
+            .execute()
+            .unwrap();
+        let bytes = spinrace_tracefmt::encode_trace_chunked(run.trace(), 8);
+        let reader = ChunkedTraceReader::new(&bytes[..]).unwrap();
+        let chunks = reader.chunk_count();
+        let tools = [Tool::HelgrindLib, Tool::Drd];
+        let mut calls = 0u32;
+        let mut deltas = vec![0usize; tools.len()];
+        let (out, stats) = run
+            .prepared()
+            .try_run_streamed_observed(&DetectRequest::tools(&tools), reader, |p| {
+                calls += 1;
+                deltas[p.target] += p.new_reports.len();
+                assert_eq!(p.tool_label, tools[p.target].label());
+                assert!(p.chunk >= 1 && p.chunk <= chunks);
+            })
+            .unwrap();
+        let outs = out.into_vec();
+        assert_eq!(calls, chunks * tools.len() as u32);
+        assert_eq!(stats.chunks, chunks);
+        for (delta, out) in deltas.iter().zip(&outs) {
+            assert_eq!(*delta, out.reports.len(), "deltas sum to the verdict");
+        }
+        let offline = run.run(&DetectRequest::tools(&tools)).into_vec();
+        for (streamed, expected) in outs.iter().zip(&offline) {
+            assert_eq!(streamed.contexts, expected.contexts);
+            assert_eq!(streamed.metrics, expected.metrics);
+        }
+    }
+
+    /// An event budget on a streamed request replays exactly the
+    /// affordable prefix and surfaces `BudgetExhausted` with faithful
+    /// partial metrics, mirroring the engine's sequential contract.
+    #[test]
+    fn streamed_budget_trips_with_partial_metrics() {
+        let m = racy();
+        let run = Session::for_module(&m)
+            .prepare(Tool::HelgrindLib)
+            .unwrap()
+            .execute()
+            .unwrap();
+        let total = run.trace().events.len() as u64;
+        let limit = total / 2;
+        let bytes = spinrace_tracefmt::encode_trace_chunked(run.trace(), 8);
+        let reader = ChunkedTraceReader::new(&bytes[..]).unwrap();
+        let req = DetectRequest::own().budget(crate::Budget::default().with_max_events(limit));
+        let err = run
+            .prepared()
+            .try_run_streamed(&req, reader)
+            .expect_err("budget must trip");
+        match err {
+            AnalyzeError::Engine(EngineError::BudgetExhausted {
+                resource: BudgetResource::Events,
+                limit: l,
+                used,
+                partial,
+            }) => {
+                assert_eq!(l, limit);
+                assert_eq!(used, total);
+                assert_eq!(partial.events_processed, limit);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
     }
 }

@@ -1,0 +1,89 @@
+//! A minimal blocking client for the serve protocol: upload one trace,
+//! collect the response frames, and hand back the final outcome
+//! documents byte-for-byte as the server rendered them.
+
+use crate::wire::{read_frame, write_request, FrameKind, WireError};
+use serde_json::Value;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+
+/// Everything one session produced, in arrival order.
+#[derive(Debug, Default)]
+pub struct ClientOutcome {
+    /// The server's `H` hello document.
+    pub hello: Option<Value>,
+    /// Count of incremental `V` verdict frames received.
+    pub verdicts: usize,
+    /// `(tool label, payload)` per `O` frame — the payload is the
+    /// pretty-printed `spinrace-detection-v1` document plus trailing
+    /// newline, byte-identical to `trace replay --json` output.
+    pub outcomes: Vec<(String, String)>,
+    /// The structured error, if the session failed.
+    pub error: Option<WireError>,
+    /// The `D` done document, if the session succeeded.
+    pub done: Option<Value>,
+}
+
+impl ClientOutcome {
+    /// True when the session ended with a `D` frame and no error.
+    pub fn succeeded(&self) -> bool {
+        self.error.is_none() && self.done.is_some()
+    }
+}
+
+/// Connect to `addr`, upload the request and the encoded trace, and
+/// read frames until the session's terminal `D` or `E` frame (or EOF).
+pub fn run_client(addr: &str, params: &Value, trace_bytes: &[u8]) -> io::Result<ClientOutcome> {
+    let mut stream = TcpStream::connect(addr)?;
+    let reader = stream.try_clone()?;
+    write_request(&mut stream, params)?;
+    // Best-effort upload, ending in a half-close so the server's reader
+    // sees clean EOF after the last chunk (its trailing-byte check
+    // depends on it). A server that already rejected the session closes
+    // its end mid-upload, failing these writes — the structured error
+    // frame it sent first must win over the local pipe error.
+    let upload = stream
+        .write_all(trace_bytes)
+        .and_then(|()| stream.flush())
+        .and_then(|()| stream.shutdown(Shutdown::Write));
+    let out = collect_frames(reader)?;
+    match upload {
+        Err(e) if out.error.is_none() && out.done.is_none() => Err(e),
+        _ => Ok(out),
+    }
+}
+
+/// Drive one already-connected session transcript from any byte stream
+/// (used by the stdin transport and the tests).
+pub fn collect_frames<R: Read>(mut input: R) -> io::Result<ClientOutcome> {
+    let mut out = ClientOutcome::default();
+    while let Some((kind, payload)) = read_frame(&mut input)? {
+        let text = String::from_utf8_lossy(&payload).into_owned();
+        match kind {
+            FrameKind::Hello => {
+                out.hello = serde_json::from_str(&text).ok();
+            }
+            FrameKind::Verdict => {
+                out.verdicts += 1;
+            }
+            FrameKind::Outcome => {
+                let tool = serde_json::from_str::<Value>(&text)
+                    .ok()
+                    .and_then(|v| v["tool"].as_str().map(str::to_string))
+                    .unwrap_or_default();
+                out.outcomes.push((tool, text));
+            }
+            FrameKind::Error => {
+                let doc = serde_json::from_str::<Value>(&text)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.0))?;
+                out.error = Some(WireError::from_json(&doc));
+                break;
+            }
+            FrameKind::Done => {
+                out.done = serde_json::from_str(&text).ok();
+                break;
+            }
+        }
+    }
+    Ok(out)
+}

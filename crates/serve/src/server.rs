@@ -1,0 +1,460 @@
+//! The analysis server: a bounded worker pool multiplexing concurrent
+//! upload sessions, with a global core budget shared by every session's
+//! replay engine.
+//!
+//! Architecture (the command/event-queue idiom): an **acceptor** thread
+//! pushes accepted connections onto a command queue; `sessions` worker
+//! threads pop connections and run one [`handle_session`] each to
+//! completion; every worker reports [`SessionEvent`]s back on an event
+//! channel the embedding CLI drains for logging. Worker threads never
+//! die with a session — a failed upload produces an `E` frame and the
+//! worker loops back to the queue, so a mid-upload disconnect frees its
+//! slot for the next client.
+
+use crate::outcome_json;
+use crate::wire::{
+    read_request, wire_error, write_frame, DetectParams, FrameKind, WireError, PROTOCOL_VERSION,
+};
+use spinrace_core::{AnalyzeError, Budget, DetectRequest, Schedule, Tool};
+use spinrace_detector::MsmMode;
+use spinrace_tracefmt::ChunkedTraceReader;
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server-side session limits and pool sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Concurrent session slots (worker threads popping the accept
+    /// queue).
+    pub sessions: usize,
+    /// Global core budget shared by every session's replay engine. A
+    /// parallel session claims up to its requested worker count from
+    /// the free pool and releases it at session end; when the pool is
+    /// empty a session still gets one core (bounded overcommit keeps
+    /// the server live instead of deadlocking on admission).
+    pub cores: usize,
+    /// Server-wide event ceiling per session (`None` = unlimited). A
+    /// client's requested ceiling is clamped to this.
+    pub max_events: Option<u64>,
+    /// Server-wide shadow-byte ceiling per session.
+    pub max_shadow_bytes: Option<usize>,
+    /// Server-wide watchdog per session, in milliseconds.
+    pub watchdog_ms: Option<u64>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            sessions: 4,
+            cores: spinrace_core::default_workers(),
+            max_events: None,
+            max_shadow_bytes: None,
+            watchdog_ms: None,
+        }
+    }
+}
+
+/// Lifecycle notifications a running server emits, one per session
+/// transition, for the embedding CLI's log line.
+#[derive(Clone, Debug)]
+pub enum SessionEvent {
+    /// A connection was popped off the queue by a worker.
+    Started {
+        /// Peer address (best effort).
+        peer: String,
+    },
+    /// A session completed and sent its `D` frame.
+    Finished {
+        /// Peer address.
+        peer: String,
+        /// Outcome documents sent.
+        outcomes: usize,
+        /// Events replayed.
+        events: u64,
+    },
+    /// A session failed and sent (or tried to send) an `E` frame.
+    Failed {
+        /// Peer address.
+        peer: String,
+        /// The structured error code.
+        code: String,
+    },
+}
+
+/// The global core budget: a free-core counter sessions claim from and
+/// release to. When the pool is empty, [`CoreBudget::claim`] still
+/// grants one core (recorded as claiming zero) so admission never
+/// deadlocks — a deliberate bounded overcommit.
+pub struct CoreBudget {
+    free: AtomicUsize,
+}
+
+impl CoreBudget {
+    /// A fresh pool of `cores` free cores (at least one).
+    pub fn new(cores: usize) -> CoreBudget {
+        CoreBudget {
+            free: AtomicUsize::new(cores.max(1)),
+        }
+    }
+
+    /// Claim up to `requested` cores: returns `(granted, claimed)`
+    /// where `granted ≥ 1` is what the session may use and `claimed ≤
+    /// granted` is what must be released.
+    pub fn claim(&self, requested: usize) -> (usize, usize) {
+        let want = requested.max(1);
+        let mut free = self.free.load(Ordering::Relaxed);
+        loop {
+            let take = want.min(free);
+            if take == 0 {
+                return (1, 0);
+            }
+            match self.free.compare_exchange_weak(
+                free,
+                free - take,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return (take, take),
+                Err(now) => free = now,
+            }
+        }
+    }
+
+    /// Return `claimed` cores to the pool.
+    pub fn release(&self, claimed: usize) {
+        self.free.fetch_add(claimed, Ordering::Relaxed);
+    }
+}
+
+/// A running server: join handles plus the shutdown switch.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    events: Receiver<SessionEvent>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with a `:0` request).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The session lifecycle event stream.
+    pub fn events(&self) -> &Receiver<SessionEvent> {
+        &self.events
+    }
+
+    /// Stop accepting, drain in-flight sessions, and join every thread.
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind `addr` and start the acceptor + session worker pool.
+pub fn serve(addr: &str, opts: ServeOptions) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (conn_tx, conn_rx) = channel::<TcpStream>();
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+    let (event_tx, event_rx) = channel::<SessionEvent>();
+    let cores = Arc::new(CoreBudget::new(opts.cores));
+
+    let mut threads = Vec::new();
+    {
+        let shutdown = Arc::clone(&shutdown);
+        threads.push(std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    // A closed queue means the pool is gone; stop.
+                    if conn_tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+            }
+            // Dropping conn_tx closes the queue and drains the workers.
+        }));
+    }
+    for _ in 0..opts.sessions.max(1) {
+        let conn_rx = Arc::clone(&conn_rx);
+        let event_tx = event_tx.clone();
+        let cores = Arc::clone(&cores);
+        threads.push(std::thread::spawn(move || loop {
+            let conn = {
+                let guard = conn_rx.lock().unwrap_or_else(|e| e.into_inner());
+                guard.recv()
+            };
+            let Ok(stream) = conn else { return };
+            let peer = stream
+                .peer_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "?".into());
+            let _ = event_tx.send(SessionEvent::Started {
+                peer: clone_peer(&peer),
+            });
+            let result = run_tcp_session(stream, opts, &cores);
+            let _ = event_tx.send(match result {
+                Ok((outcomes, events)) => SessionEvent::Finished {
+                    peer,
+                    outcomes,
+                    events,
+                },
+                Err(code) => SessionEvent::Failed { peer, code },
+            });
+        }));
+    }
+
+    Ok(ServerHandle {
+        addr: local,
+        shutdown,
+        threads,
+        events: event_rx,
+    })
+}
+
+fn clone_peer(peer: &str) -> String {
+    peer.to_string()
+}
+
+/// Run one accepted connection: split it into read/write halves and
+/// hand off to the transport-agnostic session handler.
+fn run_tcp_session(
+    stream: TcpStream,
+    opts: ServeOptions,
+    cores: &CoreBudget,
+) -> Result<(usize, u64), String> {
+    // An idle or wedged client must not pin a session slot forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let input = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut output = BufWriter::new(stream);
+    handle_session(input, &mut output, opts, cores)
+}
+
+/// Serve exactly one session over arbitrary transport: read the request
+/// frame and the trace stream from `input`, write response frames to
+/// `output`. Returns `(outcome count, events replayed)` on success and
+/// the structured error code on failure (after the `E` frame has been
+/// sent on a best-effort basis — the peer may already be gone).
+///
+/// This is the stdin/stdout entry point as well as the per-connection
+/// body of the TCP pool.
+pub fn handle_session<R: Read + Send, W: Write>(
+    mut input: R,
+    output: &mut W,
+    opts: ServeOptions,
+    cores: &CoreBudget,
+) -> Result<(usize, u64), String> {
+    let fail = |output: &mut W, err: WireError| -> Result<(usize, u64), String> {
+        let payload = serde_json::to_string(&err.to_json()).unwrap_or_default();
+        let _ = write_frame(output, FrameKind::Error, payload.as_bytes());
+        Err(err.code)
+    };
+
+    let body = match read_request(&mut input) {
+        Ok(v) => v,
+        Err(msg) => return fail(output, WireError::bad_request(msg)),
+    };
+    let params = match DetectParams::from_value(&body) {
+        Ok(p) => p,
+        Err(msg) => return fail(output, WireError::bad_request(msg)),
+    };
+    let mut tools: Vec<Tool> = Vec::new();
+    for label in &params.tools {
+        match label.parse::<Tool>() {
+            Ok(t) => tools.push(t),
+            Err(_) => {
+                return fail(
+                    output,
+                    WireError::bad_request(format!("unknown tool {label:?}")),
+                )
+            }
+        }
+    }
+
+    let (granted, claimed) = cores.claim(params.workers);
+    let result = session_body(&mut input, output, opts, &params, &tools, granted);
+    cores.release(claimed);
+    match result {
+        Ok(done) => Ok(done),
+        Err(err) => fail(output, err),
+    }
+}
+
+/// The request-to-verdicts body, with cores already claimed. Every
+/// failure maps to one structured [`WireError`].
+fn session_body<R: Read + Send, W: Write>(
+    input: &mut R,
+    output: &mut W,
+    opts: ServeOptions,
+    params: &DetectParams,
+    tools: &[Tool],
+    granted_workers: usize,
+) -> Result<(usize, u64), WireError> {
+    let send =
+        |output: &mut W, kind: FrameKind, doc: &serde_json::Value| -> Result<(), WireError> {
+            let payload = serde_json::to_string(doc).map_err(|e| WireError {
+                code: "internal".into(),
+                message: e.0,
+                partial: None,
+            })?;
+            write_frame(output, kind, payload.as_bytes()).map_err(|e| WireError {
+                code: "io".into(),
+                message: e.to_string(),
+                partial: None,
+            })
+        };
+
+    let hello = serde_json::json!({
+        "protocol": PROTOCOL_VERSION,
+        "server": "spinrace-serve",
+        "workers": granted_workers as u64,
+    });
+    send(output, FrameKind::Hello, &hello)?;
+
+    // The trace bytes follow the request frame directly: decode them
+    // off the stream.
+    let reader =
+        ChunkedTraceReader::new(&mut *input).map_err(|e| wire_error(&AnalyzeError::Trace(e)))?;
+
+    let msm = if params.long_msm {
+        MsmMode::Long
+    } else {
+        MsmMode::Short
+    };
+    let Some(prepared) =
+        spinrace_suites::prepared_for_replay(reader.header(), tools[0], msm, params.cap)
+    else {
+        return Err(WireError {
+            code: "unknown-module".into(),
+            message: format!(
+                "cannot rebuild module {:?} from the trace header (unknown program or \
+                 fingerprint drift)",
+                reader.header().module_name
+            ),
+            partial: None,
+        });
+    };
+
+    // Client limits clamp under the server-wide ceilings.
+    let budget = Budget {
+        max_events: min_opt(params.max_events, opts.max_events),
+        max_shadow_bytes: min_opt(params.max_shadow_bytes, opts.max_shadow_bytes),
+    };
+    let watchdog_ms = min_opt(params.watchdog_ms, opts.watchdog_ms);
+
+    let mut req = DetectRequest::tools(tools).budget(budget);
+    if let Some(ms) = watchdog_ms {
+        req = req.watchdog(Duration::from_millis(ms));
+    }
+    if params.schedule.as_deref() == Some("static") {
+        req = req.scheduled(Schedule::Static);
+    }
+
+    if params.workers == 0 {
+        // Streamed session: verdicts flow as chunks decode, before the
+        // upload has finished.
+        let req = req.streamed();
+        let mut frame_err: Option<io::Error> = None;
+        let result = prepared.try_run_streamed_observed(&req, reader, |p| {
+            if frame_err.is_some() {
+                return;
+            }
+            let verdict = serde_json::json!({
+                "tool": p.tool_label,
+                "chunk": p.chunk as u64,
+                "events": p.events,
+                "contexts": p.contexts as u64,
+                "new_reports": p.new_reports.len() as u64,
+            });
+            let payload = serde_json::to_string(&verdict).unwrap_or_default();
+            if let Err(e) = write_frame(output, FrameKind::Verdict, payload.as_bytes()) {
+                frame_err = Some(e);
+            }
+        });
+        let (out, stats) = result.map_err(|e| wire_error(&e))?;
+        if let Some(e) = frame_err {
+            return Err(WireError {
+                code: "io".into(),
+                message: e.to_string(),
+                partial: None,
+            });
+        }
+        let outcomes = out.into_vec();
+        for o in &outcomes {
+            send_outcome(output, o)?;
+        }
+        let done = serde_json::json!({
+            "outcomes": outcomes.len() as u64,
+            "events": stats.events,
+            "chunks": stats.chunks as u64,
+            "peak_resident_bytes": stats.peak_resident_bytes as u64,
+        });
+        send(output, FrameKind::Done, &done)?;
+        Ok((outcomes.len(), stats.events))
+    } else {
+        // Parallel session: materialize the stream, replay on the
+        // sharded engine with the granted worker count.
+        let trace = reader
+            .read_all()
+            .map_err(|e| wire_error(&AnalyzeError::Trace(e)))?;
+        let events = trace.events.len() as u64;
+        let run =
+            spinrace_core::ExecutedRun::from_trace(prepared, trace).map_err(|e| wire_error(&e))?;
+        let req = req.parallel(granted_workers);
+        let out = run
+            .try_run(&req)
+            .map_err(|e| wire_error(&AnalyzeError::from(e)))?;
+        let outcomes = out.into_vec();
+        for o in &outcomes {
+            send_outcome(output, o)?;
+        }
+        let done = serde_json::json!({
+            "outcomes": outcomes.len() as u64,
+            "events": events,
+        });
+        send(output, FrameKind::Done, &done)?;
+        Ok((outcomes.len(), events))
+    }
+}
+
+/// Send one `O` frame. The payload is the `spinrace-detection-v1`
+/// document rendered exactly as `trace replay --json` writes it
+/// (pretty-printed plus a trailing newline), so clients can byte-
+/// compare against offline replays.
+fn send_outcome<W: Write>(
+    output: &mut W,
+    out: &spinrace_core::AnalysisOutcome,
+) -> Result<(), WireError> {
+    let text = serde_json::to_string_pretty(&outcome_json(out)).map_err(|e| WireError {
+        code: "internal".into(),
+        message: e.0,
+        partial: None,
+    })? + "\n";
+    write_frame(output, FrameKind::Outcome, text.as_bytes()).map_err(|e| WireError {
+        code: "io".into(),
+        message: e.to_string(),
+        partial: None,
+    })
+}
+
+fn min_opt<T: Ord + Copy>(a: Option<T>, b: Option<T>) -> Option<T> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}

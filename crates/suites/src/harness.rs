@@ -14,7 +14,8 @@
 //! Detection itself runs through the **parallel sharded replay** engine
 //! (`spinrace_core::parallel`) with as many workers as the machine
 //! offers, and the tools sharing one execution fan out on **one** shared
-//! worker pool ([`spinrace_core::ExecutedRun::detect_many_as_parallel`])
+//! worker pool (a multi-target [`spinrace_core::DetectRequest`] through
+//! [`spinrace_core::ExecutedRun::try_run`])
 //! — thread spawn/join is paid once per distinct execution, not once per
 //! tool, which is what lets tiny traces run at full pool width. Parallel
 //! replay is bit-identical to sequential replay for any worker count, so
@@ -24,7 +25,9 @@
 
 use crate::drt::DrtCase;
 use crate::parsec::ParsecProgram;
-use spinrace_core::{parallel, AnalysisOutcome, PreparedModule, Session, Tool};
+use spinrace_core::{
+    default_workers, AnalysisOutcome, DetectRequest, PreparedModule, Session, Tool,
+};
 
 /// The report cap used for drt runs. Small enough that a determined
 /// false-positive flood can drown a late real race (the paper's removed
@@ -135,7 +138,8 @@ pub(crate) fn lineup_outcomes(
             Ok(run) => {
                 vm_runs += 1;
                 let member_tools: Vec<Tool> = members.iter().map(|&ti| tools[ti]).collect();
-                match run.try_detect_many_as_parallel(&member_tools, parallel::default_workers()) {
+                let req = DetectRequest::tools(&member_tools).parallel(default_workers());
+                match run.try_run(&req) {
                     Ok(outs) => {
                         for (ti, out) in members.into_iter().zip(outs) {
                             results[ti] = Some(Ok(out));

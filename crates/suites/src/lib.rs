@@ -25,9 +25,15 @@
 //! every outcome against the workload's oracle (soundness and
 //! completeness on known ground truth).
 
+//! [`rebind`] re-prepares the module a serialized trace names in its
+//! header (probing scales and nolib styles until the fingerprint
+//! matches), so replay tools and the analysis server can bind uploads
+//! back to source locations.
+
 pub mod drt;
 pub mod harness;
 pub mod parsec;
+pub mod rebind;
 pub mod workloads;
 
 pub use drt::{all_cases, Category, DrtCase};
@@ -35,6 +41,9 @@ pub use harness::{
     run_drt, run_drt_with, run_parsec, CaseOutcome, DrtRow, DrtTable, ParsecCell, ParsecTable,
 };
 pub use parsec::{all_programs, ParsecProgram};
+pub use rebind::{
+    nolib_styles, prepared_for_replay, prepared_matching, rebuild_run, try_rebuild_run, MAX_SCALE,
+};
 pub use workloads::{
     judge_outcome, run_workloads, run_workloads_with, standard_specs, WorkloadRow, WorkloadTable,
 };

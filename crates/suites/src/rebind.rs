@@ -1,0 +1,141 @@
+//! Rebind a serialized trace to a freshly prepared module, from its
+//! header alone.
+//!
+//! A trace header names the program, its VM configuration, the
+//! recording tool, and the prepared module's fingerprint — but not the
+//! scale or nolib library style (preparation inputs, not run
+//! configuration). These helpers re-prepare candidate modules until one
+//! reproduces the recorded fingerprint, which is exactly the guarantee
+//! replay needs: a fingerprint match means the stream replays against
+//! the very module it was recorded from, so reports carry source
+//! locations. Shared by the `trace` CLI and the analysis server, which
+//! must rebind every upload before detection.
+
+use crate::parsec::all_programs;
+use spinrace_core::{AnalyzeError, ExecutedRun, PreparedModule, Session, Tool};
+use spinrace_detector::MsmMode;
+use spinrace_synclib::LibStyle;
+use spinrace_vm::{Trace, TraceHeader};
+use spinrace_workloads::WorkloadSpec;
+
+/// Largest `--scale` the `trace record` CLI accepts, and the last scale
+/// [`prepared_matching`] probes when rebinding a trace to its module.
+pub const MAX_SCALE: u32 = 32;
+
+/// The nolib library styles a tool's preparation can have used (only
+/// nolib lowering is style-sensitive).
+pub fn nolib_styles(tool: Tool) -> &'static [LibStyle] {
+    if matches!(tool, Tool::HelgrindNolibSpin { .. }) {
+        &[LibStyle::Textbook, LibStyle::Obscure]
+    } else {
+        &[LibStyle::Textbook]
+    }
+}
+
+/// Bind the trace to a freshly prepared module. Prefers the preparation
+/// of `tool` (a fingerprint match means the replay equals a live `tool`
+/// run); falls back to the recording tool's preparation with a warning.
+/// Returns `None` when the program is unknown or no probed scale
+/// reproduces the recorded module.
+pub fn rebuild_run(trace: &Trace, tool: Tool, msm: MsmMode, cap: usize) -> Option<ExecutedRun> {
+    let prepared = prepared_for_replay(&trace.header, tool, msm, cap)?;
+    ExecutedRun::from_trace(prepared, trace.clone()).ok()
+}
+
+/// The preparation a replay should bind to: the *requested* tool's when
+/// its fingerprint matches the header (the replay then equals a live
+/// `tool` run), else the recording tool's, with a plain warning that the
+/// results describe the recorded stream.
+pub fn prepared_for_replay(
+    header: &TraceHeader,
+    tool: Tool,
+    msm: MsmMode,
+    cap: usize,
+) -> Option<PreparedModule> {
+    if let Some(prepared) = prepared_matching(header, tool, msm, cap) {
+        return Some(prepared);
+    }
+    let rec_tool: Tool = header.tool_label.parse().ok()?;
+    if rec_tool == tool {
+        return None;
+    }
+    let prepared = prepared_matching(header, rec_tool, msm, cap)?;
+    eprintln!(
+        "note: stream was recorded from the `{}` preparation; results show that stream under \
+         `{}`'s detector configuration, NOT what a live `{}` run would report",
+        rec_tool.label(),
+        tool.label(),
+        tool.label(),
+    );
+    Some(prepared)
+}
+
+/// Re-prepare the program named in the trace header under `prep_tool`,
+/// probing scales `1..=MAX_SCALE` (the header does not record the scale),
+/// and return the preparation whose fingerprint matches the recording.
+pub fn prepared_matching(
+    header: &TraceHeader,
+    prep_tool: Tool,
+    msm: MsmMode,
+    cap: usize,
+) -> Option<PreparedModule> {
+    // Lowered (nolib) modules are renamed `<name>.nolib`.
+    let base = header
+        .module_name
+        .strip_suffix(".nolib")
+        .unwrap_or(&header.module_name);
+    // Generated workloads encode their full spec in the module name, so
+    // the rebuild needs no program table and no scale probing — only the
+    // nolib style is still a free preparation input.
+    if let Some(spec) = WorkloadSpec::from_name(base) {
+        let module = spec.build().module;
+        for &style in nolib_styles(prep_tool) {
+            let prepared = Session::for_module(&module)
+                .msm(msm)
+                .cap(cap)
+                .vm_config(header.vm)
+                .nolib_style(style)
+                .prepare(prep_tool);
+            let Ok(prepared) = prepared else { continue };
+            if prepared.fingerprint() == header.module_fingerprint {
+                return Some(prepared);
+            }
+        }
+        return None;
+    }
+    let programs = all_programs();
+    let prog = programs.iter().find(|p| p.name == base)?;
+    // The header records neither the scale nor the nolib library style
+    // (both are preparation inputs, not run configuration), so probe:
+    // every scale record accepts, and — for nolib tools, whose lowering
+    // is the only style-sensitive phase — both library styles.
+    for scale in 1..=MAX_SCALE {
+        let module = (prog.build)(prog.threads, prog.size * scale);
+        for &style in nolib_styles(prep_tool) {
+            let prepared = Session::for_module(&module)
+                .msm(msm)
+                .cap(cap)
+                .vm_config(header.vm)
+                .nolib_style(style)
+                .prepare(prep_tool);
+            let Ok(prepared) = prepared else { continue };
+            if prepared.fingerprint() == header.module_fingerprint {
+                return Some(prepared);
+            }
+        }
+    }
+    None
+}
+
+/// [`rebuild_run`], but with the mismatch distinguished: `Err` carries
+/// the [`AnalyzeError::TraceMismatch`] (or decode failure) when a
+/// preparation was found but the trace refused to bind to it.
+pub fn try_rebuild_run(
+    trace: &Trace,
+    tool: Tool,
+    msm: MsmMode,
+    cap: usize,
+) -> Option<Result<ExecutedRun, AnalyzeError>> {
+    let prepared = prepared_for_replay(&trace.header, tool, msm, cap)?;
+    Some(ExecutedRun::from_trace(prepared, trace.clone()))
+}

@@ -49,7 +49,7 @@ pub mod chunk;
 pub mod reader;
 pub mod varint;
 
-pub use reader::{ChunkedTraceReader, StreamStats};
+pub use reader::{chunk_mem, ChunkedTraceReader, StreamStats};
 
 use spinrace_vm::{Trace, TraceError};
 use std::io::Write as _;

@@ -42,8 +42,11 @@ pub struct StreamStats {
 }
 
 /// Approximate heap footprint of a decoded chunk — what the streaming
-/// pipeline holds resident per in-flight chunk.
-fn chunk_mem(events: &[Event]) -> usize {
+/// pipeline holds resident per in-flight chunk. Exposed so external
+/// decode-ahead loops (e.g. multi-detector streamed detection) account
+/// resident memory the same way [`ChunkedTraceReader::replay_into`]
+/// does.
+pub fn chunk_mem(events: &[Event]) -> usize {
     let mut bytes = std::mem::size_of_val(events);
     for ev in events {
         if let Event::SpinExit { reads, .. } = ev {

@@ -12,7 +12,7 @@
 //! run the unmodified program — and every detector configuration replays
 //! the stream with results identical to a live run.
 
-use spinrace::core::{ExecutedRun, Session, Tool};
+use spinrace::core::{DetectRequest, ExecutedRun, Session, Tool};
 use spinrace::suites::all_programs;
 use spinrace::vm::Trace;
 
@@ -45,7 +45,7 @@ fn main() {
                 runs.len() - 1
             }
         };
-        let out = runs[idx].detect_as(tool);
+        let out = runs[idx].run(&DetectRequest::tool(tool)).into_single();
         println!(
             "{:<26} {:>8} {:>9} {:>11}  #{} ({} events)",
             out.tool_label,

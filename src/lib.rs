@@ -25,13 +25,18 @@
 //!   streaming replay
 //! * [`report`] — tables and experiment summaries
 //! * [`core`] — the staged [`core::Session`] pipeline (prepare → execute
-//!   → detect over a replayable [`vm::Trace`]) and the one-call
+//!   → detect over a replayable [`vm::Trace`]), the unified
+//!   [`core::DetectRequest`] entry point, and the one-call
 //!   [`core::Analyzer`] wrapper
+//! * [`serve`] — detection as a service: a streaming analysis server
+//!   accepting framed trace uploads over TCP or stdin, multiplexing
+//!   concurrent `DetectRequest` sessions across a bounded worker pool
 
 pub use spinrace_cfg as cfg;
 pub use spinrace_core as core;
 pub use spinrace_detector as detector;
 pub use spinrace_report as report;
+pub use spinrace_serve as serve;
 pub use spinrace_spinfind as spinfind;
 pub use spinrace_suites as suites;
 pub use spinrace_synclib as synclib;
@@ -40,7 +45,10 @@ pub use spinrace_tracefmt as tracefmt;
 pub use spinrace_vm as vm;
 pub use spinrace_workloads as workloads;
 
-pub use spinrace_core::{AnalysisOutcome, Analyzer, ExecutedRun, PreparedModule, Session, Tool};
+pub use spinrace_core::{
+    AnalysisOutcome, Analyzer, DetectOutcome, DetectRequest, ExecutedRun, PreparedModule, Session,
+    Tool,
+};
 pub use spinrace_detector::{DetectorConfig, DetectorKind, RaceReport};
 pub use spinrace_tir::{Module, ModuleBuilder};
 pub use spinrace_vm::{Trace, TraceRecorder};

@@ -6,7 +6,7 @@
 //! fan-out since the session redesign: each program executes **once** and
 //! every ablated configuration detects on the recorded trace.
 
-use spinrace::core::{Analyzer, Session, Tool};
+use spinrace::core::{Analyzer, DetectRequest, Session, Tool};
 use spinrace::detector::{DetectorConfig, MsmMode};
 use spinrace::spinfind::{SpinCriteria, SpinFinder};
 use spinrace::suites::all_programs;
@@ -55,7 +55,7 @@ fn msm_short_vs_long_sensitivity() {
         .unwrap()
         .execute()
         .unwrap();
-    let outs = run.detect_many(&msm_configs);
+    let outs = run.run(&DetectRequest::configs(&msm_configs)).into_vec();
     let (short, long) = (&outs[0], &outs[1]);
     assert!(
         !short.is_clean(),
@@ -71,7 +71,7 @@ fn msm_short_vs_long_sensitivity() {
         .unwrap()
         .execute()
         .unwrap();
-    let outs = run.detect_many(&msm_configs);
+    let outs = run.run(&DetectRequest::configs(&msm_configs)).into_vec();
     assert!(
         !outs[1].is_clean(),
         "long MSM catches it on the second iteration"
@@ -137,7 +137,8 @@ fn report_cap_is_monotone() {
         .map(|&cap| DetectorConfig::helgrind_lib(MsmMode::Long).with_cap(cap))
         .collect();
     let mut prev = 0;
-    for (out, &cap) in run.detect_many(&configs).iter().zip(&caps) {
+    let outs = run.run(&DetectRequest::configs(&configs));
+    for (out, &cap) in outs.iter().zip(&caps) {
         assert!(out.contexts <= cap);
         assert!(out.contexts >= prev.min(cap));
         prev = out.contexts;

@@ -10,7 +10,7 @@ use spinrace::core::parallel::{
     try_run_sharded_opts, try_run_sharded_with_plan_opts, Budget, BudgetResource, EngineError,
     EngineOptions, FaultKind, FaultPlan, Schedule,
 };
-use spinrace::core::{Session, Tool};
+use spinrace::core::{DetectRequest, Session, Tool};
 use spinrace::detector::{
     compute_promotion_seeds, DetectorConfig, MsmMode, RaceDetector, SchedulePlan,
 };
@@ -386,12 +386,17 @@ fn session_api_surfaces_engine_errors_and_budgets() {
         .unwrap()
         .execute()
         .unwrap();
-    let baseline = run.detect();
+    let baseline = run.run(&DetectRequest::own()).into_single();
 
-    // Fault-free with options: identical outcome to sequential detect().
+    // Fault-free with options: identical outcome to a sequential run.
     let ok = run
-        .try_detect_as_parallel_opts(Tool::HelgrindLib, 4, EngineOptions::default())
-        .unwrap();
+        .try_run(
+            &DetectRequest::tool(Tool::HelgrindLib)
+                .parallel(4)
+                .options(EngineOptions::default()),
+        )
+        .unwrap()
+        .into_single();
     assert_eq!(ok.contexts, baseline.contexts);
     assert_eq!(ok.metrics, baseline.metrics);
 
@@ -405,7 +410,11 @@ fn session_api_surfaces_engine_errors_and_budgets() {
         ..EngineOptions::default()
     };
     let err = run
-        .try_detect_as_parallel_opts(Tool::HelgrindLib, 4, fault_opts)
+        .try_run(
+            &DetectRequest::tool(Tool::HelgrindLib)
+                .parallel(4)
+                .options(fault_opts),
+        )
         .expect_err("injected panic must surface");
     assert!(matches!(err, EngineError::WorkerPanic { worker: 1, .. }));
 
@@ -418,7 +427,11 @@ fn session_api_surfaces_engine_errors_and_budgets() {
         ..EngineOptions::default()
     };
     let err = run
-        .try_detect_as_parallel_opts(Tool::HelgrindLib, 4, budget_opts)
+        .try_run(
+            &DetectRequest::tool(Tool::HelgrindLib)
+                .parallel(4)
+                .options(budget_opts),
+        )
         .expect_err("event budget must trip");
     match err {
         EngineError::BudgetExhausted {
@@ -434,7 +447,8 @@ fn session_api_surfaces_engine_errors_and_budgets() {
         other => panic!("expected an event-budget error, got {other}"),
     }
 
-    // The infallible wrappers still work unchanged on the happy path.
-    let via_wrapper = run.detect_parallel(4);
-    assert_eq!(via_wrapper.contexts, baseline.contexts);
+    // The infallible request form still works unchanged on the happy
+    // path.
+    let via_run = run.run(&DetectRequest::own().parallel(4)).into_single();
+    assert_eq!(via_run.contexts, baseline.contexts);
 }

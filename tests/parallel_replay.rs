@@ -11,7 +11,7 @@
 //! without perturbing a single table number.
 
 use proptest::prelude::*;
-use spinrace::core::{Analyzer, Schedule, Session, Tool};
+use spinrace::core::{Analyzer, DetectRequest, Schedule, Session, Tool};
 use spinrace::detector::{shard_of, NUM_SHARDS};
 use spinrace::tir::{Module, ModuleBuilder};
 use spinrace::workloads::{Family, WorkloadSpec};
@@ -113,7 +113,7 @@ proptest! {
                 session = session.seed(s);
             }
             let run = session.prepare(tool).unwrap().execute().unwrap();
-            let sequential = run.detect();
+            let sequential = run.run(&DetectRequest::own()).into_single();
             let label = tool.label();
 
             // Sequential replay ≡ live (the session API's guarantee).
@@ -126,7 +126,7 @@ proptest! {
             // own tests; 3 leaves a worker owning a ragged shard subset;
             // 8 is one per shard).
             for workers in [1usize, 2, 3, 4, 8] {
-                let par = run.detect_parallel(workers);
+                let par = run.run(&DetectRequest::own().parallel(workers)).into_single();
                 prop_assert_eq!(
                     par.contexts, sequential.contexts,
                     "contexts under {} at {} workers", &label, workers
@@ -157,7 +157,9 @@ proptest! {
             // balanced default (a ragged and a full-shard width suffice —
             // the schedules only differ in shard→worker placement).
             for workers in [3usize, 4] {
-                let par = run.detect_parallel_scheduled(workers, Schedule::Static);
+                let par = run
+                    .run(&DetectRequest::own().parallel(workers).scheduled(Schedule::Static))
+                    .into_single();
                 prop_assert_eq!(
                     par.contexts, sequential.contexts,
                     "static contexts under {} at {} workers", &label, workers
@@ -168,11 +170,11 @@ proptest! {
                 );
             }
 
-            // The detect_as cross-tool path too: lib and DRD share one
+            // The cross-tool request path too: lib and DRD share one
             // prepared module, so a lib recording can replay as DRD.
             if tool == Tool::HelgrindLib {
-                let seq_drd = run.detect_as(Tool::Drd);
-                let par_drd = run.detect_as_parallel(Tool::Drd, 4);
+                let seq_drd = run.run(&DetectRequest::tool(Tool::Drd)).into_single();
+                let par_drd = run.run(&DetectRequest::tool(Tool::Drd).parallel(4)).into_single();
                 prop_assert_eq!(par_drd.contexts, seq_drd.contexts);
                 prop_assert_eq!(&par_drd.metrics, &seq_drd.metrics);
             }
@@ -196,12 +198,14 @@ fn workload_widths_equal_sequential(
         .unwrap()
         .execute_detecting()
         .unwrap();
-    let sequential = run.detect();
+    let sequential = run.run(&DetectRequest::own()).into_single();
     assert_eq!(sequential.contexts, live.contexts, "sequential vs live");
     assert_eq!(sequential.metrics, live.metrics, "sequential vs live");
     for schedule in [Schedule::Balanced, Schedule::Static] {
         for workers in [1usize, 2, 3, 4, 8] {
-            let par = run.detect_parallel_scheduled(workers, schedule);
+            let par = run
+                .run(&DetectRequest::own().parallel(workers).scheduled(schedule))
+                .into_single();
             assert_eq!(
                 par.contexts, sequential.contexts,
                 "{workers} workers, {schedule}"

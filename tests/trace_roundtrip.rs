@@ -15,7 +15,7 @@
 //! point.
 
 use proptest::prelude::*;
-use spinrace::core::{Analyzer, ExecutedRun, Session, Tool};
+use spinrace::core::{Analyzer, DetectRequest, ExecutedRun, Session, Tool};
 use spinrace::tir::{Module, ModuleBuilder};
 use spinrace::tracefmt::{decode_trace, encode_trace_chunked, ChunkedTraceReader};
 use spinrace::vm::Trace;
@@ -118,7 +118,7 @@ proptest! {
             prop_assert_eq!(&parsed, run.trace());
             let rebound = ExecutedRun::from_trace(session.prepare(tool).unwrap(), parsed)
                 .map_err(|e| TestCaseError(format!("rebind failed: {e}")))?;
-            let replayed = rebound.detect();
+            let replayed = rebound.run(&DetectRequest::own()).into_single();
 
             // Binary path: a 9-event chunk target forces multi-chunk
             // framing on all but the tiniest streams. The decoded trace
@@ -133,8 +133,9 @@ proptest! {
             let (streamed, stats) = session
                 .prepare(tool)
                 .unwrap()
-                .try_detect_streamed_as(tool, reader)
+                .try_run_streamed(&DetectRequest::tool(tool).streamed(), reader)
                 .map_err(|e| TestCaseError(format!("streamed replay failed: {e}")))?;
+            let streamed = streamed.into_single();
             prop_assert_eq!(stats.events as usize, run.trace().events.len());
             let label = tool.label();
             prop_assert_eq!(streamed.contexts, live.contexts, "streamed contexts under {}", &label);

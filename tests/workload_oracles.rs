@@ -12,7 +12,7 @@
 //! variable and thread pair (no misses, no extras).
 
 use proptest::prelude::*;
-use spinrace::core::{AnalysisOutcome, Schedule, Session, Tool};
+use spinrace::core::{AnalysisOutcome, DetectRequest, Schedule, Session, Tool};
 use spinrace::suites::judge_outcome;
 use spinrace::workloads::{Family, Workload, WorkloadSpec};
 
@@ -46,11 +46,13 @@ fn check_spec(spec: WorkloadSpec) -> Result<(), TestCaseError> {
         let prepared = session.prepare(tool).unwrap();
         let (run, live) = prepared.execute_detecting().unwrap();
         assert_oracle(&wl, &live, "live")?;
-        let sequential = run.detect();
+        let sequential = run.run(&DetectRequest::own()).into_single();
         assert_oracle(&wl, &sequential, "sequential replay")?;
         for workers in [1usize, 2, 4, 8] {
             // The default path is the occupancy-balanced scheduler …
-            let par = run.detect_parallel(workers);
+            let par = run
+                .run(&DetectRequest::own().parallel(workers))
+                .into_single();
             assert_oracle(&wl, &par, &format!("parallel x{workers}"))?;
             // Parallel replay must agree with sequential bit-for-bit,
             // not merely satisfy the oracle.
@@ -58,7 +60,9 @@ fn check_spec(spec: WorkloadSpec) -> Result<(), TestCaseError> {
             prop_assert_eq!(par.reports.len(), sequential.reports.len());
         }
         // … and static modular ownership must land on the same bytes.
-        let stat = run.detect_parallel_scheduled(4, Schedule::Static);
+        let stat = run
+            .run(&DetectRequest::own().parallel(4).scheduled(Schedule::Static))
+            .into_single();
         assert_oracle(&wl, &stat, "parallel x4 static")?;
         prop_assert_eq!(&stat.metrics, &sequential.metrics);
     }
