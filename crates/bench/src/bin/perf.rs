@@ -38,6 +38,13 @@
 //!   resident chunk bytes of streamed replay — the quick smoke gates the
 //!   binary size to ≤ 1/8 of JSON, the decode floor, and the streaming
 //!   peak to a four-chunk budget (the O(chunk) memory claim);
+//! * **predictive long-stream series** (since schema v8): each workload
+//!   row also records `sync_preserving` replay events/sec — the
+//!   single-pass sync-preserving predictive detector over its own
+//!   unmodified-module recording of the same spec, judged against the
+//!   same ground truth — with its own conservative floor (the
+//!   per-lock per-address release-clock maps make the pass
+//!   fundamentally heavier than the epoch-fast-path HB detector);
 //! * **serve throughput and tail latency** (since schema v7): whole
 //!   analysis sessions — framed trace upload, streamed verdicts, done —
 //!   against an in-process `spinrace-serve` instance under
@@ -63,7 +70,8 @@
 use spinrace_bench::bench_tools;
 use spinrace_core::{parallel, DetectRequest, Schedule, Session, Tool};
 use spinrace_detector::{
-    shard_occupancy, DetectorConfig, MsmMode, RaceDetector, ReferenceDetector, NUM_SHARDS,
+    shard_occupancy, AnyDetector, DetectorConfig, MsmMode, RaceDetector, ReferenceDetector,
+    NUM_SHARDS,
 };
 use spinrace_tracefmt::{decode_trace, encode_trace, ChunkedTraceReader, DEFAULT_CHUNK_EVENTS};
 use spinrace_vm::{Event, EventSink, Trace};
@@ -92,6 +100,16 @@ const SCALING_WORKERS: [usize; 4] = [1, 2, 4, 8];
 /// ~16 M ev/s single-core release measurement on the 1M-event zipf
 /// stream; /5 in the quick gate leaves room for slow shared runners.
 const WORKLOAD_FLOOR_EVENTS_PER_SEC: f64 = 10_000_000.0;
+
+/// Floor for the predictive (`sync_preserving`) long-stream replay
+/// series, in events/sec. The sync-preserving pass has no epoch fast
+/// path — every release updates per-lock per-address clock maps — so it
+/// runs under the HB detector by design; release measurements on the
+/// ≥1M-event long streams land between ~7 M (quick-mode windows) and
+/// ~40 M ev/s, pinned conservatively at 2 M so only an algorithmic
+/// collapse (an accidental clone or map rebuild per event) trips it;
+/// /5 in the quick gate.
+const PREDICT_FLOOR_EVENTS_PER_SEC: f64 = 2_000_000.0;
 
 /// Floor for binary trace *decode* throughput (columnar chunks →
 /// `Vec<Event>`), in events/sec — the replay-startup cost the chunked
@@ -158,6 +176,14 @@ struct WorkloadRow {
     shard_occupancy: [u64; NUM_SHARDS],
     shadow_bytes: usize,
     contexts: usize,
+    /// `sync_preserving` replay throughput over the same spec's
+    /// unmodified-module recording (the v8 addition). The predictive
+    /// pass is sequential-only, so this is the whole story — there is
+    /// no parallel column for it.
+    predict_events_per_sec: f64,
+    /// Contexts the predictive pass reported on that recording, judged
+    /// against the workload's ground truth before being recorded.
+    predict_contexts: usize,
     /// On-disk codec measurements for the same stream in both trace
     /// encodings (the v6 additions).
     codec: CodecRow,
@@ -286,6 +312,28 @@ fn measure_workloads(quick: bool, min_secs: f64) -> (Vec<WorkloadRow>, Trace, De
         let occ_max = occupancy.iter().copied().max().unwrap_or(0);
         let occ_total: u64 = occupancy.iter().sum();
         let codec = measure_codec(trace, cfg, min_secs);
+        // The predictive pass measures over its own recording: the
+        // sync-preserving tool analyzes the *unmodified* module (no
+        // spin instrumentation), so the lib+spin trace above is not its
+        // stream. One more deterministic execution, same spec, judged
+        // against the same ground truth.
+        let sp_tool = Tool::SyncPreserving;
+        let sp_cfg = detector_config(sp_tool);
+        let sp_run = Session::for_module(&wl.module)
+            .vm_config(spec.vm_config())
+            .prepare(sp_tool)
+            .expect("prepare predictive workload")
+            .execute()
+            .expect("vm run");
+        let predict_eps = measure_trace(sp_run.trace(), min_secs, || AnyDetector::new(sp_cfg));
+        let sp_out = sp_run.run(&DetectRequest::config(sp_cfg)).into_single();
+        let sp_verdict = spinrace_suites::judge_outcome(&wl.oracle, &sp_out);
+        assert!(
+            sp_verdict.pass(),
+            "workload {} violated its oracle under {}: {sp_verdict}",
+            spec.name(),
+            sp_tool.label(),
+        );
         println!(
             "{:>14} {:<24} {:>8} events  (trace replay {:>6.2} M, parallel×{PARALLEL_WORKERS} balanced {:>6.2} M / static {:>6.2} M ev/s, hottest shard {:.2}x even)  shadow {} B [{}]",
             wl.spec.family.name(),
@@ -310,6 +358,15 @@ fn measure_workloads(quick: bool, min_secs: f64) -> (Vec<WorkloadRow>, Trace, De
             codec.streaming_chunks,
             codec.streaming_peak_resident_bytes / 1024,
         );
+        println!(
+            "{:>14} {:<24} sync_preserving {:>6.2} M ev/s over {} events (sequential-only; {} context(s)) [{}]",
+            "",
+            "",
+            predict_eps / 1e6,
+            sp_run.trace().events.len(),
+            sp_out.contexts,
+            wl.oracle.describe(),
+        );
         rows.push(WorkloadRow {
             spec: spec.name(),
             family: wl.spec.family.name().to_string(),
@@ -321,6 +378,8 @@ fn measure_workloads(quick: bool, min_secs: f64) -> (Vec<WorkloadRow>, Trace, De
             shard_occupancy: occupancy,
             shadow_bytes: out.metrics.shadow_bytes,
             contexts: out.contexts,
+            predict_events_per_sec: predict_eps,
+            predict_contexts: sp_out.contexts,
             codec,
         });
         if spec.family == Family::Zipf {
@@ -459,6 +518,10 @@ fn main() {
         .iter()
         .map(|r| r.replay_events_per_sec)
         .fold(f64::INFINITY, f64::min);
+    let predict_min_eps = workload_rows
+        .iter()
+        .map(|r| r.predict_events_per_sec)
+        .fold(f64::INFINITY, f64::min);
     let geomean_speedup = (rows
         .iter()
         .map(|r| (r.events_per_sec / r.ref_events_per_sec).ln())
@@ -467,11 +530,13 @@ fn main() {
         .exp();
     println!(
         "min {:.2} M ev/s (trace replay min {:.2} M, parallel×{PARALLEL_WORKERS} min {:.2} M, \
-         long-stream min {:.2} M), geomean speedup over reference {geomean_speedup:.2}x",
+         long-stream min {:.2} M, sync_preserving min {:.2} M), geomean speedup over reference \
+         {geomean_speedup:.2}x",
         min_eps / 1e6,
         replay_min_eps / 1e6,
         parallel_min_eps / 1e6,
         workload_min_eps / 1e6,
+        predict_min_eps / 1e6,
     );
 
     let serve_row = measure_serve(quick);
@@ -487,6 +552,7 @@ fn main() {
             replay_min_eps,
             parallel_min_eps,
             workload_min_eps,
+            predict_min_eps,
             geomean_speedup,
         },
         cores,
@@ -519,6 +585,17 @@ fn main() {
         eprintln!(
             "PERF REGRESSION: long-stream workload replay min {workload_min_eps:.0} ev/s is \
              more than 5x below the checked-in floor of {WORKLOAD_FLOOR_EVENTS_PER_SEC:.0} ev/s"
+        );
+        std::process::exit(1);
+    }
+    // The predictive pass has its own (much lower) floor: it is
+    // sequential-only and clock-map heavy by design, so holding it to
+    // the HB floor would punish the algorithm for existing, while no
+    // floor at all would let a per-event map rebuild land silently.
+    if quick && predict_min_eps < PREDICT_FLOOR_EVENTS_PER_SEC / 5.0 {
+        eprintln!(
+            "PERF REGRESSION: sync_preserving long-stream replay min {predict_min_eps:.0} ev/s \
+             is more than 5x below the checked-in floor of {PREDICT_FLOOR_EVENTS_PER_SEC:.0} ev/s"
         );
         std::process::exit(1);
     }
@@ -790,6 +867,7 @@ struct Summary {
     replay_min_eps: f64,
     parallel_min_eps: f64,
     workload_min_eps: f64,
+    predict_min_eps: f64,
     geomean_speedup: f64,
 }
 
@@ -986,6 +1064,8 @@ fn write_json(
                 "shard_occupancy": r.shard_occupancy.to_vec(),
                 "shadow_bytes": r.shadow_bytes as u64,
                 "contexts": r.contexts as u64,
+                "predict_events_per_sec": r.predict_events_per_sec,
+                "predict_contexts": r.predict_contexts as u64,
                 "trace_json_bytes": r.codec.json_bytes as u64,
                 "trace_binary_bytes": r.codec.binary_bytes as u64,
                 "trace_bytes_per_event": {
@@ -1002,11 +1082,12 @@ fn write_json(
         })
         .collect();
     let doc = serde_json::json!({
-        "schema": "spinrace-perf-v7",
+        "schema": "spinrace-perf-v8",
         "quick": quick,
         "cores": cores as u64,
         "floor_events_per_sec": FLOOR_EVENTS_PER_SEC,
         "workload_floor_events_per_sec": WORKLOAD_FLOOR_EVENTS_PER_SEC,
+        "predict_floor_events_per_sec": PREDICT_FLOOR_EVENTS_PER_SEC,
         "decode_floor_events_per_sec": DECODE_FLOOR_EVENTS_PER_SEC,
         "compression_gate_denom": COMPRESSION_GATE_DENOM as u64,
         "parallel_workers": PARALLEL_WORKERS as u64,
@@ -1034,6 +1115,7 @@ fn write_json(
             "replay_min_events_per_sec": summary.replay_min_eps,
             "parallel_replay_min_events_per_sec": summary.parallel_min_eps,
             "workload_replay_min_events_per_sec": summary.workload_min_eps,
+            "predict_replay_min_events_per_sec": summary.predict_min_eps,
             "geomean_speedup_vs_reference": summary.geomean_speedup,
         },
     });

@@ -8,7 +8,7 @@
 //! ```text
 //! trace record --program <name> [--tool <TOOL>] [--seed N] [--obscure]
 //!              [--scale N] [--out FILE] [--format json|binary] [--json FILE]
-//! trace gen --family <ring|spinflag|barrier|zipf|fanout> [--threads N]
+//! trace gen --family <ring|spinflag|barrier|zipf|fanout|straddle|publish> [--threads N]
 //!           [--events TOTAL] [--addr-space N] [--skew K] [--races N]
 //!           [--seed N] [--tool <TOOL>] [--out FILE] [--format json|binary]
 //!           [--json FILE]
@@ -20,7 +20,8 @@
 //! trace inspect FILE [--events N]
 //! trace stats FILE
 //! trace serve [--addr HOST:PORT] [--sessions N] [--cores N] [--max-events N]
-//!             [--max-shadow-bytes N] [--watchdog MS] [--stdin]
+//!             [--max-shadow-bytes N] [--watchdog MS] [--read-timeout MS]
+//!             [--write-timeout MS] [--stdin]
 //! trace client FILE --addr HOST:PORT [--tool <TOOL>] [--workers N]
 //!              [--schedule static|balanced] [--long-msm] [--cap N]
 //!              [--max-events N] [--max-shadow-bytes N] [--watchdog MS]
@@ -60,7 +61,10 @@
 //! workload's own oracle.
 //!
 //! `<TOOL>` accepts the table labels (`Helgrind+ lib+spin(7)`) and the
-//! short forms `lib`, `lib+spin[(W)]`, `nolib+spin[(W)]`, `drd`.
+//! short forms `lib`, `lib+spin[(W)]`, `nolib+spin[(W)]`, `drd`,
+//! `sync-preserving`. The predictive `sync-preserving` tool is a single
+//! sequential pass: `replay` runs it streamed/sequential, and
+//! `--workers 2` or more is refused with a structured engine error.
 //! `record` tees a trace recorder with the tool's own detector, so the
 //! recording run also prints its racy contexts; `replay` re-prepares the
 //! named program, checks the module fingerprint, and replays the parsed
@@ -330,9 +334,9 @@ fn record(args: &[String]) -> i32 {
 fn gen(args: &[String]) -> i32 {
     let Some(family_s) = opt(args, "--family") else {
         eprintln!(
-            "usage: trace gen --family <ring|spinflag|barrier|zipf|fanout> [--threads N] \
-             [--events TOTAL] [--addr-space N] [--skew K] [--races N] [--seed N] [--tool T] \
-             [--out FILE] [--json FILE]"
+            "usage: trace gen --family <ring|spinflag|barrier|zipf|fanout|straddle|publish> \
+             [--threads N] [--events TOTAL] [--addr-space N] [--skew K] [--races N] [--seed N] \
+             [--tool T] [--out FILE] [--json FILE]"
         );
         return 2;
     };
@@ -581,7 +585,7 @@ fn replay(args: &[String]) -> i32 {
                     merged.reports.reports().to_vec(),
                 )
             } else {
-                let mut det = spinrace_detector::RaceDetector::new(cfg);
+                let mut det = spinrace_detector::AnyDetector::new(cfg);
                 trace.replay(&mut det);
                 (
                     det.racy_contexts(),
@@ -675,7 +679,7 @@ fn replay_streamed(args: &[String], path: &str, msm: MsmMode, cap: usize) -> i32
                 return 1;
             }
             let cfg = tool.detector_config(msm, cap);
-            let mut det = spinrace_detector::RaceDetector::new(cfg);
+            let mut det = spinrace_detector::AnyDetector::new(cfg);
             let t0 = Instant::now();
             let stats = match reader.replay_into(&mut det) {
                 Ok(s) => s,
@@ -962,6 +966,9 @@ fn serve_cmd(args: &[String]) -> i32 {
         max_events: zero_is_none(num_opt(args, "--max-events", 0)),
         max_shadow_bytes: zero_is_none(num_opt(args, "--max-shadow-bytes", 0)).map(|n| n as usize),
         watchdog_ms: zero_is_none(num_opt(args, "--watchdog", 0)),
+        // `0` disables either socket timeout.
+        read_timeout_ms: zero_is_none(num_opt(args, "--read-timeout", 60_000)),
+        write_timeout_ms: zero_is_none(num_opt(args, "--write-timeout", 60_000)),
     };
     if has(args, "--stdin") {
         return match spinrace_serve::serve_stdin(opts) {

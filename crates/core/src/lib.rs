@@ -90,6 +90,11 @@ pub enum Tool {
     },
     /// Pure happens-before baseline.
     Drd,
+    /// Sync-preserving predictive detection: reports races in correct
+    /// reorderings of the recorded trace (mutex edges kept only between
+    /// conflicting critical sections). Inherently sequential — parallel
+    /// replay refuses it with [`EngineError::Unsupported`].
+    SyncPreserving,
 }
 
 impl Tool {
@@ -118,8 +123,15 @@ impl Tool {
             Tool::HelgrindLibSpin { .. } => DetectorConfig::helgrind_lib_spin(msm),
             Tool::HelgrindNolibSpin { .. } => DetectorConfig::helgrind_nolib_spin(msm),
             Tool::Drd => DetectorConfig::drd(),
+            Tool::SyncPreserving => DetectorConfig::sync_preserving(),
         };
         cfg.with_cap(cap)
+    }
+
+    /// Is this a predictive (reordering-aware) tool? Predictive passes
+    /// are single-threaded: use sequential or streamed modes.
+    pub fn is_predictive(&self) -> bool {
+        matches!(self, Tool::SyncPreserving)
     }
 }
 
@@ -130,6 +142,7 @@ impl fmt::Display for Tool {
             Tool::HelgrindLibSpin { window } => write!(f, "Helgrind+ lib+spin({window})"),
             Tool::HelgrindNolibSpin { window } => write!(f, "Helgrind+ nolib+spin({window})"),
             Tool::Drd => f.write_str("DRD"),
+            Tool::SyncPreserving => f.write_str("SyncPreserving"),
         }
     }
 }
@@ -142,8 +155,8 @@ impl fmt::Display for ParseToolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown tool {:?} (expected `lib`, `lib+spin[(W)]`, `nolib+spin[(W)]` or `drd`, \
-             optionally prefixed with `Helgrind+ `)",
+            "unknown tool {:?} (expected `lib`, `lib+spin[(W)]`, `nolib+spin[(W)]`, `drd` or \
+             `sync-preserving`, optionally prefixed with `Helgrind+ `)",
             self.0
         )
     }
@@ -156,13 +169,23 @@ impl FromStr for Tool {
 
     /// Parses the canonical table labels ([`Tool::label`]) and the short
     /// forms used on command lines: `lib`, `lib+spin`, `lib+spin(5)`,
-    /// `nolib+spin`, `nolib+spin(5)`, `drd` (case-insensitive for `drd`;
-    /// the window defaults to the paper's 7 when omitted).
+    /// `nolib+spin`, `nolib+spin(5)`, `drd`, `sync-preserving`
+    /// (case-insensitive for `drd` and `sync-preserving`; the window
+    /// defaults to the paper's 7 when omitted).
     fn from_str(s: &str) -> Result<Tool, ParseToolError> {
         let err = || ParseToolError(s.to_string());
         let t = s.trim();
         if t.eq_ignore_ascii_case("drd") {
             return Ok(Tool::Drd);
+        }
+        // `SyncPreserving` / `sync-preserving` / `sync_preserving`.
+        let squashed: String = t
+            .chars()
+            .filter(|c| !matches!(c, '-' | '_'))
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        if squashed == "syncpreserving" {
+            return Ok(Tool::SyncPreserving);
         }
         let t = t
             .strip_prefix("Helgrind+")
@@ -507,6 +530,7 @@ mod tests {
             "Helgrind+ nolib+spin(3)"
         );
         assert_eq!(Tool::Drd.label(), "DRD");
+        assert_eq!(Tool::SyncPreserving.label(), "SyncPreserving");
     }
 
     #[test]
@@ -516,6 +540,7 @@ mod tests {
         let mut tools = Tool::paper_lineup().to_vec();
         tools.push(Tool::HelgrindLibSpin { window: 3 });
         tools.push(Tool::HelgrindNolibSpin { window: 12 });
+        tools.push(Tool::SyncPreserving);
         for tool in tools {
             let label = tool.label();
             assert_eq!(label.parse::<Tool>().unwrap(), tool, "{label}");
@@ -539,6 +564,11 @@ mod tests {
         );
         assert_eq!("drd".parse::<Tool>().unwrap(), Tool::Drd);
         assert_eq!("DRD".parse::<Tool>().unwrap(), Tool::Drd);
+        for sp in ["sync-preserving", "sync_preserving", "SyncPreserving"] {
+            assert_eq!(sp.parse::<Tool>().unwrap(), Tool::SyncPreserving);
+            assert!(sp.parse::<Tool>().unwrap().is_predictive());
+        }
+        assert!(!Tool::Drd.is_predictive());
         for bad in ["", "lib+spin(", "lib+spin()", "helgrind", "spin(7)"] {
             assert!(bad.parse::<Tool>().is_err(), "{bad:?} must not parse");
         }

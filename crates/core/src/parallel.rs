@@ -97,9 +97,9 @@
 //! ```
 
 use spinrace_detector::{
-    compute_promotion_seeds, event_route, shard_of, try_merge_fragments, DetectorConfig,
-    EventRoute, MergedDetection, PromotionSeeds, RaceDetector, SchedulePlan, ShardHandoff,
-    ShardSpec, ShardTransfer, WorkerFragment, NUM_SHARDS,
+    compute_promotion_seeds, event_route, shard_of, try_merge_fragments, AnyDetector,
+    DetectorConfig, EventRoute, MergedDetection, PromotionSeeds, RaceDetector, SchedulePlan,
+    ShardHandoff, ShardSpec, ShardTransfer, WorkerFragment, NUM_SHARDS,
 };
 use spinrace_vm::trace::TraceError;
 use spinrace_vm::{Event, EventSink};
@@ -178,6 +178,14 @@ pub enum EngineError {
     /// [`spinrace_vm::trace::TraceError`] so callers that feed the
     /// engine from serialized traces have one error type end to end).
     Trace(TraceError),
+    /// The requested detector cannot run under this engine mode —
+    /// e.g. predictive (sync-preserving) detection under sharded
+    /// parallel replay, which is inherently sequential. The request is
+    /// refused outright instead of silently degrading.
+    Unsupported {
+        /// What was asked for and why it cannot be served.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -215,6 +223,9 @@ impl fmt::Display for EngineError {
                 partial.events_processed, partial.contexts
             ),
             EngineError::Trace(e) => write!(f, "trace decode failed: {e}"),
+            EngineError::Unsupported { reason } => {
+                write!(f, "unsupported detection request: {reason}")
+            }
         }
     }
 }
@@ -559,6 +570,9 @@ pub fn try_run_sharded_opts(
         // the budget error.
         return try_run_sequential(cfg, events, opts);
     }
+    if cfg.is_predictive() {
+        return Err(unsupported_predictive());
+    }
     let seeds = Arc::new(compute_promotion_seeds(cfg, events));
     let plan = Arc::new(make_plan(cfg, &seeds, events, workers, opts.schedule));
     try_run_planned(cfg, events, &seeds, &plan, opts)
@@ -584,6 +598,9 @@ pub fn try_run_sharded_with_plan_opts(
 ) -> Result<MergedDetection, EngineError> {
     if exceeds_event_budget(events, &opts) {
         return try_run_sequential(cfg, events, opts);
+    }
+    if cfg.is_predictive() {
+        return Err(unsupported_predictive());
     }
     let seeds = Arc::new(compute_promotion_seeds(cfg, events));
     try_run_planned(cfg, events, &seeds, &plan, opts)
@@ -614,6 +631,9 @@ pub fn try_run_many_sharded_opts(
             .iter()
             .map(|&cfg| try_run_sequential(cfg, events, opts))
             .collect();
+    }
+    if cfgs.iter().any(|c| c.is_predictive()) {
+        return Err(unsupported_predictive());
     }
     if exceeds_event_budget(events, &opts) {
         let Some(&cfg) = cfgs.first() else {
@@ -676,6 +696,17 @@ pub fn try_run_many_sharded_opts(
         .collect()
 }
 
+/// The refusal every parallel entry point returns for predictive
+/// configurations (sync-preserving release clocks flow through per-lock
+/// conflict maps in trace order — there is no sound shard split).
+fn unsupported_predictive() -> EngineError {
+    EngineError::Unsupported {
+        reason: "predictive (sync-preserving) detection is a single sequential pass; \
+                 use sequential or streamed mode instead of parallel replay"
+            .to_string(),
+    }
+}
+
 /// Does `events` overflow the configured event budget?
 fn exceeds_event_budget(events: &[Event], opts: &EngineOptions) -> bool {
     opts.budget
@@ -700,7 +731,7 @@ fn try_run_sequential(
     let truncated = limit < events.len();
     let deadline = opts.watchdog.map(|d| (Instant::now() + d, d));
     let shadow_limit = opts.budget.max_shadow_bytes.unwrap_or(usize::MAX);
-    let mut det = RaceDetector::new(cfg);
+    let mut det = AnyDetector::new(cfg);
     for (i, ev) in events[..limit].iter().enumerate() {
         if i & PERIODIC_MASK == 0 {
             if let Some((at, d)) = deadline {

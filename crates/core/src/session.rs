@@ -29,7 +29,7 @@ use crate::parallel::{
 };
 use crate::request::{DetectMode, DetectOutcome, DetectRequest, DetectTarget};
 use crate::{AnalysisOutcome, AnalyzeError, DescribedReport, Tool};
-use spinrace_detector::{DetectorConfig, MsmMode, RaceDetector};
+use spinrace_detector::{AnyDetector, DetectorConfig, MsmMode};
 use spinrace_spinfind::{SpinCriteria, SpinFinder};
 use spinrace_synclib::{lower_to_spinlib_styled, LibStyle};
 use spinrace_tir::Module;
@@ -206,7 +206,7 @@ impl PreparedModule {
     /// single-shot path: use it when one detection per execution is all
     /// that's needed (benches, overhead measurements).
     pub fn detect_live(&self) -> Result<AnalysisOutcome, AnalyzeError> {
-        let mut det = RaceDetector::new(self.default_config());
+        let mut det = AnyDetector::new(self.default_config());
         let summary = run_module(&self.module, self.vm, &mut det)?;
         Ok(self.assemble(self.tool.label(), det, summary))
     }
@@ -215,7 +215,7 @@ impl PreparedModule {
     /// **and** a trace recorder teed into the same stream: one run yields
     /// both the outcome and a replayable [`Trace`] for further fan-out.
     pub fn execute_detecting(self) -> Result<(ExecutedRun, AnalysisOutcome), AnalyzeError> {
-        let mut det = RaceDetector::new(self.default_config());
+        let mut det = AnyDetector::new(self.default_config());
         let rec = TraceRecorder::new(&self.module, self.vm).labeled(self.tool.label());
         let mut tee = Tee::new(rec, &mut det);
         let summary = run_module(&self.module, self.vm, &mut tee)?;
@@ -293,9 +293,9 @@ impl PreparedModule {
         let summary = reader.summary().clone();
         let total = reader.header().events;
         let resolved = self.resolve_targets(req);
-        let mut dets: Vec<RaceDetector> = resolved
+        let mut dets: Vec<AnyDetector> = resolved
             .iter()
-            .map(|&(_, cfg)| RaceDetector::new(cfg))
+            .map(|&(_, cfg)| AnyDetector::new(cfg))
             .collect();
         let mut seen: Vec<usize> = vec![0; dets.len()];
         let opts = req.engine_options();
@@ -492,7 +492,7 @@ impl PreparedModule {
     fn assemble(
         &self,
         tool_label: String,
-        det: RaceDetector,
+        det: AnyDetector,
         summary: RunSummary,
     ) -> AnalysisOutcome {
         self.assemble_parts(

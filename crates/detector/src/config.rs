@@ -28,6 +28,13 @@ pub enum DetectorKind {
     },
     /// Pure happens-before with machine-atomic edges (DRD).
     Drd,
+    /// Sync-preserving predictive detection (Mathur, Pavlogiannis &
+    /// Viswanathan): a weakened happens-before whose mutex release→acquire
+    /// edges are kept only between critical sections that *conflict* on
+    /// the accessed variable, so races that merely require reordering two
+    /// independent critical sections are predicted from one recorded
+    /// trace. Single-pass and inherently sequential.
+    SyncPreserving,
 }
 
 /// Full configuration of a detector run.
@@ -93,6 +100,20 @@ impl DetectorConfig {
         }
     }
 
+    /// `SyncPreserving` — predictive detection over a recorded trace:
+    /// hard happens-before from spawn/join, condvars, barriers,
+    /// semaphores and machine atomics, but mutex edges only between
+    /// conflicting critical sections (see [`DetectorKind::SyncPreserving`]).
+    pub fn sync_preserving() -> Self {
+        DetectorConfig {
+            kind: DetectorKind::SyncPreserving,
+            lib: true,
+            spin: false,
+            atomics_sync: true,
+            context_cap: 1000,
+        }
+    }
+
     /// Override the racy-context cap.
     pub fn with_cap(mut self, cap: usize) -> Self {
         self.context_cap = cap;
@@ -104,11 +125,18 @@ impl DetectorConfig {
         matches!(self.kind, DetectorKind::HelgrindPlus { .. })
     }
 
+    /// Is this a predictive (reordering-aware) detector? Predictive
+    /// detection is a single sequential pass: the sharded parallel
+    /// engine refuses such configurations instead of silently degrading.
+    pub fn is_predictive(&self) -> bool {
+        matches!(self.kind, DetectorKind::SyncPreserving)
+    }
+
     /// The long-MSM gating, if any.
     pub fn msm(&self) -> Option<MsmMode> {
         match self.kind {
             DetectorKind::HelgrindPlus { msm } => Some(msm),
-            DetectorKind::Drd => None,
+            DetectorKind::Drd | DetectorKind::SyncPreserving => None,
         }
     }
 }
@@ -128,6 +156,9 @@ mod tests {
         let drd = DetectorConfig::drd();
         assert!(drd.atomics_sync && !drd.has_lockset() && !drd.spin);
         assert_eq!(drd.context_cap, 1000);
+        let sp = DetectorConfig::sync_preserving();
+        assert!(sp.is_predictive() && !sp.has_lockset() && sp.msm().is_none());
+        assert!(!lib.is_predictive() && !drd.is_predictive());
     }
 
     #[test]

@@ -28,21 +28,37 @@
 //! Race reports are deduplicated into **racy contexts** — pairs of static
 //! instruction locations — and capped (default 1000, Helgrind's error
 //! cap, visible in the paper's PARSEC tables).
+//!
+//! Alongside the witnessed-interleaving lineup, the crate provides a
+//! **sync-preserving predictive detector**
+//! ([`DetectorKind::SyncPreserving`], [`predict::SyncPreservingDetector`])
+//! that reports races in *correct reorderings* of a recorded trace: mutex
+//! release→acquire edges are kept only between critical sections that
+//! conflict on the accessed variable, while program-structure edges
+//! (spawn/join, condvars, barriers, semaphores, machine atomics) always
+//! hold. Since it only ever drops edges relative to happens-before, its
+//! race set is a superset of the HB lineup's on the same stream.
+//! [`AnyDetector`] dispatches between the two families behind one
+//! [`spinrace_vm::EventSink`] surface.
 
+pub mod any;
 pub mod config;
 pub mod detector;
 pub mod lockset;
 pub mod metrics;
+pub mod predict;
 pub mod reference;
 pub mod report;
 pub mod shadow;
 pub mod sharded;
 pub mod vc;
 
+pub use any::AnyDetector;
 pub use config::{DetectorConfig, DetectorKind, MsmMode};
 pub use detector::RaceDetector;
 pub use lockset::{LocksetId, LocksetTable};
 pub use metrics::DetectorMetrics;
+pub use predict::SyncPreservingDetector;
 pub use reference::ReferenceDetector;
 pub use report::{AccessSummary, RaceKind, RaceReport, ReportCollector};
 pub use shadow::{shard_of, ExtractedShard, NUM_SHARDS};

@@ -38,7 +38,7 @@ impl DetectorMetrics {
 }
 
 /// Bytes of a `u64 → VectorClock` map's retained clocks.
-fn vc_map_bytes(m: &fxhash::FxHashMap<u64, crate::vc::VectorClock>) -> usize {
+pub(crate) fn vc_map_bytes(m: &fxhash::FxHashMap<u64, crate::vc::VectorClock>) -> usize {
     use std::mem::size_of;
     m.values()
         .map(|v| size_of::<u64>() + size_of::<crate::vc::VectorClock>() + v.approx_bytes())

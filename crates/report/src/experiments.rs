@@ -267,7 +267,11 @@ pub fn t6_universal() -> Experiment {
 /// report (soundness); `unexpected` counts reports matching no injected
 /// race (completeness — on race-free workloads every report lands here).
 pub fn w1_workloads() -> Experiment {
-    let tools = Tool::paper_lineup();
+    // The paper lineup plus the predictive tool: on the reorder-only
+    // families the HB columns must show 0 while `SyncPreserving` owes
+    // exactly the injected set.
+    let mut tools = Tool::paper_lineup().to_vec();
+    tools.push(Tool::SyncPreserving);
     let table = run_workloads(&tools);
     let mut t = AsciiTable::new(&[
         "Workload",

@@ -27,6 +27,9 @@
 //! request are clamped under the server-wide ceilings in
 //! [`ServeOptions`]; a session that exceeds its event budget gets an
 //! `E` frame with `code = "budget-exhausted"` carrying partial metrics.
+//! A client that stalls past the server's read timeout gets
+//! `code = "timeout"`; a request that asks the parallel engine to run
+//! the sequential-only predictive tool gets `code = "unsupported"`.
 //!
 //! The server's request type *is* the engine API: each session is
 //! compiled into a [`spinrace_core::DetectRequest`] and executed
@@ -42,7 +45,9 @@ mod server;
 mod wire;
 
 pub use client::{collect_frames, run_client, ClientOutcome};
-pub use server::{handle_session, serve, CoreBudget, ServeOptions, ServerHandle, SessionEvent};
+pub use server::{
+    handle_session, serve, CoreBudget, CoreClaim, ServeOptions, ServerHandle, SessionEvent,
+};
 pub use wire::{
     engine_error_code, read_frame, read_request, trace_error_code, wire_error, write_frame,
     write_request, DetectParams, FrameKind, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION,

@@ -45,6 +45,14 @@ pub struct ServeOptions {
     pub max_shadow_bytes: Option<usize>,
     /// Server-wide watchdog per session, in milliseconds.
     pub watchdog_ms: Option<u64>,
+    /// Socket read timeout per session in milliseconds (`None` = no
+    /// timeout). A client that stalls mid-upload fails its session with
+    /// the stable `timeout` wire code instead of pinning a slot
+    /// forever.
+    pub read_timeout_ms: Option<u64>,
+    /// Socket write timeout per session in milliseconds (`None` = no
+    /// timeout) — the response-side counterpart of `read_timeout_ms`.
+    pub write_timeout_ms: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -55,6 +63,8 @@ impl Default for ServeOptions {
             max_events: None,
             max_shadow_bytes: None,
             watchdog_ms: None,
+            read_timeout_ms: Some(60_000),
+            write_timeout_ms: Some(60_000),
         }
     }
 }
@@ -128,6 +138,45 @@ impl CoreBudget {
     /// Return `claimed` cores to the pool.
     pub fn release(&self, claimed: usize) {
         self.free.fetch_add(claimed, Ordering::Relaxed);
+    }
+
+    /// Claim up to `requested` cores as an RAII guard: the claim is
+    /// released when the guard drops, so every session exit path —
+    /// early error returns and panics unwinding through the session
+    /// body alike — returns its cores to the pool.
+    pub fn claim_guard(&self, requested: usize) -> CoreClaim<'_> {
+        let (granted, claimed) = self.claim(requested);
+        CoreClaim {
+            budget: self,
+            granted,
+            claimed,
+        }
+    }
+
+    /// Cores currently free (observability for tests and admission
+    /// logging; racy by nature, exact once the pool is quiescent).
+    pub fn free(&self) -> usize {
+        self.free.load(Ordering::Relaxed)
+    }
+}
+
+/// An RAII claim on a [`CoreBudget`]: see [`CoreBudget::claim_guard`].
+pub struct CoreClaim<'a> {
+    budget: &'a CoreBudget,
+    granted: usize,
+    claimed: usize,
+}
+
+impl CoreClaim<'_> {
+    /// Worker threads the session may use (always at least one).
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+}
+
+impl Drop for CoreClaim<'_> {
+    fn drop(&mut self) {
+        self.budget.release(self.claimed);
     }
 }
 
@@ -238,7 +287,9 @@ fn run_tcp_session(
     cores: &CoreBudget,
 ) -> Result<(usize, u64), String> {
     // An idle or wedged client must not pin a session slot forever.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let to_duration = |ms: Option<u64>| ms.filter(|&ms| ms > 0).map(Duration::from_millis);
+    let _ = stream.set_read_timeout(to_duration(opts.read_timeout_ms));
+    let _ = stream.set_write_timeout(to_duration(opts.write_timeout_ms));
     let input = stream.try_clone().map_err(|e| e.to_string())?;
     let mut output = BufWriter::new(stream);
     handle_session(input, &mut output, opts, cores)
@@ -253,11 +304,15 @@ fn run_tcp_session(
 /// This is the stdin/stdout entry point as well as the per-connection
 /// body of the TCP pool.
 pub fn handle_session<R: Read + Send, W: Write>(
-    mut input: R,
+    input: R,
     output: &mut W,
     opts: ServeOptions,
     cores: &CoreBudget,
 ) -> Result<(usize, u64), String> {
+    let mut input = TimeoutFlagged {
+        inner: input,
+        timed_out: false,
+    };
     let fail = |output: &mut W, err: WireError| -> Result<(usize, u64), String> {
         let payload = serde_json::to_string(&err.to_json()).unwrap_or_default();
         let _ = write_frame(output, FrameKind::Error, payload.as_bytes());
@@ -266,7 +321,10 @@ pub fn handle_session<R: Read + Send, W: Write>(
 
     let body = match read_request(&mut input) {
         Ok(v) => v,
-        Err(msg) => return fail(output, WireError::bad_request(msg)),
+        Err(msg) => {
+            let err = timeout_override(input.timed_out, WireError::bad_request(msg));
+            return fail(output, err);
+        }
     };
     let params = match DetectParams::from_value(&body) {
         Ok(p) => p,
@@ -285,12 +343,56 @@ pub fn handle_session<R: Read + Send, W: Write>(
         }
     }
 
-    let (granted, claimed) = cores.claim(params.workers);
-    let result = session_body(&mut input, output, opts, &params, &tools, granted);
-    cores.release(claimed);
+    let claim = cores.claim_guard(params.workers);
+    let result = session_body(&mut input, output, opts, &params, &tools, claim.granted());
+    drop(claim);
     match result {
         Ok(done) => Ok(done),
-        Err(err) => fail(output, err),
+        Err(err) => {
+            let err = timeout_override(input.timed_out, err);
+            fail(output, err)
+        }
+    }
+}
+
+/// The session input stream, remembering whether any read failed with a
+/// socket timeout. The `io::ErrorKind` is erased long before a stalled
+/// upload surfaces as a session error (a timeout during the trace magic
+/// read even reports as `TraceError::Magic`), so the transport records
+/// the fact at the source and the session maps the final error to the
+/// stable `timeout` wire code.
+struct TimeoutFlagged<R> {
+    inner: R,
+    timed_out: bool,
+}
+
+impl<R: Read> Read for TimeoutFlagged<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let result = self.inner.read(buf);
+        if let Err(e) = &result {
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) {
+                self.timed_out = true;
+            }
+        }
+        result
+    }
+}
+
+/// Rewrite a session error as the stable `timeout` code when the input
+/// stream recorded a socket timeout: once a read has timed out the
+/// session is unrecoverable, and whatever shape the failure took
+/// downstream, the cause the client must see is the stall.
+fn timeout_override(timed_out: bool, err: WireError) -> WireError {
+    if !timed_out {
+        return err;
+    }
+    WireError {
+        code: "timeout".into(),
+        message: format!("session read timed out ({})", err.message),
+        partial: err.partial,
     }
 }
 

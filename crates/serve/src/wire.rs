@@ -332,6 +332,7 @@ pub fn engine_error_code(e: &EngineError) -> &'static str {
         EngineError::WorkerLost { .. } => "worker-lost",
         EngineError::Watchdog { .. } => "watchdog",
         EngineError::BudgetExhausted { .. } => "budget-exhausted",
+        EngineError::Unsupported { .. } => "unsupported",
         EngineError::Trace(t) => trace_error_code(t),
     }
 }

@@ -137,18 +137,35 @@ pub(crate) fn lineup_outcomes(
         match prepared.execute() {
             Ok(run) => {
                 vm_runs += 1;
-                let member_tools: Vec<Tool> = members.iter().map(|&ti| tools[ti]).collect();
-                let req = DetectRequest::tools(&member_tools).parallel(default_workers());
-                match run.try_run(&req) {
-                    Ok(outs) => {
-                        for (ti, out) in members.into_iter().zip(outs) {
-                            results[ti] = Some(Ok(out));
-                        }
+                // Predictive tools are single-pass: they replay the same
+                // shared trace sequentially while the rest of the group
+                // fans out on the parallel pool (the engine would refuse
+                // a mixed parallel request with `Unsupported`).
+                let (seq, par): (Vec<usize>, Vec<usize>) = members
+                    .into_iter()
+                    .partition(|&ti| tools[ti].is_predictive());
+                for (members, parallel) in [(par, true), (seq, false)] {
+                    if members.is_empty() {
+                        continue;
                     }
-                    Err(e) => {
-                        let msg = format!("parallel replay failed: {e}");
-                        for ti in members {
-                            results[ti] = Some(Err(msg.clone()));
+                    let member_tools: Vec<Tool> = members.iter().map(|&ti| tools[ti]).collect();
+                    let req = DetectRequest::tools(&member_tools);
+                    let req = if parallel {
+                        req.parallel(default_workers())
+                    } else {
+                        req.sequential()
+                    };
+                    match run.try_run(&req) {
+                        Ok(outs) => {
+                            for (ti, out) in members.into_iter().zip(outs) {
+                                results[ti] = Some(Ok(out));
+                            }
+                        }
+                        Err(e) => {
+                            let msg = format!("replay failed: {e}");
+                            for ti in members {
+                                results[ti] = Some(Err(msg.clone()));
+                            }
                         }
                     }
                 }

@@ -84,6 +84,12 @@ fn stream_uvarint<R: io::Read>(src: &mut R, raw: &mut Vec<u8>) -> Result<u64, Tr
         }
         v |= u64::from(b[0] & 0x7f) << shift;
         if b[0] & 0x80 == 0 {
+            // Mirror the slice decoder's canonicality check: a zero
+            // final byte after a continuation is a longer-than-needed
+            // encoding the writer never emits.
+            if b[0] == 0 && shift > 0 {
+                return Err(TraceError::Corrupt("non-canonical varint".into()));
+            }
             return Ok(v);
         }
         shift += 7;

@@ -4,8 +4,12 @@
 //! unsigned LEB128 varints; signed quantities (deltas, values) map
 //! through zigzag first so small magnitudes of either sign stay short.
 //! Decoding is fully bounds-checked: an overlong varint (more than 10
-//! bytes) or a truncated one is a structured [`TraceError::Corrupt`],
-//! never a panic or a silent wrap.
+//! bytes), a truncated one, or a non-canonical one (a trailing zero
+//! continuation byte — a value with a shorter valid encoding) is a
+//! structured [`TraceError::Corrupt`], never a panic or a silent wrap.
+//! Rejecting non-canonical forms keeps the encoding bijective: every
+//! value has exactly one accepted byte sequence, so checksummed chunks
+//! can never disagree about re-encoded bytes.
 
 use spinrace_vm::TraceError;
 
@@ -49,6 +53,12 @@ fn get_uvarint_multi(buf: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
         }
         v |= u64::from(b & 0x7f) << shift;
         if b & 0x80 == 0 {
+            // A zero final byte after a continuation encodes nothing: the
+            // same value has a shorter encoding, which the writer always
+            // produces. Only `0x00` at shift 0 (the value zero) is valid.
+            if b == 0 && shift > 0 {
+                return Err(TraceError::Corrupt("non-canonical varint".into()));
+            }
             return Ok(v);
         }
         shift += 7;
@@ -107,5 +117,118 @@ mod tests {
         let overlong = [0xff; 11];
         let mut pos = 0;
         assert!(get_uvarint(&overlong, &mut pos).is_err());
+    }
+
+    /// Every power-of-two threshold where the encoded length changes —
+    /// the exact boundaries where an off-by-one in the shift arithmetic
+    /// would corrupt values — round-trips, one byte longer every 7 bits.
+    #[test]
+    fn power_of_two_thresholds_round_trip_at_expected_lengths() {
+        for k in 0..64u32 {
+            for v in [1u64 << k, (1u64 << k) - 1, (1u64 << k) + 1] {
+                let mut buf = Vec::new();
+                put_uvarint(&mut buf, v);
+                let expected_len = (64 - v.leading_zeros()).div_ceil(7).max(1) as usize;
+                assert_eq!(buf.len(), expected_len, "encoded length of {v}");
+                let mut pos = 0;
+                assert_eq!(get_uvarint(&buf, &mut pos).unwrap(), v);
+                assert_eq!(pos, buf.len(), "consumed bytes for {v}");
+            }
+        }
+        // The widest value takes the full 10 bytes, final byte 0x01.
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), 10);
+        assert_eq!(buf[9], 0x01);
+    }
+
+    /// All valid 10-byte (maximum-length) encodings decode: nine
+    /// continuation bytes and a final byte of exactly 1 (the 64th bit).
+    /// The tenth byte carries one usable bit, so 2..=0x7f overflows and
+    /// 0x00 is non-canonical.
+    #[test]
+    fn ten_byte_encodings_cover_exactly_the_top_bit() {
+        for low in [0x80u8, 0xff] {
+            let mut enc = [low; 10];
+            enc[9] = 0x01;
+            let mut pos = 0;
+            let got = get_uvarint(&enc, &mut pos).unwrap();
+            let mut want = 1u64 << 63;
+            for (i, &b) in enc[..9].iter().enumerate() {
+                want |= u64::from(b & 0x7f) << (7 * i);
+            }
+            assert_eq!(got, want);
+            assert_eq!(pos, 10);
+            // Anything above 1 in the final byte spills past bit 63.
+            for bad in [0x02u8, 0x40, 0x7f] {
+                enc[9] = bad;
+                let mut pos = 0;
+                assert!(matches!(
+                    get_uvarint(&enc, &mut pos),
+                    Err(TraceError::Corrupt(_))
+                ));
+            }
+        }
+    }
+
+    /// Overlong (non-canonical) encodings — a shorter valid encoding
+    /// padded with zero continuation bytes — are structured corruption,
+    /// not silent aliases of the short form.
+    #[test]
+    fn non_canonical_encodings_are_rejected() {
+        // `0` padded to two bytes, `1` padded to two bytes, and a
+        // max-length zero.
+        for enc in [
+            &[0x80, 0x00][..],
+            &[0x81, 0x00][..],
+            &[0xff, 0x00][..],
+            &[0x80, 0x80, 0x00][..],
+            &[0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x00][..],
+        ] {
+            let mut pos = 0;
+            assert!(
+                matches!(get_uvarint(enc, &mut pos), Err(TraceError::Corrupt(_))),
+                "accepted non-canonical {enc:?}"
+            );
+        }
+        // The genuine zero (one byte) still decodes.
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&[0x00], &mut pos).unwrap(), 0);
+        assert_eq!(pos, 1);
+    }
+
+    proptest::proptest! {
+        /// Encode→decode is the identity for arbitrary values, and the
+        /// decoder consumes exactly the bytes the encoder wrote.
+        #[test]
+        fn uvarint_round_trips(v in 0u64..=u64::MAX) {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            proptest::prop_assert!(buf.len() <= 10);
+            let mut pos = 0;
+            proptest::prop_assert_eq!(get_uvarint(&buf, &mut pos).unwrap(), v);
+            proptest::prop_assert_eq!(pos, buf.len());
+        }
+
+        /// Decoding any byte soup either fails structurally or yields a
+        /// value whose canonical re-encoding is exactly the bytes
+        /// consumed — the bijectivity the canonicality check buys.
+        #[test]
+        fn decoded_values_reencode_to_the_consumed_bytes(
+            bytes in proptest::collection::vec(0u8..=0xff, 0..16)
+        ) {
+            let mut pos = 0;
+            if let Ok(v) = get_uvarint(&bytes, &mut pos) {
+                let mut again = Vec::new();
+                put_uvarint(&mut again, v);
+                proptest::prop_assert_eq!(&again[..], &bytes[..pos]);
+            }
+        }
+
+        /// Zigzag stays a bijection over the full signed range.
+        #[test]
+        fn zigzag_round_trips(v in i64::MIN..=i64::MAX) {
+            proptest::prop_assert_eq!(unzigzag(zigzag(v)), v);
+        }
     }
 }

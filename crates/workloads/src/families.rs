@@ -34,17 +34,23 @@ pub fn build(spec: &WorkloadSpec) -> Workload {
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5eed_ab1e_0bad_c0de);
     let workers = spec.worker_threads() as usize;
     let mut mb = ModuleBuilder::new(spec.name());
-    let seeds = VictimPlan::plan(&mut mb, spec, workers, &mut rng);
-    match spec.family {
-        Family::Ring => ring(&mut mb, spec, &seeds, &mut rng),
-        Family::SpinFlag => spinflag(&mut mb, spec, &seeds, &mut rng),
-        Family::Barrier => barrier(&mut mb, spec, &seeds, &mut rng),
-        Family::Zipf => zipf(&mut mb, spec, &seeds, &mut rng),
-        Family::Fanout => fanout(&mut mb, spec, &seeds, &mut rng),
-    }
+    let oracle = if spec.family.reorder_only() {
+        reorder(&mut mb, spec, &mut rng, spec.family == Family::Publish)
+    } else {
+        let seeds = VictimPlan::plan(&mut mb, spec, workers, &mut rng);
+        match spec.family {
+            Family::Ring => ring(&mut mb, spec, &seeds, &mut rng),
+            Family::SpinFlag => spinflag(&mut mb, spec, &seeds, &mut rng),
+            Family::Barrier => barrier(&mut mb, spec, &seeds, &mut rng),
+            Family::Zipf => zipf(&mut mb, spec, &seeds, &mut rng),
+            Family::Fanout => fanout(&mut mb, spec, &seeds, &mut rng),
+            Family::Straddle | Family::Publish => unreachable!("reorder families handled above"),
+        }
+        seeds.oracle()
+    };
     Workload {
         spec: *spec,
-        oracle: seeds.oracle(),
+        oracle,
         module: mb.finish().unwrap_or_else(|e| {
             panic!("workload generator built an invalid module for {spec:?}: {e}")
         }),
@@ -408,4 +414,184 @@ fn fanout(mb: &mut ModuleBuilder, spec: &WorkloadSpec, seeds: &VictimPlan, rng: 
         }
         f.ret(None);
     });
+}
+
+/// Register-only busy-wait: burns scheduler steps without emitting a
+/// single event, so one worker can be held back past another's critical
+/// section under the deterministic round-robin schedule. The loop
+/// counter never touches memory — neither the spin finder nor any
+/// detector sees anything.
+fn scheduling_delay(f: &mut FunctionBuilder, rounds: i64) {
+    counted_loop(f, rounds, |_f, _i| {});
+}
+
+/// The reorder-only families, `straddle` (`publish == false`) and
+/// `publish` (`publish == true`): races that exist only in *correct
+/// reorderings* of the recorded interleaving.
+///
+/// Workers come in gadget pairs `(2p, 2p+1)`. The first `spec.races`
+/// pairs are racy; the rest are the conflict-controlled mirror of the
+/// same shape (the edge-keeping case), and any odd leftover worker only
+/// does bulk table reads. In every gadget the second worker is held
+/// back by a register-only [`scheduling_delay`], so the recorded trace
+/// always orders the first worker's critical section before the
+/// second's and the lock's release→acquire edge is the *only*
+/// happens-before path across the pair:
+///
+/// * **straddle, racy** — worker `a` stores `race{p}` lock-free, then
+///   locks `mu{p}` and stores its private scratch word; worker `b`
+///   (delayed) runs its own non-conflicting critical section and stores
+///   `race{p}` after unlocking. HB tools see the pair ordered through
+///   the unrelated lock region (and the lockset stage stays disengaged:
+///   neither victim store holds a lock); prediction drops the
+///   non-conflicting edge and must report the pair.
+/// * **straddle, conflict-controlled** — identical shape, but both
+///   critical sections write one shared `conflict{p}` word, so the edge
+///   survives prediction and `safe{p}` is clean under every tool.
+/// * **publish, racy** — worker `a` publishes `race{p}` *inside* its
+///   critical section; worker `b` (delayed) runs a non-conflicting
+///   critical section and loads `race{p}` only after unlocking: ordered
+///   under HB, a predicted write→read race once the edge is dropped.
+/// * **publish, conflict-controlled** — worker `b` instead loads
+///   `pub{p}` inside its critical section; the write→read conflict
+///   keeps the edge.
+///
+/// After its gadget, every worker streams strided reads over a shared
+/// read-only table with a private accumulator slot (the bulk of the
+/// event budget, race-free by construction).
+fn reorder(mb: &mut ModuleBuilder, spec: &WorkloadSpec, rng: &mut StdRng, publish: bool) -> Oracle {
+    let workers = spec.worker_threads() as usize;
+    let pairs = workers / 2;
+    let races = (spec.races as usize).min(pairs);
+    debug_assert_eq!(
+        races, spec.races as usize,
+        "worker_threads covers all pairs"
+    );
+    // Generous under round-robin: the leading worker's whole gadget is
+    // ~10 steps, the delay hundreds.
+    let delay = 96;
+    let n = spec.addr_space.max(8) as i64;
+    let iters = (spec.events_per_thread / 2).max(1) as i64;
+    let init: Vec<i64> = (0..n).map(|_| rng.gen_range(0i64..1 << 20)).collect();
+    let input = mb.global_init("input", n as u64, init);
+    let acc = mb.global("acc", workers as u64);
+    // Per-pair globals, planned up front (globals must exist before the
+    // worker closures reference them).
+    let mus: Vec<GlobalRef> = (0..pairs)
+        .map(|p| mb.global(&format!("mu{p}"), 1))
+        .collect();
+    let mut victims = Vec::with_capacity(pairs);
+    let mut expected = Vec::with_capacity(races);
+    for p in 0..pairs {
+        if p < races {
+            victims.push(mb.global(&format!("race{p}"), 1));
+            expected.push(ExpectedRace::new(
+                format!("race{p}"),
+                2 * p as u32 + 1,
+                2 * p as u32 + 2,
+            ));
+        } else if publish {
+            victims.push(mb.global(&format!("pub{p}"), 1));
+        } else {
+            victims.push(mb.global(&format!("safe{p}"), 1));
+        }
+    }
+    let scratch_a: Vec<GlobalRef> = (0..pairs)
+        .map(|p| mb.global(&format!("cs{p}a"), 1))
+        .collect();
+    let scratch_b: Vec<GlobalRef> = (0..pairs)
+        .map(|p| mb.global(&format!("cs{p}b"), 1))
+        .collect();
+    let conflicts: Vec<GlobalRef> = (0..pairs)
+        .map(|p| mb.global(&format!("conflict{p}"), 1))
+        .collect();
+    let mut funcs = Vec::new();
+    for w in 0..workers {
+        let p = w / 2;
+        let leader = w % 2 == 0;
+        let in_pair = p < pairs;
+        let racy = in_pair && p < races;
+        funcs.push(mb.function(&format!("reorder_worker{w}"), 1, |f| {
+            let sum = f.const_(0);
+            if in_pair {
+                let (mu, victim) = (mus[p], victims[p]);
+                let val = p as i64 + 1;
+                if leader {
+                    match (publish, racy) {
+                        (false, true) => {
+                            // Victim store lock-free, then an unrelated
+                            // critical section.
+                            f.store(victim.at(0), val);
+                            f.lock(mu.at(0));
+                            f.store(scratch_a[p].at(0), val);
+                            f.unlock(mu.at(0));
+                        }
+                        (false, false) => {
+                            f.store(victim.at(0), val);
+                            f.lock(mu.at(0));
+                            f.store(conflicts[p].at(0), val);
+                            f.unlock(mu.at(0));
+                        }
+                        (true, _) => {
+                            // Publication inside the critical section.
+                            f.lock(mu.at(0));
+                            f.store(victim.at(0), val);
+                            f.unlock(mu.at(0));
+                        }
+                    }
+                } else {
+                    scheduling_delay(f, delay);
+                    match (publish, racy) {
+                        (false, true) => {
+                            f.lock(mu.at(0));
+                            f.store(scratch_b[p].at(0), -val);
+                            f.unlock(mu.at(0));
+                            f.store(victim.at(0), -val);
+                        }
+                        (false, false) => {
+                            f.lock(mu.at(0));
+                            f.store(conflicts[p].at(0), -val);
+                            f.unlock(mu.at(0));
+                            f.store(victim.at(0), -val);
+                        }
+                        (true, true) => {
+                            f.lock(mu.at(0));
+                            f.store(scratch_b[p].at(0), -val);
+                            f.unlock(mu.at(0));
+                            let v = f.load(victim.at(0));
+                            f.bin_into(sum, BinOp::Add, sum, v);
+                        }
+                        (true, false) => {
+                            f.lock(mu.at(0));
+                            let v = f.load(victim.at(0));
+                            f.unlock(mu.at(0));
+                            f.bin_into(sum, BinOp::Add, sum, v);
+                        }
+                    }
+                }
+            }
+            counted_loop(f, iters, |f, i| {
+                let strided = f.mul(i, workers as i64);
+                let pos = f.add(strided, w as i64);
+                let idx = f.bin(BinOp::Rem, pos, n);
+                let v = f.load(input.idx(idx));
+                f.bin_into(sum, BinOp::Add, sum, v);
+                f.store(acc.at(w as i64), sum);
+            });
+            f.ret(None);
+        }));
+    }
+    mb.entry("main", |f| {
+        let tids: Vec<_> = funcs.iter().map(|&w| f.spawn(w, 0)).collect();
+        for t in tids {
+            f.join(t);
+        }
+        f.ret(None);
+    });
+    if expected.is_empty() {
+        Oracle::RaceFree
+    } else {
+        expected.sort();
+        Oracle::ReorderOnly(expected)
+    }
 }

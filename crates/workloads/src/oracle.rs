@@ -48,14 +48,39 @@ pub enum Oracle {
     /// Exactly these injected races — every tool must report each of
     /// them, and nothing else.
     SeededRaces(Vec<ExpectedRace>),
+    /// Races that exist only in *reorderings* of the recorded
+    /// interleaving: every happens-before edge in the trace as recorded
+    /// orders the access pair, but reversing two independent critical
+    /// sections exposes it. Witnessed-interleaving (HB) tools must
+    /// report **0**; predictive tools must report exactly this set.
+    ReorderOnly(Vec<ExpectedRace>),
 }
 
 impl Oracle {
-    /// The expected races (empty for [`Oracle::RaceFree`]).
+    /// The full injected ground truth (empty for [`Oracle::RaceFree`]) —
+    /// what a perfect predictive tool reports. Use
+    /// [`Oracle::expected_for`] to judge a specific tool class.
     pub fn expected(&self) -> &[ExpectedRace] {
         match self {
             Oracle::RaceFree => &[],
+            Oracle::SeededRaces(v) | Oracle::ReorderOnly(v) => v,
+        }
+    }
+
+    /// The races a tool of the given class must report: reorder-only
+    /// injections are invisible to witnessed-interleaving tools by
+    /// construction.
+    pub fn expected_for(&self, predictive: bool) -> &[ExpectedRace] {
+        match self {
+            Oracle::RaceFree => &[],
             Oracle::SeededRaces(v) => v,
+            Oracle::ReorderOnly(v) => {
+                if predictive {
+                    v
+                } else {
+                    &[]
+                }
+            }
         }
     }
 
@@ -64,6 +89,7 @@ impl Oracle {
         match self {
             Oracle::RaceFree => "race-free".to_string(),
             Oracle::SeededRaces(v) => format!("seeded({})", v.len()),
+            Oracle::ReorderOnly(v) => format!("reorder-only({})", v.len()),
         }
     }
 
@@ -76,7 +102,18 @@ impl Oracle {
     where
         I: IntoIterator<Item = (&'a str, u32, u32)>,
     {
-        let mut missed: Vec<ExpectedRace> = self.expected().to_vec();
+        self.verdict_for(true, observed)
+    }
+
+    /// [`Oracle::verdict`] against the ground truth a tool of the given
+    /// class owes ([`Oracle::expected_for`]): an HB tool reporting a
+    /// reorder-only victim fails as *unexpected*, a predictive tool
+    /// omitting it fails as *missed*.
+    pub fn verdict_for<'a, I>(&self, predictive: bool, observed: I) -> OracleVerdict
+    where
+        I: IntoIterator<Item = (&'a str, u32, u32)>,
+    {
+        let mut missed: Vec<ExpectedRace> = self.expected_for(predictive).to_vec();
         let mut unexpected = Vec::new();
         for (loc, a, b) in observed {
             let got = ExpectedRace::new(loc, a, b);
@@ -153,5 +190,25 @@ mod tests {
         // A duplicate context on one victim is unexpected.
         let v = oracle.verdict([("race0", 1, 3), ("race0", 1, 3), ("race1", 2, 4)]);
         assert!(!v.pass());
+    }
+
+    #[test]
+    fn reorder_only_depends_on_tool_class() {
+        let oracle = Oracle::ReorderOnly(vec![ExpectedRace::new("race0", 1, 2)]);
+        // The full ground truth is still the injected set.
+        assert_eq!(oracle.expected().len(), 1);
+        assert_eq!(oracle.expected_for(true).len(), 1);
+        assert!(oracle.expected_for(false).is_empty());
+        // Predictive tools owe the set; HB tools owe silence.
+        assert!(oracle.verdict_for(true, [("race0", 2, 1)]).pass());
+        assert!(!oracle.verdict_for(true, []).pass());
+        assert!(oracle.verdict_for(false, []).pass());
+        let v = oracle.verdict_for(false, [("race0", 1, 2)]);
+        assert_eq!(v.unexpected, vec![ExpectedRace::new("race0", 1, 2)]);
+        // Seeded and race-free oracles are class-independent.
+        assert_eq!(
+            Oracle::RaceFree.verdict_for(false, []).pass(),
+            Oracle::RaceFree.verdict_for(true, []).pass()
+        );
     }
 }

@@ -17,6 +17,14 @@ use std::str::FromStr;
 /// | `barrier`   | barrier-phased neighbour compute  | barrier generations, phase HB    |
 /// | `zipf`      | skewed shared-array read streams  | `ReadState` promotion, hot pages |
 /// | `fanout`    | wide thread fan-out (16–64)       | vector-clock width, shard spread |
+/// | `straddle`  | racy pair straddling an unrelated lock region | predictive CS-conflict edges |
+/// | `publish`   | write published after an unordered release    | predictive write→read edges  |
+///
+/// The last two inject **reorder-only** races when `races > 0`: the
+/// recorded interleaving orders the victim pair through a mutex edge
+/// between *independent* critical sections, so witnessed-interleaving
+/// tools must stay silent while sync-preserving prediction must report
+/// the injected set ([`crate::Oracle::ReorderOnly`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Family {
     /// Producer–consumer rings synchronized by counting semaphores.
@@ -30,17 +38,26 @@ pub enum Family {
     Zipf,
     /// Wide thread fan-out over strided slices plus shared hot words.
     Fanout,
+    /// A racy store pair straddling an unrelated lock region: the lock
+    /// edge between two non-conflicting critical sections is the only
+    /// thing ordering the stores in the recorded trace.
+    Straddle,
+    /// A store inside a critical section consumed by a load *after* a
+    /// later, non-conflicting critical section on the same lock.
+    Publish,
 }
 
 impl Family {
     /// Every family, in canonical order.
-    pub fn all() -> [Family; 5] {
+    pub fn all() -> [Family; 7] {
         [
             Family::Ring,
             Family::SpinFlag,
             Family::Barrier,
             Family::Zipf,
             Family::Fanout,
+            Family::Straddle,
+            Family::Publish,
         ]
     }
 
@@ -52,7 +69,15 @@ impl Family {
             Family::Barrier => "barrier",
             Family::Zipf => "zipf",
             Family::Fanout => "fanout",
+            Family::Straddle => "straddle",
+            Family::Publish => "publish",
         }
+    }
+
+    /// Does `races > 0` inject reorder-only races (visible to predictive
+    /// tools only) rather than witnessed ones?
+    pub fn reorder_only(&self) -> bool {
+        matches!(self, Family::Straddle | Family::Publish)
     }
 }
 
@@ -70,7 +95,8 @@ impl fmt::Display for ParseFamilyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown workload family {:?} (expected ring, spinflag, barrier, zipf or fanout)",
+            "unknown workload family {:?} (expected ring, spinflag, barrier, zipf, fanout, \
+             straddle or publish)",
             self.0
         )
     }
@@ -180,12 +206,14 @@ impl WorkloadSpec {
     }
 
     /// Worker threads the family actually spawns. [`Family::Ring`] rounds
-    /// up to full producer/consumer pairs; everything else spawns
+    /// up to full producer/consumer pairs; the reorder-only families
+    /// widen to one worker pair per injected race; everything else spawns
     /// `threads` (at least 2, so a cross-thread oracle is well-defined).
     pub fn worker_threads(&self) -> u32 {
         let t = self.threads.max(2);
         match self.family {
             Family::Ring => t.div_ceil(2) * 2,
+            Family::Straddle | Family::Publish => t.max(self.races.saturating_mul(2)),
             _ => t,
         }
     }

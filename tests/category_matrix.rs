@@ -22,6 +22,15 @@ enum Expect {
 }
 
 /// The designed matrix: what each tool does on each category.
+///
+/// The predictive `SyncPreserving` column matches DRD's everywhere:
+/// the pass drops mutex edges between non-conflicting critical
+/// sections, but no drt category hides a race behind such an edge (the
+/// suite was designed around the witnessed-interleaving taxonomy —
+/// spin windows and library knowledge), so weakening DRD's
+/// happens-before changes nothing here. The scenarios where the
+/// predictive tool diverges from the HB class live in the
+/// reorder-only workload families (`tests/workload_oracles.rs`).
 fn expectation(cat: &Category, tool: &Tool) -> Expect {
     use Category::*;
     let window = match tool {
@@ -39,9 +48,9 @@ fn expectation(cat: &Category, tool: &Tool) -> Expect {
                 Expect::FalseAlarm
             }
         }
-        (AdhocPlain { .. }, Tool::HelgrindLib) | (AdhocPlain { .. }, Tool::Drd) => {
-            Expect::FalseAlarm
-        }
+        (AdhocPlain { .. }, Tool::HelgrindLib)
+        | (AdhocPlain { .. }, Tool::Drd)
+        | (AdhocPlain { .. }, Tool::SyncPreserving) => Expect::FalseAlarm,
 
         (AdhocAtomic { weight }, Tool::HelgrindLibSpin { .. })
         | (AdhocAtomic { weight }, Tool::HelgrindNolibSpin { .. }) => {
@@ -52,18 +61,24 @@ fn expectation(cat: &Category, tool: &Tool) -> Expect {
             }
         }
         (AdhocAtomic { .. }, Tool::HelgrindLib) => Expect::FalseAlarm,
-        (AdhocAtomic { .. }, Tool::Drd) => Expect::Clean,
+        (AdhocAtomic { .. }, Tool::Drd) | (AdhocAtomic { .. }, Tool::SyncPreserving) => {
+            Expect::Clean
+        }
 
         (Obscure, _) => Expect::FalseAlarm,
 
         (RacyPlain, _) => Expect::Caught,
 
-        (RacyAtomicOrdered, Tool::Drd) => Expect::Missed,
+        (RacyAtomicOrdered, Tool::Drd) | (RacyAtomicOrdered, Tool::SyncPreserving) => {
+            Expect::Missed
+        }
         (RacyAtomicOrdered, _) => Expect::Caught,
 
         (RacyLatent, _) => Expect::Missed,
 
-        (RacyFlooded, Tool::HelgrindLib) | (RacyFlooded, Tool::Drd) => Expect::Missed,
+        (RacyFlooded, Tool::HelgrindLib)
+        | (RacyFlooded, Tool::Drd)
+        | (RacyFlooded, Tool::SyncPreserving) => Expect::Missed,
         (RacyFlooded, _) => Expect::Caught,
     }
 }
@@ -71,7 +86,8 @@ fn expectation(cat: &Category, tool: &Tool) -> Expect {
 #[test]
 fn full_category_matrix_holds() {
     let cases = all_cases();
-    let tools = Tool::paper_lineup();
+    let mut tools = Tool::paper_lineup().to_vec();
+    tools.push(Tool::SyncPreserving);
     let mut checked = 0;
     for tool in tools {
         let analyzer = Analyzer::tool(tool).cap(DRT_CAP);
@@ -107,7 +123,7 @@ fn full_category_matrix_holds() {
             checked += 1;
         }
     }
-    assert_eq!(checked, 120 * 4);
+    assert_eq!(checked, 120 * 5);
 }
 
 /// The window sweep matrix over the ad-hoc categories only: a loop of

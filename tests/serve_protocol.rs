@@ -8,12 +8,13 @@
 
 use spinrace::core::{DetectRequest, ExecutedRun, Session, Tool};
 use spinrace::serve::{
-    outcome_json, read_frame, run_client, serve, write_request, FrameKind, ServeOptions,
+    handle_session, outcome_json, read_frame, run_client, serve, write_request, CoreBudget,
+    FrameKind, ServeOptions,
 };
 use spinrace::tracefmt::encode_trace_chunked;
 use spinrace::vm::Trace;
 use spinrace::workloads::{Family, WorkloadSpec};
-use std::io::Write;
+use std::io::{Read, Write};
 use std::net::{Shutdown, TcpStream};
 use std::time::Duration;
 
@@ -202,6 +203,186 @@ fn budget_exhaustion_reports_partial_metrics() {
     let out = run_client(&capped.addr().to_string(), &body, &bytes).unwrap();
     assert_eq!(out.error.expect("server ceiling").code, "budget-exhausted");
     capped.shutdown();
+    handle.shutdown();
+}
+
+/// The predictive tool over the wire: a `tool=sync-preserving` upload
+/// (streamed, the `workers=0` default) produces an outcome document
+/// byte-identical to the offline sequential replay of the same trace,
+/// and asking the server to run it on the parallel engine comes back as
+/// the stable `unsupported` error code — never a silent downgrade.
+#[test]
+fn sync_preserving_sessions_are_byte_stable_and_refuse_parallel() {
+    let (_, trace) = recorded();
+    let bytes = encode_trace_chunked(&trace, 16);
+    let expected = offline_payload(&trace, Tool::SyncPreserving);
+
+    // The server must also parse the short label form off the wire.
+    let body = serde_json::json!({"tools": ["sync-preserving"]});
+    let handle = serve(
+        "127.0.0.1:0",
+        ServeOptions {
+            cores: 4,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let out = run_client(&addr, &body, &bytes).unwrap();
+    assert!(out.succeeded(), "session failed: {:?}", out.error);
+    assert_eq!(out.outcomes.len(), 1);
+    let (label, payload) = &out.outcomes[0];
+    assert_eq!(label, &Tool::SyncPreserving.label());
+    assert_eq!(
+        payload, &expected,
+        "server outcome diverged from offline sequential replay"
+    );
+    assert!(out.verdicts > 0, "streamed session sent no verdicts");
+
+    let parallel = params(
+        Tool::SyncPreserving,
+        &[("workers", serde_json::Value::U64(2))],
+    );
+    let out = run_client(&addr, &parallel, &bytes).unwrap();
+    let err = out.error.expect("parallel predictive must be refused");
+    assert_eq!(err.code, "unsupported");
+    assert!(out.outcomes.is_empty() && out.done.is_none());
+    handle.shutdown();
+}
+
+/// A session input that yields some prefix, then panics — the worst
+/// failure shape a session body can produce.
+struct PanicAfterPrefix {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Read for PanicAfterPrefix {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            panic!("injected read panic after {} bytes", self.pos);
+        }
+        let n = buf.len().min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// The core-budget regression: every failing session — structured
+/// failures and panics unwinding through the session body alike — must
+/// return its claimed cores, so the free pool is back at its initial
+/// value once the hammering stops. (The claim is RAII now; this pins
+/// the leak that a manual claim/release pair reintroduces.)
+#[test]
+fn failing_sessions_release_their_core_claims() {
+    let cores = CoreBudget::new(8);
+    assert_eq!(cores.free(), 8);
+
+    // A well-formed request (so the session claims 4 cores) followed by
+    // bytes that are not a trace: the session fails after the claim.
+    let mut garbage_session: Vec<u8> = Vec::new();
+    write_request(
+        &mut garbage_session,
+        &params(Tool::HelgrindLib, &[("workers", serde_json::Value::U64(4))]),
+    )
+    .unwrap();
+    garbage_session.extend_from_slice(b"this is definitely not a trace stream");
+
+    for round in 0..50 {
+        let mut out = Vec::new();
+        let code = handle_session(
+            &garbage_session[..],
+            &mut out,
+            ServeOptions::default(),
+            &cores,
+        )
+        .expect_err("a garbage upload must fail the session");
+        assert_eq!(code, "magic");
+        assert_eq!(
+            cores.free(),
+            8,
+            "session failure leaked its core claim (round {round})"
+        );
+    }
+
+    // A panic mid-upload unwinds through the session body; the RAII
+    // guard must still release on the unwind path. The prefix ends
+    // exactly at the request frame, so the first trace-stream read is
+    // the panicking one (a garbage prefix would fail the magic check
+    // before ever reaching the panic).
+    let mut request_only: Vec<u8> = Vec::new();
+    write_request(
+        &mut request_only,
+        &params(Tool::HelgrindLib, &[("workers", serde_json::Value::U64(4))]),
+    )
+    .unwrap();
+    for round in 0..10 {
+        let input = PanicAfterPrefix {
+            data: request_only.clone(),
+            pos: 0,
+        };
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut out = Vec::new();
+            let _ = handle_session(input, &mut out, ServeOptions::default(), &cores);
+        }));
+        assert!(panicked.is_err(), "the injected panic must propagate");
+        assert_eq!(
+            cores.free(),
+            8,
+            "panicking session leaked its core claim (round {round})"
+        );
+    }
+}
+
+/// A client that stalls past the server's read timeout fails its
+/// session with the stable `timeout` wire code — whether it stalls
+/// before the request frame or mid-upload — instead of pinning the
+/// session slot forever or surfacing a shape-dependent decode error.
+#[test]
+fn stalled_uploads_fail_with_the_timeout_code() {
+    let handle = serve(
+        "127.0.0.1:0",
+        ServeOptions {
+            read_timeout_ms: Some(150),
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    let expect_error_code = |reader: &mut TcpStream, expected: &str| loop {
+        let (kind, payload) = read_frame(reader)
+            .unwrap()
+            .expect("an error frame before end-of-stream");
+        match kind {
+            FrameKind::Error => {
+                let doc: serde_json::Value =
+                    serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+                assert_eq!(doc["code"].as_str(), Some(expected), "{:?}", doc);
+                return;
+            }
+            FrameKind::Hello | FrameKind::Verdict => continue,
+            other => panic!("unexpected frame {other:?} while waiting for the error"),
+        }
+    };
+
+    // Stall after the request frame: the trace-magic read times out.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = stream.try_clone().unwrap();
+    write_request(&mut stream, &params(Tool::HelgrindLib, &[])).unwrap();
+    expect_error_code(&mut reader, "timeout");
+
+    // Stall before even the request frame.
+    let idle = TcpStream::connect(&addr).unwrap();
+    idle.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = idle.try_clone().unwrap();
+    expect_error_code(&mut reader, "timeout");
+
     handle.shutdown();
 }
 

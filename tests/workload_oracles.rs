@@ -1,23 +1,30 @@
 //! The ground-truth oracle suite: generated workloads where the true race
 //! set is known by construction, checked against **every** tool in the
-//! paper lineup, for **every** detection path — live (detector attached
-//! to the VM run), sequential trace replay, and parallel sharded replay
-//! at 1/2/4/8 workers under the occupancy-balanced scheduler plus a
-//! static-ownership cross-check.
+//! paper lineup plus the predictive `SyncPreserving` pass, for **every**
+//! detection path — live (detector attached to the VM run), sequential
+//! trace replay, streamed chunked replay, and (for the HB tools)
+//! parallel sharded replay at 1/2/4/8 workers under the occupancy-
+//! balanced scheduler plus a static-ownership cross-check.
 //!
 //! This turns the tool lineup from "matches recorded numbers" into
 //! "sound and complete on known ground truth": race-free families must
 //! yield zero reports (no false positives anywhere in the pipeline), and
 //! seeded families must yield exactly the injected race set, by victim
-//! variable and thread pair (no misses, no extras).
+//! variable and thread pair (no misses, no extras). The reorder-only
+//! families split the lineup by class: every HB tool owes **0** (the
+//! recorded interleaving orders the pair) while the predictive tool owes
+//! exactly the injected set. The predictive tool is a single sequential
+//! pass — asking the parallel engine for it must be a structured
+//! `EngineError::Unsupported`, never a silent sequential fallback.
 
 use proptest::prelude::*;
-use spinrace::core::{AnalysisOutcome, DetectRequest, Schedule, Session, Tool};
+use spinrace::core::{AnalysisOutcome, DetectRequest, EngineError, Schedule, Session, Tool};
 use spinrace::suites::judge_outcome;
+use spinrace::tracefmt::{encode_trace_chunked, ChunkedTraceReader, DEFAULT_CHUNK_EVENTS};
 use spinrace::workloads::{Family, Workload, WorkloadSpec};
 
-/// Judge one outcome against the workload's oracle, panicking with a
-/// readable description on any mismatch.
+/// Judge one outcome against the ground truth the producing tool's
+/// class owes, panicking with a readable description on any mismatch.
 fn assert_oracle(wl: &Workload, out: &AnalysisOutcome, path: &str) -> Result<(), TestCaseError> {
     let verdict = judge_outcome(&wl.oracle, out);
     prop_assert!(
@@ -26,9 +33,14 @@ fn assert_oracle(wl: &Workload, out: &AnalysisOutcome, path: &str) -> Result<(),
         wl.module.name,
         out.tool_label
     );
+    let predictive = out
+        .tool_label
+        .parse::<Tool>()
+        .map(|t| t.is_predictive())
+        .unwrap_or(false);
     prop_assert_eq!(
         out.contexts,
-        wl.oracle.expected().len(),
+        wl.oracle.expected_for(predictive).len(),
         "{} under {} [{path}]: context count",
         &wl.module.name,
         &out.tool_label
@@ -36,9 +48,11 @@ fn assert_oracle(wl: &Workload, out: &AnalysisOutcome, path: &str) -> Result<(),
     Ok(())
 }
 
-/// The full check for one spec: for every tool, run the VM once with the
-/// live detector and a trace recorder teed, then fan detection out over
-/// the recorded trace sequentially and at every worker width.
+/// The full check for one spec: for every HB tool, run the VM once with
+/// the live detector and a trace recorder teed, then fan detection out
+/// over the recorded trace sequentially and at every worker width; for
+/// the predictive tool, cover live, sequential and streamed replay and
+/// pin the parallel refusal.
 fn check_spec(spec: WorkloadSpec) -> Result<(), TestCaseError> {
     let wl = spec.build();
     let session = Session::for_module(&wl.module).vm_config(spec.vm_config());
@@ -66,6 +80,47 @@ fn check_spec(spec: WorkloadSpec) -> Result<(), TestCaseError> {
         assert_oracle(&wl, &stat, "parallel x4 static")?;
         prop_assert_eq!(&stat.metrics, &sequential.metrics);
     }
+    check_predictive(&wl, &session)
+}
+
+/// The predictive leg of [`check_spec`]: live, sequential replay, and
+/// streamed chunked replay must agree with each other and with the
+/// oracle; the parallel engine must refuse with
+/// [`EngineError::Unsupported`] at any genuine worker count.
+fn check_predictive(wl: &Workload, session: &Session) -> Result<(), TestCaseError> {
+    let tool = Tool::SyncPreserving;
+    let prepared = session.prepare(tool).unwrap();
+    let (run, live) = prepared.execute_detecting().unwrap();
+    assert_oracle(wl, &live, "live")?;
+    let sequential = run.run(&DetectRequest::own()).into_single();
+    assert_oracle(wl, &sequential, "sequential replay")?;
+    prop_assert_eq!(&live.metrics, &sequential.metrics);
+
+    // Streamed chunked replay: encode the recorded trace, decode it
+    // chunk-by-chunk into a fresh detector. Same outcome bytes.
+    let bytes = encode_trace_chunked(run.trace(), DEFAULT_CHUNK_EVENTS);
+    let reader = ChunkedTraceReader::new(std::io::Cursor::new(bytes)).unwrap();
+    let prepared = session.prepare(tool).unwrap();
+    let (streamed, _) = prepared
+        .try_run_streamed(&DetectRequest::own().streamed(), reader)
+        .unwrap();
+    let streamed = streamed.into_single();
+    assert_oracle(wl, &streamed, "streamed replay")?;
+    prop_assert_eq!(&streamed.metrics, &sequential.metrics);
+    prop_assert_eq!(streamed.reports.len(), sequential.reports.len());
+
+    // A parallel request for the sequential-only predictive pass is a
+    // structured refusal, not a silent downgrade. (`workers <= 1` is
+    // the engine's sequential fast path and stays allowed.)
+    for workers in [2usize, 8] {
+        let err = run
+            .try_run(&DetectRequest::own().parallel(workers))
+            .expect_err("parallel predictive detection must be refused");
+        prop_assert!(
+            matches!(err, EngineError::Unsupported { .. }),
+            "expected Unsupported at {workers} workers, got {err}"
+        );
+    }
     Ok(())
 }
 
@@ -77,7 +132,7 @@ proptest! {
     /// address-space sizes, skews and seeds.
     #[test]
     fn race_free_families_report_nothing(
-        fam_ix in 0usize..5,
+        fam_ix in 0usize..7,
         threads in 2u32..6,
         events in 16u32..120,
         addr_space in 8u32..600,
@@ -95,10 +150,12 @@ proptest! {
     }
 
     /// Seeded variants: exactly the injected race set — by victim
-    /// variable and thread pair — under every tool on every path.
+    /// variable and thread pair — under every tool on every path. For
+    /// the reorder-only families this is the class split: HB tools owe
+    /// zero, the predictive tool owes the set.
     #[test]
     fn seeded_families_report_exactly_the_injected_races(
-        fam_ix in 0usize..5,
+        fam_ix in 0usize..7,
         threads in 2u32..6,
         events in 16u32..120,
         addr_space in 8u32..600,
@@ -125,6 +182,88 @@ fn every_family_passes_its_oracle_pinned() {
     for fam in Family::all() {
         check_spec(WorkloadSpec::new(fam)).unwrap();
         check_spec(WorkloadSpec::new(fam).races(2).seed(3)).unwrap();
+    }
+}
+
+/// The headline predictive claim, pinned per reorder-only family: on a
+/// trace where every injected racy pair is ordered by a happens-before
+/// path through an *unrelated* critical section, all four HB tools
+/// report 0 while `SyncPreserving` reports exactly the injected set —
+/// the races that exist only in sync-preserving reorderings of the
+/// recorded interleaving.
+#[test]
+fn reorder_only_families_split_the_lineup_by_class() {
+    for fam in [Family::Straddle, Family::Publish] {
+        for races in [1u32, 2, 3] {
+            let spec = WorkloadSpec::new(fam).races(races).seed(41 + races as u64);
+            let wl = spec.build();
+            assert_eq!(
+                wl.oracle.expected().len(),
+                races as usize,
+                "{fam:?} must inject all {races} requested races"
+            );
+            assert!(wl.oracle.expected_for(false).is_empty());
+            check_spec(spec).unwrap();
+        }
+    }
+}
+
+/// The structural soundness guarantee, tested differentially: on the
+/// *same* recorded stream, `SyncPreserving` only ever drops
+/// happens-before edges, so every race an HB tool reports must also be
+/// reported by the predictive pass — as a context on the same location
+/// between the same thread pair. Checked on the seeded variant of every
+/// family, across sequential and streamed replay of the shared
+/// unmodified-module trace.
+#[test]
+fn predictive_reports_are_a_superset_of_hb_reports() {
+    for fam in Family::all() {
+        let spec = WorkloadSpec::new(fam).races(2).seed(17);
+        let wl = spec.build();
+        let session = Session::for_module(&wl.module).vm_config(spec.vm_config());
+        // Drd shares the unmodified module with SyncPreserving, so one
+        // execution yields the identical event stream for both tools.
+        let prepared = session.prepare(Tool::Drd).unwrap();
+        let (run, _) = prepared.execute_detecting().unwrap();
+
+        let context_set = |out: &AnalysisOutcome| -> std::collections::BTreeSet<_> {
+            out.reports
+                .iter()
+                .map(|r| {
+                    (
+                        r.location.clone(),
+                        r.report.prior.tid.min(r.report.current.tid),
+                        r.report.prior.tid.max(r.report.current.tid),
+                    )
+                })
+                .collect()
+        };
+        let hb = context_set(&run.run(&DetectRequest::tool(Tool::Drd)).into_single());
+        let sp_sequential = run
+            .run(&DetectRequest::tool(Tool::SyncPreserving))
+            .into_single();
+        let sp = context_set(&sp_sequential);
+        assert!(
+            hb.is_subset(&sp),
+            "{fam:?}: HB races {:?} not all predicted; SP reported {:?}",
+            hb,
+            sp
+        );
+
+        // The streamed predictive pass lands on the same bytes as the
+        // sequential one — the superset holds on every replay mode.
+        let bytes = encode_trace_chunked(run.trace(), DEFAULT_CHUNK_EVENTS);
+        let reader = ChunkedTraceReader::new(std::io::Cursor::new(bytes)).unwrap();
+        let prepared = session.prepare(Tool::SyncPreserving).unwrap();
+        let (streamed, _) = prepared
+            .try_run_streamed(
+                &DetectRequest::tool(Tool::SyncPreserving).streamed(),
+                reader,
+            )
+            .unwrap();
+        let streamed = streamed.into_single();
+        assert_eq!(context_set(&streamed), sp);
+        assert_eq!(streamed.metrics, sp_sequential.metrics);
     }
 }
 
